@@ -1,0 +1,115 @@
+// Ablations beyond the paper's own comparisons:
+//  * protocol variant sweep, including the explicit-timer strawman (§3.2)
+//    and the §5 future-work timestamp-echo design,
+//  * driver->NIC staging-latency sensitivity (the Fig 3/4 ready race),
+//  * per-LL-ACK payload budget (footnote 7's split-vs-risk tradeoff),
+//  * A-MPDU/TXOP cap sweep (aggregation's interaction with HACK, §5),
+//  * upload-direction symmetry (§3.1's Time Capsule use case).
+#include "bench/bench_util.h"
+
+using namespace hacksim;
+
+namespace {
+
+ScenarioConfig Base(uint64_t seed) {
+  ScenarioConfig c;
+  c.standard = WifiStandard::k80211n;
+  c.data_rate_mbps = 150.0;
+  c.n_clients = 1;
+  c.duration = RunSeconds(4);
+  c.seed = seed;
+  return c;
+}
+
+double Mean(const std::function<ScenarioConfig(uint64_t)>& make) {
+  Series s;
+  for (int seed = 1; seed <= Seeds(); ++seed) {
+    s.Add(RunScenario(make(seed)).steady_aggregate_goodput_mbps);
+  }
+  return s.mean();
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("bench_ablations",
+              "design-choice ablations (variants, staging latency, payload "
+              "budget, TXOP, upload)");
+
+  std::printf("variant sweep (802.11n 150 Mbps, steady goodput Mbps):\n");
+  struct VariantRow {
+    const char* name;
+    HackVariant v;
+  };
+  for (const VariantRow& row :
+       {VariantRow{"stock", HackVariant::kOff},
+        VariantRow{"more-data", HackVariant::kMoreData},
+        VariantRow{"opportunistic", HackVariant::kOpportunistic},
+        VariantRow{"explicit-timer", HackVariant::kExplicitTimer},
+        VariantRow{"timestamp-echo", HackVariant::kTimestampEcho}}) {
+    double g = Mean([&](uint64_t seed) {
+      ScenarioConfig c = Base(seed);
+      c.hack = row.v;
+      return c;
+    });
+    std::printf("  %-15s %6.1f\n", row.name, g);
+  }
+
+  std::printf("\nstaging latency sweep (MORE DATA variant):\n");
+  for (int us : {0, 30, 100, 500, 2000}) {
+    double g = Mean([&](uint64_t seed) {
+      ScenarioConfig c = Base(seed);
+      c.hack = HackVariant::kMoreData;
+      c.hack_config.staging_latency = SimTime::Micros(us);
+      return c;
+    });
+    std::printf("  %5d us %6.1f\n", us, g);
+  }
+
+  std::printf("\npayload budget sweep (bytes per LL ACK):\n");
+  for (size_t cap : {40u, 80u, 120u, 240u, 480u}) {
+    double g = Mean([&](uint64_t seed) {
+      ScenarioConfig c = Base(seed);
+      c.hack = HackVariant::kMoreData;
+      c.hack_config.max_payload_bytes = cap;
+      return c;
+    });
+    std::printf("  %5zu B %6.1f\n", cap, g);
+  }
+
+  std::printf("\nTXOP limit sweep (aggregation cap, stock vs hack):\n");
+  for (int ms : {1, 2, 4}) {
+    double stock = Mean([&](uint64_t seed) {
+      ScenarioConfig c = Base(seed);
+      c.txop_limit = SimTime::Millis(ms);
+      return c;
+    });
+    double hack = Mean([&](uint64_t seed) {
+      ScenarioConfig c = Base(seed);
+      c.hack = HackVariant::kMoreData;
+      c.txop_limit = SimTime::Millis(ms);
+      return c;
+    });
+    std::printf("  %d ms  stock %6.1f  hack %6.1f  gain %+.1f%%  "
+                "(shorter TXOPs -> HACK claws back more, §5)\n",
+                ms, stock, hack, 100.0 * (hack / stock - 1.0));
+  }
+
+  std::printf("\nupload direction (wireless backup, §3.1):\n");
+  {
+    double stock = Mean([&](uint64_t seed) {
+      ScenarioConfig c = Base(seed);
+      c.upload = true;
+      return c;
+    });
+    double hack = Mean([&](uint64_t seed) {
+      ScenarioConfig c = Base(seed);
+      c.upload = true;
+      c.hack = HackVariant::kMoreData;
+      return c;
+    });
+    std::printf("  stock %6.1f  hack %6.1f  gain %+.1f%%\n", stock, hack,
+                100.0 * (hack / stock - 1.0));
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// §4.2 cross-validation: the paper validates SoRa against ns-3 by matching
+// loss rates and accounting for SoRa's extra LL-ACK delay. We reproduce the
+// experiment pair: identical runs with the delay on and off.
+// Paper: stock 22.4 (ns-3) vs 19.6 -> 22 corrected (SoRa); HACK 28 (ns-3)
+// vs 25.5 -> 27.7 corrected (SoRa).
+#include "bench/bench_util.h"
+
+using namespace hacksim;
+
+namespace {
+
+double Run(HackVariant hack, bool sora_delay, double loss, uint64_t seed) {
+  ScenarioConfig c;
+  c.standard = WifiStandard::k80211a;
+  c.data_rate_mbps = 54.0;
+  c.n_clients = 1;
+  c.hack = hack;
+  c.duration = RunSeconds(10);
+  c.tcp.mss = 1448;
+  c.seed = seed;
+  c.clients.resize(1);
+  c.clients[0].bernoulli_data_loss = loss;
+  if (sora_delay) {
+    c.extra_ack_delay = SimTime::Micros(37);
+    c.extra_ack_timeout = SimTime::Micros(80);
+  }
+  return RunScenario(c).aggregate_goodput_mbps;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("bench_crossval",
+              "Section 4.2 cross-validation (SoRa vs ns-3 recipe)");
+  std::printf("%-12s %16s %16s\n", "", "no LL-ACK delay", "37us LL-ACK "
+                                                          "delay");
+  struct Row {
+    const char* name;
+    HackVariant hack;
+    double loss;
+  };
+  // The paper matches the observed per-run loss rates (12% of frames saw a
+  // retry under stock — mostly collisions, which our simulator generates
+  // itself — plus ~2% channel loss; HACK ran at ~2%).
+  for (const Row& row : {Row{"TCP/802.11a", HackVariant::kOff, 0.02},
+                         Row{"TCP/HACK", HackVariant::kMoreData, 0.02}}) {
+    Series clean, delayed;
+    for (int seed = 1; seed <= Seeds(); ++seed) {
+      clean.Add(Run(row.hack, false, row.loss, seed));
+      delayed.Add(Run(row.hack, true, row.loss, seed));
+    }
+    std::printf("%-12s %13.1f    %13.1f\n", row.name, clean.mean(),
+                delayed.mean());
+  }
+  std::printf("\npaper: stock 22.4 (sim) vs 19.6/22.0 (SoRa raw/corrected); "
+              "hack 28.0 vs 25.5/27.7\n");
+  std::printf("the delay-off column plays the ns-3 role; delay-on plays "
+              "SoRa's raw measurement\n");
+  return 0;
+}

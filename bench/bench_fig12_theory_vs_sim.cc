@@ -1,0 +1,54 @@
+// Figure 12: theoretical vs simulated goodput for TCP/802.11n and TCP/HACK
+// at each 802.11n rate. The paper's observations to reproduce: simulated
+// values fall below theory (collisions/retries/congestion control), and the
+// simulated HACK improvement *exceeds* the analytical prediction (stock
+// suffers ACK/data collisions that HACK sidesteps) — 14% vs 7% at 150 Mbps.
+#include "bench/bench_util.h"
+#include "src/analysis/capacity_model.h"
+
+using namespace hacksim;
+
+namespace {
+
+double Sim(double rate, HackVariant hack, uint64_t seed) {
+  ScenarioConfig c;
+  c.standard = WifiStandard::k80211n;
+  c.data_rate_mbps = rate;
+  c.n_clients = 1;
+  c.hack = hack;
+  c.duration = RunSeconds(5);
+  c.seed = seed;
+  return RunScenario(c).steady_aggregate_goodput_mbps;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("bench_fig12_theory_vs_sim",
+              "Figure 12 (analytical vs simulated goodput per rate)");
+  std::printf("%6s %12s %10s %12s %10s %12s\n", "rate", "theor.TCP",
+              "sim.TCP", "theor.HACK", "sim.HACK", "sim gain");
+  std::vector<double> rates = {15, 30, 45, 60, 90, 120, 135, 150};
+  if (QuickMode()) {
+    rates = {15, 90, 150};
+  }
+  for (double rate : rates) {
+    CapacityParams p;
+    p.standard = WifiStandard::k80211n;
+    p.data_mode = ModeForRate(Modes80211n(), rate);
+    double theory_stock = TcpGoodputMbps(p);
+    double theory_hack = TcpHackGoodputMbps(p);
+    Series sim_stock, sim_hack;
+    for (int seed = 1; seed <= Seeds(); ++seed) {
+      sim_stock.Add(Sim(rate, HackVariant::kOff, seed));
+      sim_hack.Add(Sim(rate, HackVariant::kMoreData, seed));
+    }
+    std::printf("%6.0f %12.1f %10.1f %12.1f %10.1f %11.1f%%\n", rate,
+                theory_stock, sim_stock.mean(), theory_hack,
+                sim_hack.mean(),
+                100.0 * (sim_hack.mean() / sim_stock.mean() - 1.0));
+  }
+  std::printf("\npaper: simulated < theoretical at every rate; simulated "
+              "HACK gain (14%% @150) exceeds the 7%% analytical gain\n");
+  return 0;
+}

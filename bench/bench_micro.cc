@@ -1,0 +1,115 @@
+// Microbenchmarks (google-benchmark) for the hot paths a NIC/driver would
+// care about: ROHC compression/decompression, MD5 CID derivation, the
+// discrete-event scheduler, and DCF grant machinery.
+#include <benchmark/benchmark.h>
+
+#include "src/net/address.h"
+#include "src/rohc/rohc.h"
+#include "src/sim/scheduler.h"
+#include "src/util/md5.h"
+
+namespace hacksim {
+namespace {
+
+Packet MakeAck(uint32_t ack) {
+  TcpHeader tcp;
+  tcp.src_port = 6000;
+  tcp.dst_port = 5000;
+  tcp.seq = 1;
+  tcp.ack = ack;
+  tcp.flag_ack = true;
+  tcp.window = 32768;
+  tcp.timestamps = TcpTimestamps{100, 200};
+  return Packet::MakeTcp(Ipv4Address::FromOctets(10, 0, 2, 1),
+                         Ipv4Address::FromOctets(10, 0, 0, 1), tcp, 0);
+}
+
+void BM_RohcCompressSteadyStream(benchmark::State& state) {
+  RohcCompressor comp;
+  uint32_t ack = 1000;
+  (void)comp.Compress(MakeAck(ack));
+  for (auto _ : state) {
+    ack += 2920;
+    benchmark::DoNotOptimize(comp.Compress(MakeAck(ack)));
+  }
+}
+BENCHMARK(BM_RohcCompressSteadyStream);
+
+void BM_RohcRoundTrip(benchmark::State& state) {
+  RohcCompressor comp;
+  RohcDecompressor decomp;
+  uint32_t ack = 1000;
+  decomp.NoteVanillaAck(MakeAck(ack));
+  for (auto _ : state) {
+    ack += 2920;
+    auto r = comp.Compress(MakeAck(ack));
+    ByteReader reader(r.bytes);
+    auto rec = CompressedAckRecord::Deserialize(reader);
+    benchmark::DoNotOptimize(decomp.Decompress(*rec));
+  }
+}
+BENCHMARK(BM_RohcRoundTrip);
+
+void BM_Md5Cid(benchmark::State& state) {
+  FiveTuple t{Ipv4Address::FromOctets(10, 0, 2, 1),
+              Ipv4Address::FromOctets(10, 0, 0, 1), 6000, 5000, 6};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.RohcCid());
+    t.src_port++;
+  }
+}
+BENCHMARK(BM_Md5Cid);
+
+void BM_Md5Hash1K(benchmark::State& state) {
+  std::vector<uint8_t> data(1024, 0xA5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Md5::Hash(data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Md5Hash1K);
+
+void BM_SchedulerChurn(benchmark::State& state) {
+  Scheduler sched;
+  uint64_t n = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      sched.ScheduleIn(SimTime::Micros(1 + i % 7), [&n]() { ++n; });
+    }
+    sched.Run();
+  }
+  benchmark::DoNotOptimize(n);
+}
+BENCHMARK(BM_SchedulerChurn);
+
+void BM_SchedulerCancelHeavy(benchmark::State& state) {
+  Scheduler sched;
+  for (auto _ : state) {
+    std::vector<EventId> ids;
+    ids.reserve(64);
+    for (int i = 0; i < 64; ++i) {
+      ids.push_back(sched.ScheduleIn(SimTime::Micros(5), []() {}));
+    }
+    for (size_t i = 0; i < ids.size(); i += 2) {
+      sched.Cancel(ids[i]);
+    }
+    sched.Run();
+  }
+}
+BENCHMARK(BM_SchedulerCancelHeavy);
+
+void BM_HeaderSerializeTcpAck(benchmark::State& state) {
+  Packet p = MakeAck(123456);
+  for (auto _ : state) {
+    ByteWriter w;
+    p.ip().Serialize(w);
+    p.tcp().Serialize(w);
+    benchmark::DoNotOptimize(w.bytes().data());
+  }
+}
+BENCHMARK(BM_HeaderSerializeTcpAck);
+
+}  // namespace
+}  // namespace hacksim
+
+BENCHMARK_MAIN();

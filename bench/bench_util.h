@@ -1,0 +1,45 @@
+// Shared helpers for the experiment-reproduction binaries. Each bench
+// regenerates one table or figure from the paper and prints the measured
+// series next to the published values where the paper states them.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/scenario/download_scenario.h"
+
+namespace hacksim {
+
+// Benches honour HACKSIM_QUICK=1 to cut run counts/durations (CI smoke).
+inline bool QuickMode() {
+  const char* env = std::getenv("HACKSIM_QUICK");
+  return env != nullptr && std::string(env) == "1";
+}
+
+inline int Seeds() { return QuickMode() ? 1 : 3; }
+inline SimTime RunSeconds(int full) {
+  return SimTime::Seconds(QuickMode() ? 1 : full);
+}
+
+struct Series {
+  double sum = 0;
+  int n = 0;
+  void Add(double x) {
+    sum += x;
+    ++n;
+  }
+  double mean() const { return n > 0 ? sum / n : 0; }
+};
+
+inline void PrintHeader(const char* experiment, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("  reproduces: %s\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace hacksim
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,34 @@
+// Diagnostic: dump counters for arbitrary (rate, hack, seed) runs.
+#include <cstdio>
+#include <cstdlib>
+#include "src/scenario/download_scenario.h"
+using namespace hacksim;
+int main(int argc, char** argv) {
+  double rate = argc > 1 ? atof(argv[1]) : 150.0;
+  int hack = argc > 2 ? atoi(argv[2]) : 1;
+  uint64_t seed = argc > 3 ? strtoull(argv[3], nullptr, 10) : 42;
+  double secs = argc > 4 ? atof(argv[4]) : 2.0;
+  int txop_ms = argc > 5 ? atoi(argv[5]) : 4;
+  ScenarioConfig c;
+  c.data_rate_mbps = rate;
+  c.hack = hack ? HackVariant::kMoreData : HackVariant::kOff;
+  c.seed = seed;
+  c.duration = SimTime::FromSecondsF(secs);
+  c.txop_limit = SimTime::Millis(txop_ms);
+  ScenarioResult r = RunScenario(c);
+  const ClientResult& cl = r.clients[0];
+  auto u = [](uint64_t v) { return static_cast<unsigned long long>(v); };
+  std::printf("rate=%g hack=%d seed=%llu: goodput=%.1f steady=%.1f tcp_to=%llu\n",
+              rate, hack, u(seed), r.aggregate_goodput_mbps,
+              r.steady_aggregate_goodput_mbps, u(r.tcp_timeouts));
+  std::printf("  ap: ppdus=%llu drops=%llu mac_to=%llu bars=%llu giveups=%llu md=%llu/%llu\n",
+              u(r.ap_mac.ppdus_sent), u(r.ap_mac.queue_drops),
+              u(r.ap_mac.response_timeouts), u(r.ap_mac.bars_sent),
+              u(r.ap_mac.ba_agreement_give_ups),
+              u(r.ap_mac.batches_sent_more_data), u(r.ap_mac.batches_sent_final));
+  std::printf("  cl: vanilla=%llu comp=%llu flush=%llu races=%llu crc=%llu dupacks=%llu ooo=%llu\n",
+              u(cl.hack.vanilla_acks_sent), u(cl.hack.unique_compressed_acks),
+              u(cl.hack.flushed_to_vanilla), u(cl.hack.ready_race_fallbacks),
+              u(r.crc_failures), u(cl.tcp_rx.dupacks_sent), u(cl.tcp_rx.out_of_order_segments));
+  return 0;
+}

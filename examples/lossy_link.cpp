@@ -1,0 +1,44 @@
+// Lossy-link walkthrough (Figure 11's setting): a single client at growing
+// distance from the AP under the SNR loss model. Shows per-rate goodput and
+// demonstrates that HACK's loss-recovery machinery (§3.4) never corrupts a
+// TCP ACK: zero decompression CRC failures at any SNR.
+#include <cstdio>
+
+#include "src/phy80211/loss_model.h"
+#include "src/scenario/download_scenario.h"
+
+using namespace hacksim;
+
+int main() {
+  SnrLossModel snr_model;
+  std::printf("%8s %8s | %18s | %18s | %s\n", "dist(m)", "SNR(dB)",
+              "TCP/802.11n (Mbps)", "TCP/HACK (Mbps)", "crc failures");
+  for (double distance : {4.0, 12.0, 25.0, 45.0}) {
+    for (double rate : {150.0, 60.0}) {
+      double goodput[2];
+      uint64_t crc = 0;
+      for (int h = 0; h < 2; ++h) {
+        ScenarioConfig config;
+        config.standard = WifiStandard::k80211n;
+        config.data_rate_mbps = rate;
+        config.n_clients = 1;
+        config.hack = h == 0 ? HackVariant::kOff : HackVariant::kMoreData;
+        config.duration = SimTime::Seconds(2);
+        config.seed = 11;
+        config.snr = SnrLossModel::Params{};
+        config.clients.resize(1);
+        config.clients[0].distance_m = distance;
+        ScenarioResult r = RunScenario(config);
+        goodput[h] = r.aggregate_goodput_mbps;
+        crc += r.crc_failures;
+      }
+      std::printf("%8.0f %8.1f | %10.1f @%3.0f    | %10.1f @%3.0f    | %llu\n",
+                  distance, snr_model.SnrDbAt(distance), goodput[0], rate,
+                  goodput[1], rate, static_cast<unsigned long long>(crc));
+    }
+  }
+  std::printf("\nAt long range only low rates survive; an ideal rate "
+              "controller would track the per-row maximum (Figure 11's "
+              "envelope).\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Wireless backup (upload): the paper's Time Capsule use case (§3.1). The
+// client pushes a large file to a LAN server; the AP — thanks to HACK's
+// symmetry — compresses the server's TCP ACKs onto the Block ACKs it
+// already sends for the client's upload batches.
+#include <cstdio>
+
+#include "src/scenario/download_scenario.h"
+
+using namespace hacksim;
+
+int main() {
+  ScenarioConfig config;
+  config.standard = WifiStandard::k80211n;
+  config.data_rate_mbps = 150.0;
+  config.n_clients = 1;
+  config.upload = true;
+  config.file_bytes = 50'000'000;  // 50 MB backup
+  config.duration = SimTime::Seconds(30);
+  config.seed = 9;
+
+  std::printf("50 MB wireless backup over 802.11n @150 Mbps\n");
+  for (HackVariant variant : {HackVariant::kOff, HackVariant::kMoreData}) {
+    config.hack = variant;
+    ScenarioResult r = RunScenario(config);
+    const ClientResult& c = r.clients[0];
+    std::printf("  %-12s completed in %5.2f s (%6.1f Mbps), "
+                "TCP timeouts %llu, CRC failures %llu\n",
+                variant == HackVariant::kOff ? "TCP/802.11n" : "TCP/HACK",
+                c.completion_time.ToSecondsF(), c.goodput_mbps,
+                static_cast<unsigned long long>(r.tcp_timeouts),
+                static_cast<unsigned long long>(r.crc_failures));
+    if (variant == HackVariant::kMoreData) {
+      std::printf("  AP compressed %llu server ACKs onto its Block ACKs "
+                  "(%llu sent vanilla)\n",
+                  static_cast<unsigned long long>(
+                      r.ap_hack.unique_compressed_acks),
+                  static_cast<unsigned long long>(
+                      r.ap_hack.vanilla_acks_sent));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Closed-form capacity model of the 802.11a/n MACs under TCP, TCP/HACK and
+// UDP workloads — the paper's §2.1 analysis. Reproduces Figure 1(a), 1(b)
+// and the theory curves of Figure 12, plus the headline §1/§2 numbers
+// (110.5 us mean acquisition overhead; a single-frame 600 Mbps sender
+// reaching only ~9% of channel capacity; 42-MPDU A-MPDUs).
+//
+// Assumptions (the paper's): lossless channel, saturated sender, delayed
+// ACKs (one TCP ACK per two data segments), maximal A-MPDUs under the 64 KB
+// / 64-MPDU / TXOP bounds, mean backoff CWmin/2 slots, LL ACKs at the basic
+// control rate.
+#ifndef SRC_ANALYSIS_CAPACITY_MODEL_H_
+#define SRC_ANALYSIS_CAPACITY_MODEL_H_
+
+#include "src/phy80211/frame.h"
+#include "src/phy80211/wifi_mode.h"
+
+namespace hacksim {
+
+struct CapacityParams {
+  WifiStandard standard = WifiStandard::k80211n;
+  WifiMode data_mode;
+  uint32_t tcp_payload_bytes = 1460;
+  // IPv4(20) + TCP(20) + timestamps(12): the 52-byte pure ACK of Table 2.
+  uint32_t tcp_ack_ip_bytes = 52;
+  // Mean compressed record size on the LL ACK (+1 envelope byte amortised).
+  double compressed_ack_bytes = 4.0;
+  uint32_t udp_payload_bytes = 1472;
+  int delayed_ack_ratio = 2;   // data segments per TCP ACK
+  SimTime txop_limit = SimTime::Millis(4);
+  bool use_aggregation = true;  // ignored for 802.11a
+};
+
+// Mean medium-acquisition overhead: AIFS/DIFS + (CWmin/2) * slot.
+SimTime MeanAcquisitionOverhead(WifiStandard standard);
+
+// MPDU sizes on the air.
+size_t DataMpduBytes(const CapacityParams& p);
+size_t TcpAckMpduBytes(const CapacityParams& p);
+size_t UdpMpduBytes(const CapacityParams& p);
+
+// Number of data MPDUs per A-MPDU under the 64 KB / 64-MPDU / TXOP bounds
+// at the configured rate (42 for 1460 B payloads at >= 150 Mbps).
+int AmpduDataMpdus(const CapacityParams& p);
+
+// Goodputs in Mbps.
+double TcpGoodputMbps(const CapacityParams& p);       // stock 802.11
+double TcpHackGoodputMbps(const CapacityParams& p);   // TCP/HACK
+double UdpGoodputMbps(const CapacityParams& p);
+
+// Fraction of the PHY rate a single-MPDU (no aggregation) sender achieves —
+// the §1 "9% at 600 Mbps" observation.
+double SingleFrameEfficiency(const CapacityParams& p);
+
+}  // namespace hacksim
+
+#endif  // SRC_ANALYSIS_CAPACITY_MODEL_H_

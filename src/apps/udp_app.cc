@@ -1,0 +1,42 @@
+#include "src/apps/udp_app.h"
+
+#include "src/util/logging.h"
+
+namespace hacksim {
+
+UdpCbrSource::UdpCbrSource(Scheduler* scheduler, Config config,
+                           FiveTuple flow, std::function<void(Packet)> send)
+    : scheduler_(scheduler),
+      config_(config),
+      flow_(flow),
+      send_(std::move(send)) {
+  double bits_per_packet = config_.payload_bytes * 8.0;
+  interval_ = SimTime::FromSecondsF(bits_per_packet / config_.rate_bps);
+  CHECK_GT(interval_.ns(), 0);
+}
+
+void UdpCbrSource::Start() {
+  scheduler_->ScheduleAt(config_.start, [this]() { EmitNext(); });
+}
+
+void UdpCbrSource::EmitNext() {
+  if (scheduler_->Now() >= config_.stop) {
+    return;
+  }
+  Packet p = Packet::MakeUdp(flow_.src_ip, flow_.dst_ip, flow_.src_port,
+                             flow_.dst_port, config_.payload_bytes);
+  p.set_created_at(scheduler_->Now());
+  send_(std::move(p));
+  ++packets_sent_;
+  scheduler_->ScheduleIn(interval_, [this]() { EmitNext(); });
+}
+
+void UdpSink::OnPacket(const Packet& packet) {
+  if (!packet.has_udp()) {
+    return;
+  }
+  bytes_received_ += packet.payload_bytes();
+  tracker_.OnBytesDelivered(scheduler_->Now(), packet.payload_bytes());
+}
+
+}  // namespace hacksim

@@ -1,0 +1,58 @@
+// UDP constant-bit-rate source and counting sink — the unidirectional
+// workload the paper uses as its capacity yardstick (Figures 9 and 10).
+#ifndef SRC_APPS_UDP_APP_H_
+#define SRC_APPS_UDP_APP_H_
+
+#include <functional>
+
+#include "src/net/address.h"
+#include "src/packet/packet.h"
+#include "src/sim/scheduler.h"
+#include "src/stats/experiment_stats.h"
+
+namespace hacksim {
+
+class UdpCbrSource {
+ public:
+  struct Config {
+    double rate_bps = 200e6;     // offered load (saturating by default)
+    uint32_t payload_bytes = 1472;
+    SimTime start;
+    SimTime stop = SimTime::Max();
+  };
+
+  UdpCbrSource(Scheduler* scheduler, Config config, FiveTuple flow,
+               std::function<void(Packet)> send);
+
+  void Start();
+  uint64_t packets_sent() const { return packets_sent_; }
+
+ private:
+  void EmitNext();
+
+  Scheduler* scheduler_;
+  Config config_;
+  FiveTuple flow_;
+  std::function<void(Packet)> send_;
+  SimTime interval_;
+  uint64_t packets_sent_ = 0;
+};
+
+class UdpSink {
+ public:
+  explicit UdpSink(Scheduler* scheduler) : scheduler_(scheduler) {}
+
+  void OnPacket(const Packet& packet);
+
+  uint64_t bytes_received() const { return bytes_received_; }
+  const GoodputTracker& tracker() const { return tracker_; }
+
+ private:
+  Scheduler* scheduler_;
+  uint64_t bytes_received_ = 0;
+  GoodputTracker tracker_;
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_APPS_UDP_APP_H_

@@ -1,0 +1,140 @@
+// HackAgent: the paper's driver + NIC functionality (§3.3.1), both roles.
+//
+// Client role (TCP receiver): intercepts outgoing pure TCP ACKs, compresses
+// them (ROHC), stages them across a modelled driver->NIC DMA latency, and
+// hands them to the MAC for encapsulation in LL ACKs / Block ACKs. It
+// implements:
+//   * the MORE DATA latch (§3.2) deciding HACK vs vanilla transmission,
+//   * the opportunistic and explicit-timer variants (§3.2) for comparison,
+//   * the timestamp-echo variant sketched as future work in §5,
+//   * loss recovery (§3.4): retained payloads are re-sent on every LL ACK
+//     until implicitly confirmed (new A-MPDU / higher MAC sequence number),
+//     kept across Block ACK Requests, kept when the AP signals SYNC, and
+//     flushed to vanilla ACKs when MORE DATA is clear (Fig 7's policy:
+//     cumulative ACKs make dropping the older ones safe).
+//
+// AP role (data sender): extracts HACK payloads from received LL ACKs,
+// discards duplicates by MSN, decompresses records, and forwards the
+// reconstituted TCP ACKs upstream. It also snoops vanilla TCP ACKs to
+// bootstrap decompressor contexts (no ROHC IR packets, §3.3.2).
+#ifndef SRC_HACK_HACK_AGENT_H_
+#define SRC_HACK_HACK_AGENT_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/mac80211/wifi_mac.h"
+#include "src/rohc/rohc.h"
+#include "src/stats/experiment_stats.h"
+
+namespace hacksim {
+
+enum class HackVariant {
+  kOff,
+  kMoreData,       // the paper's chosen design
+  kOpportunistic,  // naive contention-race variant (§3.2)
+  kExplicitTimer,  // naive timeout variant (§3.2)
+  kTimestampEcho,  // §5 future work: TCP timestamp echo as implicit ACK-of-ACK
+};
+
+struct HackAgentConfig {
+  HackVariant variant = HackVariant::kMoreData;
+  // Driver -> NIC staging (DMA + descriptor) latency; the window for the
+  // Fig 3/4 ready race.
+  SimTime staging_latency = SimTime::Micros(30);
+  // Per-LL-ACK payload budget; anything beyond stays staged for the next LL
+  // ACK (footnote 7's "split across multiple LL ACKs" option). 240 B keeps
+  // a full delayed-ACK batch (21 records) plus recovery refreshes on one
+  // Block ACK while staying close to the fits-in-AIFS goal; the ablation
+  // bench sweeps this knob.
+  size_t max_payload_bytes = 240;
+  // Flush timeout for kExplicitTimer, and the safety timer for
+  // kTimestampEcho.
+  SimTime explicit_timer = SimTime::Millis(10);
+};
+
+class HackAgent final : public HackHooks {
+ public:
+  HackAgent(Scheduler* scheduler, WifiMac* mac, HackAgentConfig config);
+
+  HackAgent(const HackAgent&) = delete;
+  HackAgent& operator=(const HackAgent&) = delete;
+
+  // --- client role -----------------------------------------------------------
+  // Offer an outgoing packet heading to `dest`. Returns true if HACK
+  // consumed it (it will ride an LL ACK); false means the caller enqueues it
+  // on the MAC as usual.
+  bool OfferOutgoingPacket(const Packet& packet, MacAddress dest);
+
+  // Wire to WifiMac::on_mpdu_delivered.
+  void OnMpduDelivered(const Packet& packet, MacAddress dest);
+
+  // --- AP role ----------------------------------------------------------------
+  // Reconstituted TCP ACKs ready to forward upstream.
+  std::function<void(Packet, MacAddress from)> forward_decompressed;
+  // Wire to the receive path: every pure TCP ACK received over the WLAN.
+  void NoteReceivedVanillaAck(const Packet& packet);
+  // Wire to the receive path for kTimestampEcho: data segments' TSecr.
+  void NoteReceivedDataSegment(const Packet& packet);
+
+  // HackHooks:
+  void OnDataPpdu(MacAddress from, bool aggregated, bool has_new_mpdu,
+                  bool more_data, bool sync) override;
+  std::vector<uint8_t> BuildAckPayload(MacAddress to) override;
+  void OnAckPayload(MacAddress from, std::span<const uint8_t> payload) override;
+
+  HackStats& stats() { return stats_; }
+  const HackStats& stats() const { return stats_; }
+  const RohcDecompressor& decompressor() const { return decompressor_; }
+
+ private:
+  struct StagedAck {
+    Packet original;
+    FiveTuple flow;
+    std::vector<uint8_t> compressed;
+    SimTime ready_at;
+    uint64_t vanilla_uid = 0;  // opportunistic: uid of the queued vanilla copy
+  };
+
+  struct PeerState {
+    bool more_data_latched = false;
+    std::deque<StagedAck> staged;    // compressed, not yet sent on any LL ACK
+    std::deque<StagedAck> retained;  // sent, awaiting implicit confirmation
+    EventId flush_timer = kInvalidEventId;
+    // kTimestampEcho: newest TSval we released and whether it was echoed.
+    uint32_t last_released_tsval = 0;
+    bool echo_outstanding = false;
+  };
+
+  bool ContextEstablished(const FiveTuple& flow) const {
+    return established_flows_.count(flow) != 0;
+  }
+  void SendVanilla(const Packet& packet, MacAddress dest);
+  // Fig 7: a vanilla ACK for `flow` is about to go out — drop the flow's
+  // retained records (the newer cumulative ACK supersedes them) and demote
+  // its staged (never-sent) records to vanilla so dupack counts survive.
+  void FlushFlowState(PeerState& ps, const FiveTuple& flow, MacAddress dest);
+  // Explicit-timer / timestamp-echo safety flush: demote everything staged
+  // for `dest` to vanilla transmission.
+  void FlushAllToVanilla(MacAddress dest, PeerState& ps);
+  void ArmFlushTimer(MacAddress dest, PeerState& ps);
+  bool ShouldHoldAcks(const PeerState& ps) const;
+
+  Scheduler* scheduler_;
+  WifiMac* mac_;
+  HackAgentConfig config_;
+
+  RohcCompressor compressor_;
+  RohcDecompressor decompressor_;
+  std::map<MacAddress, PeerState> peers_;
+  std::unordered_set<FiveTuple, FiveTupleHash> established_flows_;
+
+  HackStats stats_;
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_HACK_HACK_AGENT_H_

@@ -1,0 +1,121 @@
+#include "src/mac80211/dcf.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace hacksim {
+
+DcfEngine::DcfEngine(Scheduler* scheduler, Random rng, Config config)
+    : scheduler_(scheduler),
+      rng_(rng),
+      config_(config),
+      idle_since_(scheduler->Now()),
+      cw_(config.cw_min) {}
+
+SimTime DcfEngine::EffectiveAifs() const {
+  return config_.aifs +
+         (last_rx_failed_ ? config_.eifs_extra : SimTime::Zero());
+}
+
+void DcfEngine::CancelGrantEvent() {
+  if (grant_event_ != kInvalidEventId) {
+    scheduler_->Cancel(grant_event_);
+    grant_event_ = kInvalidEventId;
+  }
+}
+
+void DcfEngine::ConsumeElapsedSlots(SimTime until) {
+  if (backoff_slots_ <= 0) {
+    return;
+  }
+  SimTime countdown_start =
+      std::max(idle_since_ + EffectiveAifs(), backoff_valid_from_);
+  if (until <= countdown_start) {
+    return;
+  }
+  int64_t elapsed = (until - countdown_start).ns() / config_.slot.ns();
+  backoff_slots_ -= static_cast<int>(
+      std::min<int64_t>(elapsed, backoff_slots_));
+}
+
+void DcfEngine::NotifyMediumBusy() {
+  if (medium_busy_) {
+    return;
+  }
+  ConsumeElapsedSlots(scheduler_->Now());
+  medium_busy_ = true;
+  CancelGrantEvent();
+  // A pending frame that found the medium busy must take a backoff draw.
+  if (pending_ && backoff_slots_ < 0) {
+    backoff_slots_ = DrawBackoff();
+  }
+}
+
+void DcfEngine::NotifyMediumIdle() {
+  if (!medium_busy_) {
+    return;
+  }
+  medium_busy_ = false;
+  idle_since_ = scheduler_->Now();
+  Evaluate();
+}
+
+void DcfEngine::RequestAccess() {
+  if (pending_) {
+    return;
+  }
+  pending_ = true;
+  if (medium_busy_) {
+    if (backoff_slots_ < 0) {
+      backoff_slots_ = DrawBackoff();
+    }
+    return;  // Evaluate() runs on the next idle edge
+  }
+  Evaluate();
+}
+
+void DcfEngine::CancelAccess() {
+  pending_ = false;
+  CancelGrantEvent();
+}
+
+void DcfEngine::Evaluate() {
+  if (!pending_ || medium_busy_) {
+    return;
+  }
+  CancelGrantEvent();
+  SimTime now = scheduler_->Now();
+  SimTime countdown_start =
+      std::max(idle_since_ + EffectiveAifs(), backoff_valid_from_);
+  SimTime grant_time;
+  if (backoff_slots_ > 0) {
+    ConsumeElapsedSlots(now);
+  }
+  if (backoff_slots_ > 0) {
+    grant_time = std::max(now, countdown_start) +
+                 config_.slot * backoff_slots_;
+  } else {
+    // No backoff owed (or it completed during a prior idle period): the
+    // frame may go as soon as AIFS has been satisfied.
+    grant_time = std::max(now, countdown_start);
+  }
+  grant_event_ = scheduler_->ScheduleAt(grant_time, [this]() {
+    grant_event_ = kInvalidEventId;
+    pending_ = false;
+    backoff_slots_ = -1;
+    CHECK(on_grant != nullptr);
+    on_grant();
+  });
+}
+
+void DcfEngine::NotifyTxFailure() {
+  cw_ = std::min(cw_ * 2 + 1, config_.cw_max);
+  backoff_slots_ = DrawBackoff();
+}
+
+void DcfEngine::NotifyTxSuccess() { cw_ = config_.cw_min; }
+
+void DcfEngine::DrawPostTxBackoff() { backoff_slots_ = DrawBackoff(); }
+
+}  // namespace hacksim

@@ -1,0 +1,89 @@
+// DCF / EDCA channel-access engine: AIFS deferral, slotted binary
+// exponential backoff with lazy countdown, EIFS after failed receptions,
+// and the immediate-access rule for frames arriving on a long-idle medium.
+//
+// The engine consumes *combined* medium state (physical CCA OR NAV); the
+// owning MAC computes that combination and feeds transitions in.
+#ifndef SRC_MAC80211_DCF_H_
+#define SRC_MAC80211_DCF_H_
+
+#include <functional>
+
+#include "src/sim/random.h"
+#include "src/sim/scheduler.h"
+
+namespace hacksim {
+
+class DcfEngine {
+ public:
+  struct Config {
+    SimTime slot;
+    SimTime aifs;
+    uint32_t cw_min = 15;
+    uint32_t cw_max = 1023;
+    // Extra deferral added to AIFS after a reception failure (EIFS - DIFS).
+    SimTime eifs_extra;
+  };
+
+  DcfEngine(Scheduler* scheduler, Random rng, Config config);
+
+  // Invoked exactly once per grant; the requester transmits immediately.
+  std::function<void()> on_grant;
+
+  // --- medium state (combined CCA+NAV), edges only --------------------------
+  void NotifyMediumBusy();
+  void NotifyMediumIdle();
+  bool medium_busy() const { return medium_busy_; }
+
+  // --- EIFS ------------------------------------------------------------------
+  void NotifyRxFailed() { last_rx_failed_ = true; }
+  void NotifyRxOk() { last_rx_failed_ = false; }
+
+  // --- access ----------------------------------------------------------------
+  void RequestAccess();
+  void CancelAccess();
+  bool access_pending() const { return pending_; }
+
+  // --- contention window ------------------------------------------------------
+  // Failure doubles CW and redraws the pending backoff from the new window;
+  // success resets CW to CWmin.
+  void NotifyTxFailure();
+  void NotifyTxSuccess();
+  // Post-transmission backoff: drawn after every transmission completes.
+  void DrawPostTxBackoff();
+
+  uint32_t cw() const { return cw_; }
+  int backoff_slots() const { return backoff_slots_; }
+
+ private:
+  SimTime EffectiveAifs() const;
+  // (Re)schedules the grant if pending and the medium is idle.
+  void Evaluate();
+  void CancelGrantEvent();
+  int DrawBackoff() {
+    backoff_valid_from_ = scheduler_->Now();
+    return static_cast<int>(rng_.NextBounded(cw_ + 1));
+  }
+  // Decrements backoff by slots elapsed while idle up to `until`.
+  void ConsumeElapsedSlots(SimTime until);
+
+  Scheduler* scheduler_;
+  Random rng_;
+  Config config_;
+
+  bool medium_busy_ = false;
+  SimTime idle_since_;
+  bool last_rx_failed_ = false;
+  bool pending_ = false;
+  int backoff_slots_ = -1;  // -1: no backoff owed
+  // Slots may only elapse after the later of (idle start + AIFS) and the
+  // moment the backoff was drawn — a fresh draw cannot be consumed by idle
+  // time that already passed.
+  SimTime backoff_valid_from_;
+  EventId grant_event_ = kInvalidEventId;
+  uint32_t cw_;
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_MAC80211_DCF_H_

@@ -1,0 +1,43 @@
+// The MAC <-> HACK interface: the handful of touch points the paper's NIC
+// design needs (§3.3.1). The MAC treats HACK payload bytes as opaque — per
+// the paper's "simplicity of NIC modifications" goal, all TCP awareness
+// lives behind this interface in the driver model (src/hack).
+#ifndef SRC_MAC80211_HACK_HOOKS_H_
+#define SRC_MAC80211_HACK_HOOKS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/net/address.h"
+
+namespace hacksim {
+
+class HackHooks {
+ public:
+  virtual ~HackHooks() = default;
+
+  // Receiver role (client downloading): a data PPDU from `from` arrived and
+  // an LL ACK / Block ACK response is about to be scheduled.
+  //  * aggregated     — A-MPDU (Block ACK response) vs single MPDU (ACK).
+  //  * has_new_mpdu   — batch contained at least one not-seen-before MPDU;
+  //                     for single MPDUs this is the "greater sequence
+  //                     number" implicit-confirmation signal (Fig 5(b)).
+  //  * more_data      — 802.11 MORE DATA bit from the batch header (§3.2).
+  //  * sync           — HACK SYNC bit (§3.4, Fig 8).
+  virtual void OnDataPpdu(MacAddress from, bool aggregated, bool has_new_mpdu,
+                          bool more_data, bool sync) = 0;
+
+  // Receiver role: compressed TCP ACK bytes to append to the LL ACK / Block
+  // ACK being sent to `to`. Empty means "nothing staged / not ready" (the
+  // DMA-race of Figs 3-4 surfaces here).
+  virtual std::vector<uint8_t> BuildAckPayload(MacAddress to) = 0;
+
+  // Sender role (AP): an LL ACK / Block ACK from `from` carried a HACK
+  // payload: decompress and forward the TCP ACKs upstream.
+  virtual void OnAckPayload(MacAddress from, std::span<const uint8_t> payload) = 0;
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_MAC80211_HACK_HOOKS_H_

@@ -1,0 +1,761 @@
+#include "src/mac80211/wifi_mac.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace hacksim {
+namespace {
+
+// EIFS adds the time to hear the lowest-rate ACK after a failed reception.
+SimTime EifsExtra(const PhyTimings& timings) {
+  WifiMode lowest{PhyFormat::kLegacyOfdm, 6000, 24, 1};
+  return timings.sifs + FrameDuration(lowest, kAckBytes);
+}
+
+bool IsResponseFrame(const Ppdu& ppdu) {
+  WifiFrameType t = ppdu.first().type;
+  return t == WifiFrameType::kAck || t == WifiFrameType::kBlockAck;
+}
+
+// IP-datagram airtime of the MPDUs at the PPDU's rate (no preamble, no MAC
+// framing) — the paper's Table 3 "TCP ACK" accounting.
+SimTime PayloadAirtime(const Ppdu& ppdu) {
+  uint64_t bytes = 0;
+  for (const WifiFrame& mpdu : ppdu.mpdus) {
+    if (mpdu.packet.has_value()) {
+      bytes += mpdu.packet->SizeBytes();
+    }
+  }
+  return SimTime::Nanos(static_cast<int64_t>(
+      bytes * 8 * 1'000'000 / ppdu.mode.rate_kbps));
+}
+
+}  // namespace
+
+WifiMac::WifiMac(Scheduler* scheduler, WifiPhy* phy, MacAddress address,
+                 WifiMacConfig config, Random rng)
+    : scheduler_(scheduler),
+      phy_(phy),
+      address_(address),
+      config_(config),
+      timings_(TimingsFor(config.standard)),
+      dcf_(scheduler, rng.Fork(),
+           DcfEngine::Config{TimingsFor(config.standard).slot,
+                             TimingsFor(config.standard).difs,
+                             TimingsFor(config.standard).cw_min,
+                             TimingsFor(config.standard).cw_max,
+                             EifsExtra(TimingsFor(config.standard))}) {
+  phy_->set_listener(this);
+  dcf_.on_grant = [this]() { OnAccessGranted(); };
+  if (config_.standard == WifiStandard::k80211a) {
+    config_.enable_ampdu = false;
+  }
+}
+
+// --- upper-layer interface ----------------------------------------------------
+
+void WifiMac::Enqueue(Packet packet, MacAddress dest) {
+  TxState& st = tx_[dest];
+  if (std::find(round_robin_.begin(), round_robin_.end(), dest) ==
+      round_robin_.end()) {
+    round_robin_.push_back(dest);
+  }
+  if (st.queue.size() >= config_.per_dest_queue_limit) {
+    // Drop-tail: TCP's congestion control depends on this signal.
+    ++stats_.queue_drops;
+    return;
+  }
+  st.queue.push_back(std::move(packet));
+  MaybeRequestAccess();
+}
+
+size_t WifiMac::QueueDepth(MacAddress dest) const {
+  auto it = tx_.find(dest);
+  return it == tx_.end() ? 0 : it->second.queue.size();
+}
+
+size_t WifiMac::RemoveQueued(MacAddress dest,
+                             const std::function<bool(const Packet&)>& pred) {
+  auto it = tx_.find(dest);
+  if (it == tx_.end()) {
+    return 0;
+  }
+  std::deque<Packet>& q = it->second.queue;
+  size_t before = q.size();
+  q.erase(std::remove_if(q.begin(), q.end(), pred), q.end());
+  return before - q.size();
+}
+
+// --- originator pipeline --------------------------------------------------------
+
+bool WifiMac::HasWork() const {
+  for (const auto& [dest, st] : tx_) {
+    if (st.HasWork()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void WifiMac::MaybeRequestAccess() {
+  if (phase_ != TxPhase::kIdle || !HasWork()) {
+    return;
+  }
+  if (!dcf_.access_pending()) {
+    access_request_time_ = scheduler_->Now();
+    dcf_.RequestAccess();
+  }
+}
+
+WifiMac::TxState* WifiMac::PickNextDest(MacAddress* dest_out) {
+  if (round_robin_.empty()) {
+    return nullptr;
+  }
+  for (size_t i = 0; i < round_robin_.size(); ++i) {
+    size_t idx = (round_robin_next_ + i) % round_robin_.size();
+    MacAddress dest = round_robin_[idx];
+    TxState& st = tx_[dest];
+    if (st.HasWork()) {
+      round_robin_next_ = (idx + 1) % round_robin_.size();
+      *dest_out = dest;
+      return &st;
+    }
+  }
+  return nullptr;
+}
+
+void WifiMac::OnAccessGranted() {
+  CHECK(phase_ == TxPhase::kIdle);
+  MacAddress dest;
+  TxState* st = PickNextDest(&dest);
+  if (st == nullptr) {
+    return;  // work disappeared (e.g. opportunistic HACK removed ACKs)
+  }
+  StartExchange(dest, *st);
+}
+
+SimTime WifiMac::ResponseTimeoutDelay(bool block_ack_expected) const {
+  WifiMode resp_mode = ControlResponseMode(config_.data_mode);
+  size_t resp_bytes = (block_ack_expected ? kBlockAckBytes : kAckBytes) +
+                      config_.max_hack_payload_bytes;
+  return timings_.sifs + FrameDuration(resp_mode, resp_bytes) +
+         timings_.ack_timeout + config_.extra_ack_timeout;
+}
+
+void WifiMac::StartExchange(MacAddress dest, TxState& st) {
+  current_dest_ = dest;
+  current_batch_seqs_.clear();
+  current_all_tcp_acks_ = false;
+
+  Ppdu ppdu;
+  if (st.bar_pending) {
+    current_is_bar_ = true;
+    current_aggregated_ = false;
+    WifiFrame bar;
+    bar.type = WifiFrameType::kBlockAckReq;
+    bar.ta = address_;
+    bar.ra = dest;
+    bar.bar_start_seq = st.win_start;
+    WifiMode bar_mode = ControlResponseMode(config_.data_mode);
+    bar.duration_field =
+        timings_.sifs + FrameDuration(bar_mode, kBlockAckBytes);
+    ppdu.mpdus.push_back(std::move(bar));
+    ppdu.aggregated = false;
+    ppdu.mode = bar_mode;
+    ++stats_.bars_sent;
+  } else {
+    current_is_bar_ = false;
+    ppdu = BuildDataPpdu(dest, st);
+    if (ppdu.mpdus.empty()) {
+      return;  // nothing sendable (window exhausted)
+    }
+  }
+
+  phase_ = TxPhase::kTransmitting;
+  ++stats_.ppdus_sent;
+
+  // Table 3 accounting for frames that carry (only) vanilla TCP ACKs.
+  if (!current_is_bar_) {
+    stats_.mpdu_tx_attempts += ppdu.mpdus.size();
+    bool all_acks = true;
+    for (const WifiFrame& mpdu : ppdu.mpdus) {
+      if (!mpdu.packet.has_value() || !mpdu.packet->IsPureTcpAck()) {
+        all_acks = false;
+        break;
+      }
+    }
+    current_all_tcp_acks_ = all_acks && !ppdu.mpdus.empty();
+    if (current_all_tcp_acks_) {
+      SimTime wait = scheduler_->Now() - access_request_time_;
+      SimTime payload_air = PayloadAirtime(ppdu);
+      stats_.tcp_ack_frames_sent += ppdu.mpdus.size();
+      for (const WifiFrame& mpdu : ppdu.mpdus) {
+        stats_.tcp_ack_bytes_sent += mpdu.packet->SizeBytes();
+      }
+      stats_.tcp_ack_payload_airtime_ns += payload_air.ns();
+      stats_.tcp_ack_channel_overhead_ns +=
+          (wait + ppdu.Duration() - payload_air).ns();
+    }
+  }
+
+  bool sent = phy_->Send(std::move(ppdu));
+  CHECK(sent) << "data transmission while PHY busy should be impossible";
+}
+
+Ppdu WifiMac::BuildDataPpdu(MacAddress dest, TxState& st) {
+  Ppdu ppdu;
+  ppdu.mode = config_.data_mode;
+  WifiMode resp_mode = ControlResponseMode(config_.data_mode);
+
+  if (!config_.enable_ampdu) {
+    // Stop-and-wait single MPDU.
+    if (!st.single_inflight.has_value()) {
+      if (st.queue.empty()) {
+        return ppdu;
+      }
+      WifiFrame frame;
+      frame.type = WifiFrameType::kData;
+      frame.ta = address_;
+      frame.ra = dest;
+      frame.seq = st.next_seq;
+      st.next_seq = SeqAdd(st.next_seq, 1);
+      frame.packet = std::move(st.queue.front());
+      st.queue.pop_front();
+      st.single_inflight = OutstandingMpdu{std::move(frame), 0};
+    } else {
+      st.single_inflight->frame.retry = true;
+    }
+    WifiFrame frame = st.single_inflight->frame;
+    frame.more_data = !st.queue.empty();
+    frame.sync = st.sync_pending;
+    frame.duration_field =
+        timings_.sifs + FrameDuration(resp_mode, kAckBytes);
+    st.single_inflight->frame.more_data = frame.more_data;
+    ppdu.aggregated = false;
+    ppdu.mpdus.push_back(std::move(frame));
+    current_aggregated_ = false;
+    current_batch_seqs_.push_back(ppdu.mpdus.front().seq);
+    return ppdu;
+  }
+
+  // A-MPDU: retransmissions first (sequence order), then fresh MPDUs, within
+  // the Block ACK window, the 64 KB / 64-MPDU A-MPDU bounds and the TXOP.
+  ppdu.aggregated = true;
+  current_aggregated_ = true;
+  size_t psdu_bytes = 0;
+  auto fits = [&](const WifiFrame& frame) {
+    size_t padded = (frame.SizeBytes() + 3) & ~size_t{3};
+    size_t new_bytes = psdu_bytes + kAmpduDelimiterBytes + padded;
+    if (new_bytes > kMaxAmpduBytes ||
+        ppdu.mpdus.size() + 1 > kMaxAmpduMpdus) {
+      return false;
+    }
+    return FrameDuration(ppdu.mode, new_bytes) <= config_.txop_limit;
+  };
+  auto add = [&](WifiFrame frame) {
+    size_t padded = (frame.SizeBytes() + 3) & ~size_t{3};
+    psdu_bytes += kAmpduDelimiterBytes + padded;
+    current_batch_seqs_.push_back(frame.seq);
+    ppdu.mpdus.push_back(std::move(frame));
+  };
+
+  // Retransmissions in window order from win_start.
+  std::vector<uint16_t> retx;
+  retx.reserve(st.outstanding.size());
+  for (const auto& [seq, out] : st.outstanding) {
+    retx.push_back(seq);
+  }
+  std::sort(retx.begin(), retx.end(), [&](uint16_t a, uint16_t b) {
+    return SeqDistance(st.win_start, a) < SeqDistance(st.win_start, b);
+  });
+  for (uint16_t seq : retx) {
+    OutstandingMpdu& out = st.outstanding[seq];
+    WifiFrame frame = out.frame;
+    frame.retry = true;
+    if (!fits(frame)) {
+      break;
+    }
+    add(std::move(frame));
+  }
+
+  // Fresh MPDUs.
+  while (!st.queue.empty() &&
+         SeqInWindow(st.win_start, st.next_seq,
+                     static_cast<uint16_t>(kMaxAmpduMpdus))) {
+    WifiFrame frame;
+    frame.type = WifiFrameType::kData;
+    frame.ta = address_;
+    frame.ra = dest;
+    frame.seq = st.next_seq;
+    frame.packet = st.queue.front();
+    if (!fits(frame)) {
+      break;
+    }
+    st.queue.pop_front();
+    st.next_seq = SeqAdd(st.next_seq, 1);
+    st.outstanding.emplace(frame.seq, OutstandingMpdu{frame, 0});
+    add(std::move(frame));
+  }
+
+  if (ppdu.mpdus.empty()) {
+    return ppdu;
+  }
+
+  // MORE DATA: more traffic for this destination is already queued (or held
+  // back by the window) beyond this batch (§3.2).
+  bool more = !st.queue.empty() ||
+              st.outstanding.size() > ppdu.mpdus.size();
+  bool sync = st.sync_pending;
+  if (sync) {
+    ++stats_.batches_sent_with_sync;
+  }
+  if (more) {
+    ++stats_.batches_sent_more_data;
+  } else {
+    ++stats_.batches_sent_final;
+  }
+  SimTime duration_field =
+      timings_.sifs + FrameDuration(resp_mode, kBlockAckBytes);
+  for (WifiFrame& mpdu : ppdu.mpdus) {
+    mpdu.more_data = more;
+    mpdu.sync = sync;
+    mpdu.duration_field = duration_field;
+  }
+  return ppdu;
+}
+
+void WifiMac::OnTxEnd(const Ppdu& ppdu) {
+  if (IsResponseFrame(ppdu)) {
+    return;  // SIFS responses do not await anything
+  }
+  CHECK(phase_ == TxPhase::kTransmitting);
+  phase_ = TxPhase::kAwaitingResponse;
+  tx_end_time_ = scheduler_->Now();
+  bool expect_ba = current_aggregated_ || current_is_bar_;
+  response_timeout_event_ = scheduler_->ScheduleIn(
+      ResponseTimeoutDelay(expect_ba), [this]() {
+        response_timeout_event_ = kInvalidEventId;
+        HandleResponseTimeout();
+      });
+}
+
+void WifiMac::ReleaseDelivered(TxState& st, const OutstandingMpdu& mpdu) {
+  (void)st;
+  if (mpdu.retries == 0) {
+    ++stats_.mpdus_delivered_first_try;
+  } else {
+    ++stats_.mpdus_delivered_retried;
+  }
+  if (on_mpdu_delivered && mpdu.frame.packet.has_value()) {
+    on_mpdu_delivered(*mpdu.frame.packet, mpdu.frame.ra);
+  }
+}
+
+void WifiMac::HandleBlockAck(const WifiFrame& frame) {
+  if (phase_ != TxPhase::kAwaitingResponse || frame.ta != current_dest_) {
+    return;  // stale/unexpected response
+  }
+  scheduler_->Cancel(response_timeout_event_);
+  response_timeout_event_ = kInvalidEventId;
+
+  TxState& st = tx_[current_dest_];
+  st.bar_retries = 0;
+  st.bar_pending = false;
+  st.sync_pending = false;
+
+  CHECK(frame.ba.has_value());
+  const BlockAckInfo& ba = *frame.ba;
+  auto acked = [&](uint16_t seq) {
+    uint16_t dist = SeqDistance(ba.start_seq, seq);
+    if (dist < 64) {
+      return (ba.bitmap >> dist & 1) != 0;
+    }
+    // Behind the bitmap start: the recipient has moved past it.
+    return SeqDistance(seq, ba.start_seq) < kSeqModulo / 2;
+  };
+
+  for (auto it = st.outstanding.begin(); it != st.outstanding.end();) {
+    if (acked(it->first)) {
+      ReleaseDelivered(st, it->second);
+      it = st.outstanding.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Un-acked MPDUs that were transmitted in this batch count a retry.
+  for (uint16_t seq : current_batch_seqs_) {
+    auto it = st.outstanding.find(seq);
+    if (it == st.outstanding.end()) {
+      continue;
+    }
+    if (++it->second.retries > config_.mpdu_retry_limit) {
+      ++stats_.mpdus_dropped_retry_limit;
+      st.outstanding.erase(it);
+    }
+  }
+  // Advance the originator window to the oldest un-acked MPDU.
+  if (st.outstanding.empty()) {
+    st.win_start = st.next_seq;
+  } else {
+    uint16_t best = st.outstanding.begin()->first;
+    uint16_t best_dist = SeqDistance(st.win_start, best);
+    for (const auto& [seq, out] : st.outstanding) {
+      uint16_t d = SeqDistance(st.win_start, seq);
+      if (d < best_dist) {
+        best = seq;
+        best_dist = d;
+      }
+    }
+    st.win_start = best;
+  }
+
+  if (current_all_tcp_acks_) {
+    stats_.tcp_ack_ll_ack_overhead_ns +=
+        (scheduler_->Now() - tx_end_time_).ns();
+  }
+  dcf_.NotifyTxSuccess();
+  FinishExchange();
+}
+
+void WifiMac::HandleAck(const WifiFrame& frame) {
+  if (phase_ != TxPhase::kAwaitingResponse || frame.ta != current_dest_) {
+    return;
+  }
+  scheduler_->Cancel(response_timeout_event_);
+  response_timeout_event_ = kInvalidEventId;
+
+  TxState& st = tx_[current_dest_];
+  if (st.single_inflight.has_value()) {
+    ReleaseDelivered(st, *st.single_inflight);
+    st.single_inflight.reset();
+  }
+  st.sync_pending = false;
+  if (current_all_tcp_acks_) {
+    stats_.tcp_ack_ll_ack_overhead_ns +=
+        (scheduler_->Now() - tx_end_time_).ns();
+  }
+  dcf_.NotifyTxSuccess();
+  FinishExchange();
+}
+
+void WifiMac::HandleResponseTimeout() {
+  CHECK(phase_ == TxPhase::kAwaitingResponse);
+  ++stats_.response_timeouts;
+  dcf_.NotifyTxFailure();
+
+  TxState& st = tx_[current_dest_];
+  if (current_is_bar_) {
+    if (++st.bar_retries > config_.bar_retry_limit) {
+      GiveUpBlockAck(st);
+    } else {
+      st.bar_pending = true;
+    }
+  } else if (current_aggregated_) {
+    // No Block ACK for a data batch: recover via BAR (§3.4, Figs 5-8).
+    st.bar_pending = true;
+  } else if (st.single_inflight.has_value()) {
+    if (++st.single_inflight->retries > config_.mpdu_retry_limit) {
+      ++stats_.mpdus_dropped_retry_limit;
+      st.single_inflight.reset();
+    }
+  }
+  phase_ = TxPhase::kIdle;
+  MaybeRequestAccess();
+}
+
+void WifiMac::GiveUpBlockAck(TxState& st) {
+  ++stats_.ba_agreement_give_ups;
+  stats_.mpdus_dropped_retry_limit += st.outstanding.size();
+  st.outstanding.clear();
+  st.win_start = st.next_seq;
+  st.bar_pending = false;
+  st.bar_retries = 0;
+  // Tell the client we moved on without its Block ACK so it keeps its
+  // retained compressed TCP ACKs (SYNC bit, Fig 8).
+  st.sync_pending = true;
+}
+
+void WifiMac::FinishExchange() {
+  phase_ = TxPhase::kIdle;
+  dcf_.DrawPostTxBackoff();
+  MaybeRequestAccess();
+}
+
+// --- recipient pipeline ---------------------------------------------------------
+
+void WifiMac::OnPpduReceived(const Ppdu& ppdu,
+                             const std::vector<bool>& mpdu_ok) {
+  dcf_.NotifyRxOk();
+  size_t first_ok = 0;
+  while (first_ok < mpdu_ok.size() && !mpdu_ok[first_ok]) {
+    ++first_ok;
+  }
+  CHECK_LT(first_ok, mpdu_ok.size());
+  const WifiFrame& first = ppdu.mpdus[first_ok];
+
+  if (first.ra != address_) {
+    // Not for us: honour the NAV reservation.
+    if (!first.duration_field.IsZero()) {
+      SetNav(scheduler_->Now() + first.duration_field);
+    }
+    return;
+  }
+
+  switch (first.type) {
+    case WifiFrameType::kData:
+      HandleDataPpdu(ppdu, mpdu_ok);
+      break;
+    case WifiFrameType::kBlockAck:
+      if (hack_hooks_ != nullptr && !first.hack_payload.empty()) {
+        hack_hooks_->OnAckPayload(first.ta, first.hack_payload);
+      }
+      HandleBlockAck(first);
+      break;
+    case WifiFrameType::kAck:
+      if (hack_hooks_ != nullptr && !first.hack_payload.empty()) {
+        hack_hooks_->OnAckPayload(first.ta, first.hack_payload);
+      }
+      HandleAck(first);
+      break;
+    case WifiFrameType::kBlockAckReq:
+      HandleBar(first);
+      break;
+  }
+}
+
+void WifiMac::HandleDataPpdu(const Ppdu& ppdu,
+                             const std::vector<bool>& mpdu_ok) {
+  MacAddress from = ppdu.transmitter();
+  RxState& rx = rx_[from];
+  const WifiMode& eliciting_mode = ppdu.mode;
+
+  if (!ppdu.aggregated) {
+    const WifiFrame& frame = ppdu.first();
+    CHECK(mpdu_ok[0]);
+    ++stats_.data_mpdus_received;
+    bool duplicate =
+        rx.has_last_single && frame.seq == rx.last_single_seq;
+    // The MORE DATA / SYNC state must reach the driver *before* the packet
+    // reaches the stack: the TCP ACKs this delivery generates are
+    // classified under this batch's MORE DATA bit (paper Fig 3).
+    if (hack_hooks_ != nullptr) {
+      hack_hooks_->OnDataPpdu(from, /*aggregated=*/false,
+                              /*has_new_mpdu=*/!duplicate, frame.more_data,
+                              frame.sync);
+    }
+    if (duplicate) {
+      ++stats_.duplicate_mpdus_discarded;
+    } else {
+      rx.last_single_seq = frame.seq;
+      rx.has_last_single = true;
+      if (on_rx_packet && frame.packet.has_value()) {
+        on_rx_packet(*frame.packet, from);
+      }
+    }
+    WifiFrame ack;
+    ack.type = WifiFrameType::kAck;
+    ack.ta = address_;
+    ack.ra = from;
+    ScheduleResponse(std::move(ack), eliciting_mode);
+    return;
+  }
+
+  // Pass 1: mark arrivals in the scoreboard (no upper-layer delivery yet).
+  bool any_new = false;
+  bool more_data = false;
+  bool sync = false;
+  for (size_t i = 0; i < ppdu.mpdus.size(); ++i) {
+    if (!mpdu_ok[i]) {
+      continue;
+    }
+    const WifiFrame& mpdu = ppdu.mpdus[i];
+    more_data = mpdu.more_data;
+    sync = mpdu.sync;
+    ++stats_.data_mpdus_received;
+    uint16_t seq = mpdu.seq;
+    if (!SeqInWindow(rx.win_start, seq, kMaxAmpduMpdus)) {
+      if (SeqDistance(rx.win_start, seq) < kSeqModulo / 2) {
+        // Ahead of the window: slide so `seq` becomes the window's end.
+        AdvanceRxWindow(rx, from,
+                        SeqAdd(seq, -(static_cast<int>(kMaxAmpduMpdus) - 1)));
+      } else {
+        ++stats_.duplicate_mpdus_discarded;
+        continue;
+      }
+    }
+    if (rx.received.insert(seq).second) {
+      any_new = true;
+      if (mpdu.packet.has_value()) {
+        rx.reorder.emplace(seq, *mpdu.packet);
+      }
+    } else {
+      ++stats_.duplicate_mpdus_discarded;
+    }
+  }
+
+  // The MORE DATA / SYNC state must reach the driver *before* the packets
+  // reach the stack: the TCP ACKs the deliveries below generate are
+  // classified under this batch's MORE DATA bit (paper Fig 3).
+  if (hack_hooks_ != nullptr) {
+    hack_hooks_->OnDataPpdu(from, /*aggregated=*/true, any_new, more_data,
+                            sync);
+  }
+
+  // Pass 2: deliver in order; this is where the receiver's TCP ACKs are
+  // generated and (under HACK) staged for the next LL ACK.
+  DeliverContiguous(rx, from);
+
+  WifiFrame ba;
+  ba.type = WifiFrameType::kBlockAck;
+  ba.ta = address_;
+  ba.ra = from;
+  ba.ba = BlockAckInfo{rx.win_start, BuildBitmap(rx)};
+  ScheduleResponse(std::move(ba), eliciting_mode);
+}
+
+void WifiMac::HandleBar(const WifiFrame& frame) {
+  RxState& rx = rx_[frame.ta];
+  uint16_t dist = SeqDistance(rx.win_start, frame.bar_start_seq);
+  if (dist != 0 && dist < kSeqModulo / 2) {
+    AdvanceRxWindow(rx, frame.ta, frame.bar_start_seq);
+  }
+  WifiFrame ba;
+  ba.type = WifiFrameType::kBlockAck;
+  ba.ta = address_;
+  ba.ra = frame.ta;
+  ba.ba = BlockAckInfo{rx.win_start, BuildBitmap(rx)};
+  // BARs arrive at a control rate; respond at the same.
+  WifiMode eliciting{PhyFormat::kLegacyOfdm, 24000, 96, 1};
+  ScheduleResponse(std::move(ba), eliciting);
+}
+
+uint64_t WifiMac::BuildBitmap(const RxState& rx) const {
+  uint64_t bitmap = 0;
+  for (uint16_t seq : rx.received) {
+    uint16_t dist = SeqDistance(rx.win_start, seq);
+    if (dist < 64) {
+      bitmap |= uint64_t{1} << dist;
+    }
+  }
+  return bitmap;
+}
+
+void WifiMac::AdvanceRxWindow(RxState& rx, MacAddress from,
+                              uint16_t new_start) {
+  while (rx.win_start != new_start) {
+    auto buffered = rx.reorder.find(rx.win_start);
+    if (buffered != rx.reorder.end()) {
+      if (on_rx_packet) {
+        on_rx_packet(std::move(buffered->second), from);
+      }
+      rx.reorder.erase(buffered);
+    }
+    rx.received.erase(rx.win_start);
+    rx.win_start = SeqAdd(rx.win_start, 1);
+  }
+  DeliverContiguous(rx, from);
+}
+
+void WifiMac::DeliverContiguous(RxState& rx, MacAddress from) {
+  while (rx.received.count(rx.win_start) != 0) {
+    auto buffered = rx.reorder.find(rx.win_start);
+    if (buffered != rx.reorder.end()) {
+      if (on_rx_packet) {
+        on_rx_packet(std::move(buffered->second), from);
+      }
+      rx.reorder.erase(buffered);
+    }
+    rx.received.erase(rx.win_start);
+    rx.win_start = SeqAdd(rx.win_start, 1);
+  }
+}
+
+void WifiMac::ScheduleResponse(WifiFrame response,
+                               const WifiMode& eliciting_mode) {
+  WifiMode resp_mode = ControlResponseMode(eliciting_mode);
+  SimTime delay = timings_.sifs + config_.extra_ack_delay;
+  ++responses_pending_;
+  UpdateMediumState();
+  scheduler_->ScheduleIn(delay, [this, response = std::move(response),
+                                 resp_mode]() mutable {
+    --responses_pending_;
+    if (hack_hooks_ != nullptr) {
+      std::vector<uint8_t> payload =
+          hack_hooks_->BuildAckPayload(response.ra);
+      if (!payload.empty()) {
+        size_t base_bytes = response.SizeBytes();
+        response.hack_payload = std::move(payload);
+        SimTime extra = FrameDuration(resp_mode, response.SizeBytes()) -
+                        FrameDuration(resp_mode, base_bytes);
+        ++stats_.hack_payloads_sent;
+        stats_.hack_payload_bytes_sent += response.hack_payload.size();
+        stats_.rohc_payload_airtime_ns += extra.ns();
+        if (extra <= timings_.difs) {
+          ++stats_.hack_payloads_fit_in_aifs;
+        }
+      }
+    }
+    if (response.type == WifiFrameType::kAck) {
+      ++stats_.acks_sent;
+    } else {
+      ++stats_.block_acks_sent;
+    }
+    Ppdu ppdu;
+    ppdu.aggregated = false;
+    ppdu.mode = resp_mode;
+    ppdu.mpdus.push_back(std::move(response));
+    if (!phy_->Send(std::move(ppdu))) {
+      ++stats_.tx_dropped_phy_busy;
+    }
+    UpdateMediumState();
+  });
+}
+
+// --- medium state -----------------------------------------------------------------
+
+void WifiMac::OnRxCorrupted() {
+  ++stats_.rx_corrupted_events;
+  dcf_.NotifyRxFailed();
+}
+
+void WifiMac::OnCcaBusy() {
+  phy_busy_ = true;
+  UpdateMediumState();
+}
+
+void WifiMac::OnCcaIdle() {
+  phy_busy_ = false;
+  UpdateMediumState();
+}
+
+void WifiMac::SetNav(SimTime until) {
+  if (until <= nav_until_) {
+    return;
+  }
+  nav_until_ = until;
+  if (nav_event_ != kInvalidEventId) {
+    scheduler_->Cancel(nav_event_);
+  }
+  nav_event_ = scheduler_->ScheduleAt(until, [this]() {
+    nav_event_ = kInvalidEventId;
+    UpdateMediumState();
+  });
+  UpdateMediumState();
+}
+
+void WifiMac::UpdateMediumState() {
+  bool busy = phy_busy_ || responses_pending_ > 0 ||
+              scheduler_->Now() < nav_until_;
+  if (busy == medium_busy_reported_) {
+    return;
+  }
+  medium_busy_reported_ = busy;
+  if (busy) {
+    dcf_.NotifyMediumBusy();
+  } else {
+    dcf_.NotifyMediumIdle();
+  }
+}
+
+}  // namespace hacksim

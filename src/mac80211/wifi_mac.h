@@ -1,0 +1,179 @@
+// 802.11 MAC: DCF/EDCA access, stop-and-wait single-MPDU exchanges
+// (802.11a) and A-MPDU + Block ACK exchanges (802.11n), Block ACK Request
+// recovery, NAV, EIFS, per-destination queues, and the two header bits HACK
+// relies on: MORE DATA (standard, §3.2) and SYNC (HACK extension, §3.4).
+//
+// The MAC is symmetric: an AP is simply a station with several destination
+// queues. HACK integration is confined to the three HackHooks touch points;
+// with hooks unset this is a faithful "stock" 802.11 MAC.
+#ifndef SRC_MAC80211_WIFI_MAC_H_
+#define SRC_MAC80211_WIFI_MAC_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/mac80211/dcf.h"
+#include "src/mac80211/hack_hooks.h"
+#include "src/phy80211/wifi_phy.h"
+#include "src/stats/mac_stats.h"
+
+namespace hacksim {
+
+struct WifiMacConfig {
+  WifiStandard standard = WifiStandard::k80211n;
+  WifiMode data_mode;
+  bool enable_ampdu = true;
+  // Paper §4.3: AP buffers 126 packets per flow (3 batches of 42).
+  size_t per_dest_queue_limit = 126;
+  SimTime txop_limit = SimTime::Millis(4);
+  int mpdu_retry_limit = 7;
+  int bar_retry_limit = 7;
+  // SoRa quirks (§4.1): the receiver returns LL ACKs this much later than
+  // SIFS, and the sender widens its ACK timeout to compensate.
+  SimTime extra_ack_delay;
+  SimTime extra_ack_timeout;
+  // When > 0, response timeouts budget for HACK payload bytes appended to
+  // LL ACKs by the peer.
+  size_t max_hack_payload_bytes = 0;
+};
+
+class WifiMac final : public WifiPhyListener {
+ public:
+  WifiMac(Scheduler* scheduler, WifiPhy* phy, MacAddress address,
+          WifiMacConfig config, Random rng);
+
+  // Upper-layer interface.
+  void Enqueue(Packet packet, MacAddress dest);
+  size_t QueueDepth(MacAddress dest) const;
+  // Removes queued (not yet transmitted) packets matching `pred`; returns
+  // the number removed. Used by opportunistic HACK to pull vanilla TCP ACKs
+  // that were delivered via an LL ACK instead.
+  size_t RemoveQueued(MacAddress dest,
+                      const std::function<bool(const Packet&)>& pred);
+
+  std::function<void(Packet, MacAddress from)> on_rx_packet;
+
+  // Fires when a data MPDU is confirmed delivered (LL-acknowledged by the
+  // peer). HACK uses this to learn that a vanilla TCP ACK reached the AP —
+  // the signal that the ROHC context is established there.
+  std::function<void(const Packet&, MacAddress dest)> on_mpdu_delivered;
+
+  void set_hack_hooks(HackHooks* hooks) { hack_hooks_ = hooks; }
+
+  MacAddress address() const { return address_; }
+  const WifiMacConfig& config() const { return config_; }
+  const PhyTimings& timings() const { return timings_; }
+  MacStats& stats() { return stats_; }
+  const MacStats& stats() const { return stats_; }
+
+  // WifiPhyListener:
+  void OnPpduReceived(const Ppdu& ppdu,
+                      const std::vector<bool>& mpdu_ok) override;
+  void OnRxCorrupted() override;
+  void OnTxEnd(const Ppdu& ppdu) override;
+  void OnCcaBusy() override;
+  void OnCcaIdle() override;
+
+ private:
+  struct OutstandingMpdu {
+    WifiFrame frame;
+    int retries = 0;
+  };
+
+  // Originator-side state, per destination.
+  struct TxState {
+    std::deque<Packet> queue;
+    uint16_t next_seq = 0;
+    uint16_t win_start = 0;
+    std::map<uint16_t, OutstandingMpdu> outstanding;
+    bool bar_pending = false;
+    int bar_retries = 0;
+    bool sync_pending = false;
+    std::optional<OutstandingMpdu> single_inflight;  // 802.11a stop-and-wait
+
+    bool HasWork() const {
+      return bar_pending || !queue.empty() || !outstanding.empty() ||
+             single_inflight.has_value();
+    }
+  };
+
+  // Recipient-side state, per transmitter.
+  struct RxState {
+    uint16_t win_start = 0;
+    std::set<uint16_t> received;             // >= win_start only
+    std::map<uint16_t, Packet> reorder;
+    uint16_t last_single_seq = 0;
+    bool has_last_single = false;
+  };
+
+  enum class TxPhase { kIdle, kTransmitting, kAwaitingResponse };
+
+  // --- originator pipeline ---------------------------------------------------
+  void MaybeRequestAccess();
+  bool HasWork() const;
+  void OnAccessGranted();
+  TxState* PickNextDest(MacAddress* dest_out);
+  void StartExchange(MacAddress dest, TxState& st);
+  Ppdu BuildDataPpdu(MacAddress dest, TxState& st);
+  void HandleResponseTimeout();
+  void HandleBlockAck(const WifiFrame& frame);
+  void HandleAck(const WifiFrame& frame);
+  void FinishExchange();
+  void ReleaseDelivered(TxState& st, const OutstandingMpdu& mpdu);
+  void GiveUpBlockAck(TxState& st);
+  SimTime ResponseTimeoutDelay(bool block_ack_expected) const;
+
+  // --- recipient pipeline ----------------------------------------------------
+  void HandleDataPpdu(const Ppdu& ppdu, const std::vector<bool>& mpdu_ok);
+  void HandleBar(const WifiFrame& frame);
+  void ScheduleResponse(WifiFrame response, const WifiMode& eliciting_mode);
+  void AdvanceRxWindow(RxState& rx, MacAddress from, uint16_t new_start);
+  void DeliverContiguous(RxState& rx, MacAddress from);
+  uint64_t BuildBitmap(const RxState& rx) const;
+
+  // --- medium state -----------------------------------------------------------
+  void UpdateMediumState();
+  void SetNav(SimTime until);
+
+  Scheduler* scheduler_;
+  WifiPhy* phy_;
+  MacAddress address_;
+  WifiMacConfig config_;
+  PhyTimings timings_;
+  DcfEngine dcf_;
+  HackHooks* hack_hooks_ = nullptr;
+  MacStats stats_;
+
+  std::map<MacAddress, TxState> tx_;
+  std::map<MacAddress, RxState> rx_;
+  std::vector<MacAddress> round_robin_;
+  size_t round_robin_next_ = 0;
+
+  TxPhase phase_ = TxPhase::kIdle;
+  MacAddress current_dest_;
+  bool current_is_bar_ = false;
+  bool current_aggregated_ = false;
+  bool current_all_tcp_acks_ = false;
+  std::vector<uint16_t> current_batch_seqs_;
+  EventId response_timeout_event_ = kInvalidEventId;
+  SimTime access_request_time_;
+  SimTime tx_end_time_;
+
+  bool phy_busy_ = false;
+  SimTime nav_until_;
+  EventId nav_event_ = kInvalidEventId;
+  bool medium_busy_reported_ = false;
+  // SIFS responses scheduled but not yet on the air. While non-zero the MAC
+  // must not start its own exchanges: a real NIC's response logic runs
+  // below the contention engine, and with delayed responses (the SoRa
+  // quirk) a DCF grant could otherwise trample the pending LL ACK.
+  int responses_pending_ = 0;
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_MAC80211_WIFI_MAC_H_

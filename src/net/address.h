@@ -1,0 +1,114 @@
+// Address types: IPv4, 802 MAC, and the TCP/IP 5-tuple flow key whose MD5
+// hash low byte becomes the ROHC context id (paper §3.3.2).
+#ifndef SRC_NET_ADDRESS_H_
+#define SRC_NET_ADDRESS_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace hacksim {
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(uint32_t value) : value_(value) {}
+  static constexpr Ipv4Address FromOctets(uint8_t a, uint8_t b, uint8_t c,
+                                          uint8_t d) {
+    return Ipv4Address((static_cast<uint32_t>(a) << 24) |
+                       (static_cast<uint32_t>(b) << 16) |
+                       (static_cast<uint32_t>(c) << 8) | d);
+  }
+
+  constexpr uint32_t value() const { return value_; }
+  constexpr bool IsZero() const { return value_ == 0; }
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+  std::string ToString() const;
+  friend std::ostream& operator<<(std::ostream& os, Ipv4Address a) {
+    return os << a.ToString();
+  }
+
+ private:
+  uint32_t value_ = 0;
+};
+
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  // Uses the low 48 bits of `value`.
+  explicit constexpr MacAddress(uint64_t value)
+      : value_(value & 0xFFFFFFFFFFFFull) {}
+
+  // Stable locally-administered unicast address for station index i.
+  static constexpr MacAddress ForStation(uint32_t i) {
+    return MacAddress(0x020000000000ull | i);
+  }
+  static constexpr MacAddress Broadcast() {
+    return MacAddress(0xFFFFFFFFFFFFull);
+  }
+
+  constexpr uint64_t value() const { return value_; }
+  constexpr bool IsBroadcast() const { return value_ == 0xFFFFFFFFFFFFull; }
+
+  friend constexpr auto operator<=>(MacAddress, MacAddress) = default;
+
+  std::string ToString() const;
+  friend std::ostream& operator<<(std::ostream& os, MacAddress a) {
+    return os << a.ToString();
+  }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// TCP/IP 5-tuple. Protocol is implicit (TCP) for HACK purposes but kept so
+// the key generalises (the paper mentions SCTP/DCCP as future higher layers).
+struct FiveTuple {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint8_t protocol = 6;
+
+  friend constexpr auto operator<=>(const FiveTuple&,
+                                    const FiveTuple&) = default;
+
+  // Canonical 13-byte serialisation hashed to derive the ROHC CID.
+  std::array<uint8_t, 13> Canonical() const;
+
+  // Low byte of MD5 over Canonical() — the paper's CID derivation.
+  uint8_t RohcCid() const;
+
+  // The same flow viewed from the opposite direction.
+  FiveTuple Reversed() const {
+    return FiveTuple{dst_ip, src_ip, dst_port, src_port, protocol};
+  }
+
+  std::string ToString() const;
+};
+
+struct FiveTupleHash {
+  size_t operator()(const FiveTuple& t) const {
+    uint64_t h = t.src_ip.value();
+    h = h * 1000003ull ^ t.dst_ip.value();
+    h = h * 1000003ull ^ (static_cast<uint64_t>(t.src_port) << 16 |
+                          t.dst_port);
+    h = h * 1000003ull ^ t.protocol;
+    return std::hash<uint64_t>{}(h);
+  }
+};
+
+struct MacAddressHash {
+  size_t operator()(MacAddress a) const {
+    return std::hash<uint64_t>{}(a.value());
+  }
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_NET_ADDRESS_H_

@@ -1,0 +1,68 @@
+// TCP header (RFC 793) with the options TCP/HACK must preserve end-to-end:
+// MSS, window scale, SACK-permitted, SACK blocks (RFC 2018) and timestamps
+// (RFC 7323). The paper requires the compressed-ACK encoding to carry "the
+// full generality of information that may potentially be found in a TCP ACK"
+// — so this struct is the single source of truth that both the vanilla path
+// and the ROHC compress/decompress path must round-trip byte-identically.
+#ifndef SRC_NET_TCP_HEADER_H_
+#define SRC_NET_TCP_HEADER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/net/address.h"
+#include "src/util/bitio.h"
+
+namespace hacksim {
+
+struct TcpTimestamps {
+  uint32_t tsval = 0;
+  uint32_t tsecr = 0;
+  friend bool operator==(const TcpTimestamps&, const TcpTimestamps&) = default;
+};
+
+struct SackBlock {
+  uint32_t start = 0;  // left edge (inclusive)
+  uint32_t end = 0;    // right edge (exclusive)
+  friend bool operator==(const SackBlock&, const SackBlock&) = default;
+};
+
+struct TcpHeader {
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  bool flag_syn = false;
+  bool flag_fin = false;
+  bool flag_rst = false;
+  bool flag_psh = false;
+  bool flag_ack = false;
+  uint16_t window = 0;
+
+  // Options. MSS / window scale / SACK-permitted are legal on SYN segments
+  // only; serialisation enforces this.
+  std::optional<uint16_t> mss;
+  std::optional<uint8_t> window_scale;
+  bool sack_permitted = false;
+  std::optional<TcpTimestamps> timestamps;
+  std::vector<SackBlock> sack_blocks;  // at most 3 when timestamps present
+
+  // 20 bytes + options, padded to a multiple of 4 (data offset units).
+  size_t HeaderBytes() const;
+
+  void Serialize(ByteWriter& writer) const;
+  static std::optional<TcpHeader> Deserialize(ByteReader& reader);
+
+  // A "pure ACK" is what HACK may compress: ACK set, no payload implied by
+  // caller, and no SYN/FIN/RST semantics.
+  bool IsPureAckShape() const {
+    return flag_ack && !flag_syn && !flag_fin && !flag_rst;
+  }
+
+  friend bool operator==(const TcpHeader&, const TcpHeader&) = default;
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_NET_TCP_HEADER_H_

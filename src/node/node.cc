@@ -1,0 +1,101 @@
+#include "src/node/node.h"
+
+#include "src/util/logging.h"
+
+namespace hacksim {
+
+void Node::AttachWifi(WifiNetDevice* device) {
+  CHECK(wifi_ == nullptr);
+  wifi_ = device;
+  device->on_receive = [this](Packet packet, MacAddress) {
+    OnPacketReceived(std::move(packet));
+  };
+}
+
+void Node::AttachP2p(PointToPointLink* link, int endpoint) {
+  CHECK(p2p_ == nullptr);
+  p2p_ = link;
+  p2p_endpoint_ = endpoint;
+  auto handler = [this](Packet packet) { OnPacketReceived(std::move(packet)); };
+  if (endpoint == 0) {
+    link->deliver_to_0 = handler;
+  } else {
+    link->deliver_to_1 = handler;
+  }
+}
+
+void Node::AddRoute(Ipv4Address dst, Egress egress, MacAddress next_hop_mac) {
+  routes_[dst] = Route{egress, next_hop_mac};
+}
+
+void Node::SetDefaultRoute(Egress egress, MacAddress next_hop_mac) {
+  default_route_ = std::make_unique<Route>(Route{egress, next_hop_mac});
+}
+
+const Node::Route* Node::Lookup(Ipv4Address dst) const {
+  auto it = routes_.find(dst);
+  if (it != routes_.end()) {
+    return &it->second;
+  }
+  return default_route_.get();
+}
+
+void Node::Egress_(const Route& route, Packet packet) {
+  switch (route.egress) {
+    case Egress::kWifi:
+      CHECK(wifi_ != nullptr);
+      wifi_->Send(std::move(packet), route.next_hop_mac);
+      break;
+    case Egress::kP2p:
+      CHECK(p2p_ != nullptr);
+      p2p_->SendFrom(p2p_endpoint_, std::move(packet));
+      break;
+  }
+}
+
+void Node::Send(Packet packet) {
+  CHECK(packet.has_ip());
+  const Route* route = Lookup(packet.ip().dst);
+  if (route == nullptr) {
+    ++routing_drops_;
+    return;
+  }
+  Egress_(*route, std::move(packet));
+}
+
+void Node::RegisterHandler(uint16_t dst_port,
+                           std::function<void(const Packet&)> handler) {
+  handlers_[dst_port] = std::move(handler);
+}
+
+void Node::OnPacketReceived(Packet packet) {
+  if (!packet.has_ip()) {
+    return;
+  }
+  if (packet.ip().dst != address_) {
+    // Forward (AP role).
+    const Route* route = Lookup(packet.ip().dst);
+    if (route == nullptr) {
+      ++routing_drops_;
+      return;
+    }
+    ++forwarded_;
+    Egress_(*route, std::move(packet));
+    return;
+  }
+  uint16_t port = 0;
+  if (packet.has_tcp()) {
+    port = packet.tcp().dst_port;
+  } else if (packet.has_udp()) {
+    port = packet.udp().dst_port;
+  }
+  auto it = handlers_.find(port);
+  if (it == handlers_.end()) {
+    ++routing_drops_;
+    return;
+  }
+  ++delivered_;
+  it->second(packet);
+}
+
+}  // namespace hacksim

@@ -1,0 +1,80 @@
+// Node: an L3 endpoint/forwarder with static routes and a transport demux.
+//
+// Three node shapes appear in the paper's topologies:
+//  * server  — TCP/UDP sources behind the wired link,
+//  * AP      — forwards between the wired link and the WLAN,
+//  * client  — WLAN station terminating TCP/UDP flows.
+// All are instances of this class with different routes/devices attached.
+#ifndef SRC_NODE_NODE_H_
+#define SRC_NODE_NODE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/node/point_to_point_link.h"
+#include "src/node/wifi_net_device.h"
+#include "src/packet/packet.h"
+
+namespace hacksim {
+
+class Node {
+ public:
+  explicit Node(Ipv4Address address) : address_(address) {}
+
+  Ipv4Address address() const { return address_; }
+
+  // --- egress devices ---------------------------------------------------------
+  // Attaches a WiFi device; packets routed to it are sent to the next-hop
+  // MAC resolved through the static ARP table.
+  void AttachWifi(WifiNetDevice* device);
+  // Attaches one endpoint of a p2p link.
+  void AttachP2p(PointToPointLink* link, int endpoint);
+
+  // --- routing -----------------------------------------------------------------
+  enum class Egress { kWifi, kP2p };
+  void AddRoute(Ipv4Address dst, Egress egress, MacAddress next_hop_mac);
+  void SetDefaultRoute(Egress egress, MacAddress next_hop_mac);
+
+  // Sends a locally generated packet.
+  void Send(Packet packet);
+
+  // --- transport demux -----------------------------------------------------------
+  // Registers a handler for packets addressed to this node on `dst_port`.
+  void RegisterHandler(uint16_t dst_port,
+                       std::function<void(const Packet&)> handler);
+
+  // Called by devices when a packet arrives; forwards or delivers.
+  void OnPacketReceived(Packet packet);
+
+  uint64_t forwarded() const { return forwarded_; }
+  uint64_t delivered() const { return delivered_; }
+  uint64_t routing_drops() const { return routing_drops_; }
+
+ private:
+  struct Route {
+    Egress egress;
+    MacAddress next_hop_mac;
+  };
+
+  void Egress_(const Route& route, Packet packet);
+  const Route* Lookup(Ipv4Address dst) const;
+
+  Ipv4Address address_;
+  WifiNetDevice* wifi_ = nullptr;
+  PointToPointLink* p2p_ = nullptr;
+  int p2p_endpoint_ = 0;
+
+  std::map<Ipv4Address, Route> routes_;
+  std::unique_ptr<Route> default_route_;
+  std::map<uint16_t, std::function<void(const Packet&)>> handlers_;
+
+  uint64_t forwarded_ = 0;
+  uint64_t delivered_ = 0;
+  uint64_t routing_drops_ = 0;
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_NODE_NODE_H_

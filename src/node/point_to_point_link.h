@@ -1,0 +1,50 @@
+// Full-duplex point-to-point wired link with a FIFO transmit queue per
+// direction. Models the server <-> AP backhaul of the paper's simulations
+// (500 Mbps, 1 ms one-way latency, §4.3).
+#ifndef SRC_NODE_POINT_TO_POINT_LINK_H_
+#define SRC_NODE_POINT_TO_POINT_LINK_H_
+
+#include <deque>
+#include <functional>
+
+#include "src/packet/packet.h"
+#include "src/sim/scheduler.h"
+
+namespace hacksim {
+
+class PointToPointLink {
+ public:
+  struct Config {
+    double rate_bps = 500e6;
+    SimTime delay = SimTime::Millis(1);
+    size_t queue_limit_packets = 1000;
+  };
+
+  PointToPointLink(Scheduler* scheduler, Config config);
+
+  // Endpoint 0 and 1 receive callbacks.
+  std::function<void(Packet)> deliver_to_0;
+  std::function<void(Packet)> deliver_to_1;
+
+  // Sends from the given endpoint to the other.
+  void SendFrom(int endpoint, Packet packet);
+
+  uint64_t drops() const { return drops_; }
+
+ private:
+  struct Direction {
+    std::deque<Packet> queue;
+    bool busy = false;
+  };
+
+  void StartTransmission(int direction);
+
+  Scheduler* scheduler_;
+  Config config_;
+  Direction dir_[2];  // index = source endpoint
+  uint64_t drops_ = 0;
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_NODE_POINT_TO_POINT_LINK_H_

@@ -1,0 +1,50 @@
+#include "src/node/wifi_net_device.h"
+
+#include "src/util/logging.h"
+
+namespace hacksim {
+
+WifiNetDevice::WifiNetDevice(Scheduler* scheduler, WirelessChannel* channel,
+                             MacAddress address, WifiMacConfig mac_config,
+                             Random rng)
+    : scheduler_(scheduler) {
+  phy_ = std::make_unique<WifiPhy>(scheduler, rng.Fork());
+  phy_->AttachTo(channel);
+  mac_ = std::make_unique<WifiMac>(scheduler, phy_.get(), address, mac_config,
+                                   rng.Fork());
+  mac_->on_rx_packet = [this](Packet packet, MacAddress from) {
+    HandleMacReceive(std::move(packet), from);
+  };
+}
+
+void WifiNetDevice::EnableHack(HackAgentConfig config) {
+  CHECK(hack_ == nullptr);
+  hack_ = std::make_unique<HackAgent>(scheduler_, mac_.get(), config);
+  hack_->forward_decompressed = [this](Packet packet, MacAddress from) {
+    if (on_receive) {
+      on_receive(std::move(packet), from);
+    }
+  };
+}
+
+void WifiNetDevice::Send(Packet packet, MacAddress next_hop) {
+  if (hack_ != nullptr && hack_->OfferOutgoingPacket(packet, next_hop)) {
+    return;  // consumed: it will ride an LL ACK (or was enqueued vanilla)
+  }
+  mac_->Enqueue(std::move(packet), next_hop);
+}
+
+void WifiNetDevice::HandleMacReceive(Packet packet, MacAddress from) {
+  if (hack_ != nullptr) {
+    if (packet.IsPureTcpAck()) {
+      hack_->NoteReceivedVanillaAck(packet);
+    } else if (packet.has_tcp()) {
+      hack_->NoteReceivedDataSegment(packet);
+    }
+  }
+  if (on_receive) {
+    on_receive(std::move(packet), from);
+  }
+}
+
+}  // namespace hacksim

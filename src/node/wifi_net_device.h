@@ -1,0 +1,48 @@
+// WifiNetDevice: binds PHY + MAC (+ optional HackAgent) into an L2 device a
+// Node can route packets through. This is where the HACK interception
+// points sit, mirroring the paper's driver placement (§3.3.1): outgoing
+// pure TCP ACKs are offered to the agent before reaching the MAC queue, and
+// received vanilla TCP ACKs are snooped to bootstrap ROHC contexts.
+#ifndef SRC_NODE_WIFI_NET_DEVICE_H_
+#define SRC_NODE_WIFI_NET_DEVICE_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/hack/hack_agent.h"
+#include "src/mac80211/wifi_mac.h"
+#include "src/phy80211/wifi_phy.h"
+
+namespace hacksim {
+
+class WifiNetDevice {
+ public:
+  WifiNetDevice(Scheduler* scheduler, WirelessChannel* channel,
+                MacAddress address, WifiMacConfig mac_config, Random rng);
+
+  // Enables HACK on this device.
+  void EnableHack(HackAgentConfig config);
+
+  void Send(Packet packet, MacAddress next_hop);
+
+  // Delivery of received packets (both over-the-air data and TCP ACKs the
+  // HACK agent reconstituted from LL ACK payloads).
+  std::function<void(Packet, MacAddress from)> on_receive;
+
+  WifiPhy& phy() { return *phy_; }
+  WifiMac& mac() { return *mac_; }
+  HackAgent* hack() { return hack_.get(); }
+  MacAddress address() const { return mac_->address(); }
+
+ private:
+  void HandleMacReceive(Packet packet, MacAddress from);
+
+  Scheduler* scheduler_;
+  std::unique_ptr<WifiPhy> phy_;
+  std::unique_ptr<WifiMac> mac_;
+  std::unique_ptr<HackAgent> hack_;
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_NODE_WIFI_NET_DEVICE_H_

@@ -1,0 +1,104 @@
+#include "src/packet/packet.h"
+
+#include <sstream>
+
+#include "src/util/logging.h"
+
+namespace hacksim {
+
+uint64_t Packet::next_uid_ = 1;
+
+Packet Packet::MakeTcp(Ipv4Address src, Ipv4Address dst, TcpHeader tcp,
+                       uint32_t payload_bytes) {
+  Packet p;
+  p.uid_ = next_uid_++;
+  p.tcp_ = std::move(tcp);
+  p.payload_bytes_ = payload_bytes;
+  Ipv4Header ip;
+  ip.protocol = kIpProtoTcp;
+  ip.src = src;
+  ip.dst = dst;
+  ip.identification = 0;  // pure-rate model; DF always set
+  ip.total_length = static_cast<uint16_t>(Ipv4Header::kBytes +
+                                          p.tcp_->HeaderBytes() +
+                                          payload_bytes);
+  p.ip_ = ip;
+  return p;
+}
+
+Packet Packet::MakeUdp(Ipv4Address src, Ipv4Address dst, uint16_t src_port,
+                       uint16_t dst_port, uint32_t payload_bytes) {
+  Packet p;
+  p.uid_ = next_uid_++;
+  UdpHeader udp;
+  udp.src_port = src_port;
+  udp.dst_port = dst_port;
+  udp.length = static_cast<uint16_t>(UdpHeader::kBytes + payload_bytes);
+  p.udp_ = udp;
+  p.payload_bytes_ = payload_bytes;
+  Ipv4Header ip;
+  ip.protocol = kIpProtoUdp;
+  ip.src = src;
+  ip.dst = dst;
+  ip.total_length =
+      static_cast<uint16_t>(Ipv4Header::kBytes + udp.length);
+  p.ip_ = ip;
+  return p;
+}
+
+size_t Packet::SizeBytes() const {
+  size_t n = 0;
+  if (ip_.has_value()) {
+    n += ip_->HeaderBytes();
+  }
+  if (tcp_.has_value()) {
+    n += tcp_->HeaderBytes();
+  }
+  if (udp_.has_value()) {
+    n += udp_->HeaderBytes();
+  }
+  return n + payload_bytes_;
+}
+
+FiveTuple Packet::Flow() const {
+  CHECK(ip_.has_value());
+  FiveTuple t;
+  t.src_ip = ip_->src;
+  t.dst_ip = ip_->dst;
+  t.protocol = ip_->protocol;
+  if (tcp_.has_value()) {
+    t.src_port = tcp_->src_port;
+    t.dst_port = tcp_->dst_port;
+  } else if (udp_.has_value()) {
+    t.src_port = udp_->src_port;
+    t.dst_port = udp_->dst_port;
+  }
+  return t;
+}
+
+std::string Packet::ToString() const {
+  std::ostringstream os;
+  os << "pkt#" << uid_ << " " << SizeBytes() << "B";
+  if (ip_.has_value()) {
+    os << " " << ip_->src << "->" << ip_->dst;
+  }
+  if (tcp_.has_value()) {
+    os << " tcp seq=" << tcp_->seq;
+    if (tcp_->flag_ack) {
+      os << " ack=" << tcp_->ack;
+    }
+    if (tcp_->flag_syn) {
+      os << " SYN";
+    }
+    if (tcp_->flag_fin) {
+      os << " FIN";
+    }
+  }
+  if (udp_.has_value()) {
+    os << " udp";
+  }
+  os << " payload=" << payload_bytes_;
+  return os.str();
+}
+
+}  // namespace hacksim

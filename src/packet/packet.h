@@ -1,0 +1,76 @@
+// The simulator's packet: a structured header stack plus a synthetic payload
+// length. Headers are real (serialisable, byte-exact); payload bytes are not
+// materialised — only their count matters for airtime, queueing and goodput.
+//
+// Packets are value types: cheap to copy (~100 bytes), stored by value in
+// queues, and safe to retain for link-layer retransmission.
+#ifndef SRC_PACKET_PACKET_H_
+#define SRC_PACKET_PACKET_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/net/address.h"
+#include "src/net/ipv4_header.h"
+#include "src/net/tcp_header.h"
+#include "src/net/udp_header.h"
+#include "src/sim/sim_time.h"
+
+namespace hacksim {
+
+class Packet {
+ public:
+  Packet() = default;
+
+  // --- builders -----------------------------------------------------------
+  static Packet MakeTcp(Ipv4Address src, Ipv4Address dst, TcpHeader tcp,
+                        uint32_t payload_bytes);
+  static Packet MakeUdp(Ipv4Address src, Ipv4Address dst, uint16_t src_port,
+                        uint16_t dst_port, uint32_t payload_bytes);
+
+  // --- header access ------------------------------------------------------
+  bool has_ip() const { return ip_.has_value(); }
+  bool has_tcp() const { return tcp_.has_value(); }
+  bool has_udp() const { return udp_.has_value(); }
+  const Ipv4Header& ip() const { return *ip_; }
+  Ipv4Header& mutable_ip() { return *ip_; }
+  const TcpHeader& tcp() const { return *tcp_; }
+  TcpHeader& mutable_tcp() { return *tcp_; }
+  const UdpHeader& udp() const { return *udp_; }
+
+  uint32_t payload_bytes() const { return payload_bytes_; }
+
+  // Total IP datagram size: IP header + transport header + payload.
+  size_t SizeBytes() const;
+
+  // True for a TCP segment with no payload and plain ACK semantics — the
+  // packets HACK is allowed to compress into link-layer ACKs.
+  bool IsPureTcpAck() const {
+    return has_tcp() && payload_bytes_ == 0 && tcp_->IsPureAckShape();
+  }
+
+  // Flow key in the direction this packet travels.
+  FiveTuple Flow() const;
+
+  // --- bookkeeping --------------------------------------------------------
+  uint64_t uid() const { return uid_; }
+  SimTime created_at() const { return created_at_; }
+  void set_created_at(SimTime t) { created_at_ = t; }
+
+  std::string ToString() const;
+
+ private:
+  static uint64_t next_uid_;
+
+  uint64_t uid_ = 0;
+  SimTime created_at_;
+  std::optional<Ipv4Header> ip_;
+  std::optional<TcpHeader> tcp_;
+  std::optional<UdpHeader> udp_;
+  uint32_t payload_bytes_ = 0;
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_PACKET_PACKET_H_

@@ -1,0 +1,73 @@
+#include "src/phy80211/loss_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace hacksim {
+
+double SnrLossModel::ModeSnrMidpointDb(const WifiMode& mode) {
+  // Approximate 50%-FER SNR (1500 B frames) for OFDM rates; values follow
+  // the usual BCC waterfall spacing: each constellation/coding step costs
+  // ~2.5-4 dB. Legacy 20 MHz and HT 40 MHz differ by the wider channel's
+  // ~3 dB noise penalty, which the noise floor already covers, so a single
+  // table per bits-per-(20 MHz-equivalent)-symbol suffices for our purposes.
+  struct Entry {
+    uint32_t kbps;
+    double snr_db;
+  };
+  // Legacy OFDM (20 MHz).
+  static constexpr Entry kLegacy[] = {
+      {6000, 3.0},  {9000, 4.5},  {12000, 6.0},  {18000, 8.5},
+      {24000, 11.5}, {36000, 15.0}, {48000, 19.0}, {54000, 21.0}};
+  // HT 40 MHz short-GI, per stream (MCS0-7).
+  static constexpr Entry kHt40[] = {
+      {15000, 5.0},  {30000, 8.0},  {45000, 10.5}, {60000, 13.5},
+      {90000, 17.5}, {120000, 21.5}, {135000, 23.5}, {150000, 25.5}};
+  if (mode.format == PhyFormat::kLegacyOfdm) {
+    for (const Entry& e : kLegacy) {
+      if (e.kbps == mode.rate_kbps) {
+        return e.snr_db;
+      }
+    }
+  } else {
+    uint32_t per_stream = mode.rate_kbps / mode.spatial_streams;
+    for (const Entry& e : kHt40) {
+      if (e.kbps == per_stream) {
+        return e.snr_db;
+      }
+    }
+  }
+  LOG(Fatal) << "no SNR midpoint for mode " << mode.Name();
+  return 0.0;
+}
+
+double SnrLossModel::SnrDbAt(double distance_m) const {
+  double d = std::max(distance_m, 1.0);
+  double path_loss =
+      params_.pl0_db + 10.0 * params_.path_loss_exponent * std::log10(d);
+  return params_.tx_power_dbm - path_loss - params_.noise_floor_dbm;
+}
+
+double SnrLossModel::FrameErrorRate(const WifiMode& mode, size_t bytes,
+                                    double snr_db) const {
+  double mid = ModeSnrMidpointDb(mode);
+  // Logistic waterfall for the reference length.
+  double x = (snr_db - mid) / params_.waterfall_width_db;
+  double fer_ref = 1.0 / (1.0 + std::exp(x));
+  // Length scaling: success probability exponentiates with relative length.
+  double ok_ref = 1.0 - fer_ref;
+  double exponent =
+      static_cast<double>(bytes) / static_cast<double>(params_.reference_bytes);
+  double ok = std::pow(ok_ref, exponent);
+  return std::clamp(1.0 - ok, 0.0, 1.0);
+}
+
+bool SnrLossModel::ShouldCorrupt(const WifiMode& mode, size_t bytes,
+                                 double distance_m, Random& rng) {
+  double fer = FrameErrorRate(mode, bytes, SnrDbAt(distance_m));
+  return rng.NextBool(fer);
+}
+
+}  // namespace hacksim

@@ -1,0 +1,97 @@
+// Channel loss models.
+//
+//  * NoLossModel        — ideal channel (theory validation runs).
+//  * BernoulliLossModel — i.i.d. per-MPDU corruption with fixed probability;
+//    used to emulate the SoRa testbed's per-client frame loss (paper §4.2).
+//  * SnrLossModel       — log-distance path loss -> SNR -> per-mode logistic
+//    frame error rate scaled by MPDU length; drives the Figure 11 SNR sweep.
+//
+// Collisions are handled by the PHY itself (overlapping receptions corrupt
+// each other); loss models add channel-noise corruption on top.
+#ifndef SRC_PHY80211_LOSS_MODEL_H_
+#define SRC_PHY80211_LOSS_MODEL_H_
+
+#include <memory>
+
+#include "src/phy80211/frame.h"
+#include "src/phy80211/wifi_mode.h"
+#include "src/sim/random.h"
+
+namespace hacksim {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+
+  // Returns true if an MPDU of `bytes` sent at `mode` over `distance_m`
+  // is corrupted by channel noise.
+  virtual bool ShouldCorrupt(const WifiMode& mode, size_t bytes,
+                             double distance_m, Random& rng) = 0;
+};
+
+class NoLossModel final : public LossModel {
+ public:
+  bool ShouldCorrupt(const WifiMode&, size_t, double, Random&) override {
+    return false;
+  }
+};
+
+class BernoulliLossModel final : public LossModel {
+ public:
+  // `data_loss` applies to data MPDUs; control frames (<= `control_bytes`
+  // threshold, default 64 B) use `control_loss` — short control frames at
+  // robust basic rates fail far less often than full-size data frames.
+  explicit BernoulliLossModel(double data_loss, double control_loss = 0.0)
+      : data_loss_(data_loss), control_loss_(control_loss) {}
+
+  bool ShouldCorrupt(const WifiMode&, size_t bytes, double,
+                     Random& rng) override {
+    double p = bytes <= kControlSizeThreshold ? control_loss_ : data_loss_;
+    return rng.NextBool(p);
+  }
+
+  static constexpr size_t kControlSizeThreshold = 64;
+
+ private:
+  double data_loss_;
+  double control_loss_;
+};
+
+// SNR-driven model. SNR(dB) = tx_power_dbm - PL(d) - noise_floor_dbm with
+// log-distance path loss PL(d) = pl0 + 10 * n * log10(d / 1 m). Each mode
+// has a logistic "waterfall" reference frame error rate, scaled to the MPDU
+// length assuming independent per-bit errors.
+class SnrLossModel final : public LossModel {
+ public:
+  struct Params {
+    double tx_power_dbm = 15.0;
+    double noise_floor_dbm = -85.0;  // thermal + NF over 40 MHz
+    double path_loss_exponent = 3.0;
+    double pl0_db = 46.7;  // free-space loss at 1 m, 5.2 GHz
+    double waterfall_width_db = 1.6;
+    size_t reference_bytes = 1500;
+  };
+
+  explicit SnrLossModel(Params params) : params_(params) {}
+  SnrLossModel() : SnrLossModel(Params{}) {}
+
+  bool ShouldCorrupt(const WifiMode& mode, size_t bytes, double distance_m,
+                     Random& rng) override;
+
+  double SnrDbAt(double distance_m) const;
+
+  // Frame error rate for `bytes` at `mode` under `snr_db` (deterministic;
+  // exposed for tests and for the Figure 11 harness).
+  double FrameErrorRate(const WifiMode& mode, size_t bytes,
+                        double snr_db) const;
+
+  // SNR at which the reference-length FER is 50% for this mode.
+  static double ModeSnrMidpointDb(const WifiMode& mode);
+
+ private:
+  Params params_;
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_PHY80211_LOSS_MODEL_H_

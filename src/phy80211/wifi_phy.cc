@@ -1,0 +1,180 @@
+#include "src/phy80211/wifi_phy.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace hacksim {
+
+namespace {
+// Speed of light, metres per nanosecond.
+constexpr double kMetersPerNs = 0.299792458;
+}  // namespace
+
+double DistanceMeters(Position a, Position b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+WifiPhy::WifiPhy(Scheduler* scheduler, Random rng)
+    : scheduler_(scheduler),
+      rng_(rng),
+      loss_model_(std::make_unique<NoLossModel>()) {}
+
+void WifiPhy::AttachTo(WirelessChannel* channel) {
+  CHECK(channel_ == nullptr);
+  channel_ = channel;
+  channel->Attach(this);
+}
+
+bool WifiPhy::Send(Ppdu ppdu) {
+  CHECK(channel_ != nullptr);
+  if (transmitting_) {
+    ++tx_dropped_busy_;
+    return false;
+  }
+  transmitting_ = true;
+  // Half duplex: anything currently arriving is lost.
+  for (auto& [id, arrival] : arrivals_) {
+    arrival.corrupted = true;
+  }
+  UpdateCca();
+  channel_->Transmit(this, std::move(ppdu));
+  return true;
+}
+
+void WifiPhy::OnOwnTxEnd(const Ppdu& ppdu) {
+  CHECK(transmitting_);
+  transmitting_ = false;
+  UpdateCca();
+  if (listener_ != nullptr) {
+    listener_->OnTxEnd(ppdu);
+  }
+}
+
+void WifiPhy::OnArrivalStart(uint64_t arrival_id, const Ppdu& ppdu,
+                             SimTime end, double distance_m) {
+  Arrival arrival{ppdu, end, distance_m, /*corrupted=*/false};
+  if (transmitting_) {
+    arrival.corrupted = true;
+  }
+  // Overlap with any in-flight arrival corrupts both (no capture).
+  if (!arrivals_.empty()) {
+    arrival.corrupted = true;
+    for (auto& [id, other] : arrivals_) {
+      other.corrupted = true;
+    }
+  }
+  arrivals_.emplace(arrival_id, std::move(arrival));
+  UpdateCca();
+}
+
+void WifiPhy::OnArrivalEnd(uint64_t arrival_id) {
+  auto it = arrivals_.find(arrival_id);
+  CHECK(it != arrivals_.end());
+  Arrival arrival = std::move(it->second);
+  arrivals_.erase(it);
+  UpdateCca();
+  if (listener_ == nullptr) {
+    return;
+  }
+  if (arrival.corrupted) {
+    listener_->OnRxCorrupted();
+    return;
+  }
+  // Channel-noise loss per MPDU. For A-MPDUs each subframe has its own FCS
+  // and fails independently; for single MPDUs there is just one draw.
+  std::vector<bool> mpdu_ok(arrival.ppdu.mpdus.size());
+  bool any_ok = false;
+  for (size_t i = 0; i < arrival.ppdu.mpdus.size(); ++i) {
+    size_t bytes = arrival.ppdu.mpdus[i].SizeBytes();
+    bool corrupt = loss_model_->ShouldCorrupt(arrival.ppdu.mode, bytes,
+                                              arrival.distance_m, rng_);
+    mpdu_ok[i] = !corrupt;
+    any_ok = any_ok || !corrupt;
+  }
+  if (!any_ok) {
+    listener_->OnRxCorrupted();
+    return;
+  }
+  listener_->OnPpduReceived(arrival.ppdu, mpdu_ok);
+}
+
+void WifiPhy::UpdateCca() {
+  bool busy = IsCcaBusy();
+  if (busy == cca_busy_reported_) {
+    return;
+  }
+  cca_busy_reported_ = busy;
+  if (listener_ == nullptr) {
+    return;
+  }
+  if (busy) {
+    listener_->OnCcaBusy();
+  } else {
+    listener_->OnCcaIdle();
+  }
+}
+
+void WirelessChannel::Attach(WifiPhy* phy) { phys_.push_back(phy); }
+
+void WirelessChannel::Transmit(WifiPhy* sender, Ppdu ppdu) {
+  ppdu.ppdu_id = next_ppdu_id_++;
+  SimTime duration = ppdu.Duration();
+  SimTime now = scheduler_->Now();
+
+  // Airtime ledger.
+  ++airtime_.ppdus;
+  switch (ppdu.first().type) {
+    case WifiFrameType::kData:
+      airtime_.data_ns += duration.ns();
+      break;
+    case WifiFrameType::kAck:
+    case WifiFrameType::kBlockAck:
+      airtime_.ack_ns += duration.ns();
+      break;
+    case WifiFrameType::kBlockAckReq:
+      airtime_.bar_ns += duration.ns();
+      break;
+  }
+  if (active_transmissions_ > 0) {
+    ++airtime_.collisions;
+    if (active_transmissions_ == 1) {
+      overlap_started_ = now;
+    }
+  }
+  ++active_transmissions_;
+  scheduler_->ScheduleAt(now + duration, [this]() {
+    --active_transmissions_;
+    if (active_transmissions_ == 1) {
+      // Overlap period ends when concurrency drops back to one.
+      airtime_.collision_ns += (scheduler_->Now() - overlap_started_).ns();
+    }
+  });
+  for (WifiPhy* phy : phys_) {
+    if (phy == sender) {
+      continue;
+    }
+    double distance = DistanceMeters(sender->position(), phy->position());
+    // Clamp to >= 1 ns so same-slot transmit decisions at two stations are
+    // both made against pre-transmission channel state (the slotted
+    // collision model).
+    auto prop_ns = static_cast<int64_t>(distance / kMetersPerNs);
+    SimTime prop = SimTime::Nanos(std::max<int64_t>(prop_ns, 1));
+    uint64_t arrival_id = next_arrival_id_++;
+    scheduler_->ScheduleAt(now + prop,
+                           [phy, arrival_id, ppdu, end = now + prop + duration,
+                            distance]() {
+                             phy->OnArrivalStart(arrival_id, ppdu, end,
+                                                 distance);
+                           });
+    scheduler_->ScheduleAt(now + prop + duration, [phy, arrival_id]() {
+      phy->OnArrivalEnd(arrival_id);
+    });
+  }
+  scheduler_->ScheduleAt(now + duration,
+                         [sender, ppdu]() { sender->OnOwnTxEnd(ppdu); });
+}
+
+}  // namespace hacksim

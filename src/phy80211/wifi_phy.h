@@ -1,0 +1,139 @@
+// Half-duplex OFDM PHY attached to a shared broadcast medium.
+//
+// Reception model: a PPDU decodes iff (a) the receiver was not transmitting
+// at any point during it, and (b) no other transmission overlapped it at the
+// receiver (no capture effect), and (c) each MPDU survives the configured
+// channel-noise loss model. Overlap corrupts *both* frames — this is what
+// produces the TCP-ACK-vs-data collisions the paper measures in Table 1.
+//
+// Carrier sense (CCA) reports energy from any arrival, decodable or not.
+#ifndef SRC_PHY80211_WIFI_PHY_H_
+#define SRC_PHY80211_WIFI_PHY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "src/phy80211/frame.h"
+#include "src/phy80211/loss_model.h"
+#include "src/sim/random.h"
+#include "src/sim/scheduler.h"
+
+namespace hacksim {
+
+class WirelessChannel;
+
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double DistanceMeters(Position a, Position b);
+
+// Implemented by the MAC.
+class WifiPhyListener {
+ public:
+  virtual ~WifiPhyListener() = default;
+
+  // A PPDU decoded; mpdu_ok[i] says whether MPDU i survived channel noise.
+  // At least one entry is true.
+  virtual void OnPpduReceived(const Ppdu& ppdu,
+                              const std::vector<bool>& mpdu_ok) = 0;
+  // Energy was received but nothing decodable came out (collision, noise
+  // killing every MPDU, or arrival during own transmission) — EIFS applies.
+  virtual void OnRxCorrupted() = 0;
+  virtual void OnTxEnd(const Ppdu& ppdu) = 0;
+  // CCA transitions (energy or own transmission).
+  virtual void OnCcaBusy() = 0;
+  virtual void OnCcaIdle() = 0;
+};
+
+class WifiPhy {
+ public:
+  WifiPhy(Scheduler* scheduler, Random rng);
+
+  void set_listener(WifiPhyListener* listener) { listener_ = listener; }
+  void set_loss_model(std::unique_ptr<LossModel> model) {
+    loss_model_ = std::move(model);
+  }
+  void set_position(Position p) { position_ = p; }
+  Position position() const { return position_; }
+
+  // Begins transmitting. If a transmission is already in progress the PPDU
+  // is dropped (returns false) — can occur when a SIFS response collides
+  // with an already-granted transmission under abnormal response delays.
+  bool Send(Ppdu ppdu);
+
+  bool transmitting() const { return transmitting_; }
+  bool IsCcaBusy() const { return transmitting_ || !arrivals_.empty(); }
+
+  // --- channel-facing interface -------------------------------------------
+  void AttachTo(WirelessChannel* channel);
+  void OnArrivalStart(uint64_t arrival_id, const Ppdu& ppdu, SimTime end,
+                      double distance_m);
+  void OnArrivalEnd(uint64_t arrival_id);
+  void OnOwnTxEnd(const Ppdu& ppdu);
+
+  uint64_t tx_dropped_busy() const { return tx_dropped_busy_; }
+
+ private:
+  struct Arrival {
+    Ppdu ppdu;
+    SimTime end;
+    double distance_m;
+    bool corrupted = false;
+  };
+
+  void UpdateCca();
+
+  Scheduler* scheduler_;
+  Random rng_;
+  WirelessChannel* channel_ = nullptr;
+  WifiPhyListener* listener_ = nullptr;
+  std::unique_ptr<LossModel> loss_model_;
+  Position position_;
+
+  std::map<uint64_t, Arrival> arrivals_;
+  bool transmitting_ = false;
+  bool cca_busy_reported_ = false;
+  uint64_t tx_dropped_busy_ = 0;
+};
+
+// Airtime ledger: how the medium's busy time divides across frame types.
+// Backs the paper's §2.1 overhead narrative with a measurable quantity.
+struct ChannelAirtime {
+  int64_t data_ns = 0;        // data PPDUs (single or A-MPDU)
+  int64_t ack_ns = 0;         // LL ACKs and Block ACKs (incl. HACK payload)
+  int64_t bar_ns = 0;         // Block ACK Requests
+  int64_t collision_ns = 0;   // wall-clock during >= 2 overlapping PPDUs
+  uint64_t ppdus = 0;
+  uint64_t collisions = 0;    // transmissions that began during another
+
+  int64_t TotalBusyNs() const { return data_ns + ack_ns + bar_ns; }
+};
+
+class WirelessChannel {
+ public:
+  explicit WirelessChannel(Scheduler* scheduler) : scheduler_(scheduler) {}
+
+  void Attach(WifiPhy* phy);
+
+  // Propagates `ppdu` from `sender` to every other attached PHY with
+  // per-pair propagation delay (distance / c).
+  void Transmit(WifiPhy* sender, Ppdu ppdu);
+
+  const ChannelAirtime& airtime() const { return airtime_; }
+
+ private:
+  Scheduler* scheduler_;
+  std::vector<WifiPhy*> phys_;
+  uint64_t next_ppdu_id_ = 1;
+  uint64_t next_arrival_id_ = 1;
+  ChannelAirtime airtime_;
+  int active_transmissions_ = 0;
+  SimTime overlap_started_;
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_PHY80211_WIFI_PHY_H_

@@ -1,0 +1,99 @@
+// Wire format for ROHC-compressed TCP ACKs carried in 802.11 LL ACKs.
+//
+// This is a reduced ROHC TCP/IP profile in the spirit the paper describes
+// (§3.3.2): no IR packets (contexts bootstrap by snooping vanilla ACKs), no
+// feedback channel (reliability comes from HACK's retention protocol), CIDs
+// derived from MD5 over the 5-tuple, and a master sequence number (MSN) for
+// duplicate elimination. We use a uniform 8-bit MSN — the paper uses 4 bits
+// with an 8-bit extension for the first record in a Block ACK; ours is one
+// byte larger in the common case and strictly more robust.
+//
+// Record layout (little-endian multi-byte deltas):
+//
+//   byte 0  CID
+//   byte 1  ctrl: [refresh:1][ack_mode:2][ts:1][win:1][crc3:3]
+//   byte 2  MSN
+//
+//   refresh=0 (delta record):
+//     ack_mode 0: ack += context.stride        (no bytes — 3-byte record,
+//                                               the paper's "3 bytes if the
+//                                               flow's payload is constant")
+//     ack_mode 1: ack += u8                    (+1 byte; 0 encodes a dupack)
+//     ack_mode 2: ack += u16                   (+2 bytes)
+//     ack_mode 3: ack  = u32 absolute          (+4 bytes)
+//     ts=1:  tsval += u8, tsecr += u8          (+2 bytes)
+//     win=1: window = u16 absolute             (+2 bytes)
+//     SACK blocks are not representable in delta records; ACKs carrying
+//     SACK are sent as refresh records.
+//
+//   refresh=1 (absolute record; used for context (re)initialisation after
+//   vanilla fallback, timestamp jumps > 255 ms, or SACK):
+//     flags u8: [has_ts:1][sack_count:3][rsv:4]
+//     seq u32, ack u32, window u16
+//     if has_ts: tsval u32, tsecr u32
+//     sack blocks: (start u32, end u32) * sack_count
+//
+// CRC3 (RFC 5795 polynomial) covers the *reconstructed* values
+// (seq, ack, tsval, tsecr, window, msn) — it detects context desync rather
+// than bit errors (the 802.11 FCS covers those).
+//
+// Payload envelope on an LL ACK: one count byte, then `count` records.
+#ifndef SRC_ROHC_COMPRESSED_ACK_H_
+#define SRC_ROHC_COMPRESSED_ACK_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/net/tcp_header.h"
+#include "src/util/bitio.h"
+
+namespace hacksim {
+
+inline constexpr size_t kMaxSackBlocksInRefresh = 7;
+
+// Decoded view of one record (pre-reconstruction).
+struct CompressedAckRecord {
+  uint8_t cid = 0;
+  uint8_t msn = 0;
+  uint8_t crc3 = 0;
+  bool refresh = false;
+
+  // Delta records.
+  uint8_t ack_mode = 0;
+  uint32_t ack_delta = 0;    // modes 1/2; mode 3 stores absolute in ack_abs
+  uint32_t ack_abs = 0;      // mode 3
+  bool has_ts_delta = false;
+  uint8_t tsval_delta = 0;
+  uint8_t tsecr_delta = 0;
+  bool has_window = false;
+  uint16_t window = 0;
+
+  // Refresh records.
+  bool refresh_has_ts = false;
+  uint32_t seq = 0;
+  uint32_t ack = 0;
+  uint32_t tsval = 0;
+  uint32_t tsecr = 0;
+  std::vector<SackBlock> sack_blocks;
+
+  void Serialize(ByteWriter& writer) const;
+  static std::optional<CompressedAckRecord> Deserialize(ByteReader& reader);
+};
+
+// CRC3 over the reconstructed dynamic fields; shared by both endpoints.
+uint8_t ComputeAckCrc3(uint32_t seq, uint32_t ack, uint32_t tsval,
+                       uint32_t tsecr, uint16_t window, uint8_t msn);
+
+// Envelope helpers.
+std::vector<uint8_t> BuildHackPayload(
+    std::span<const std::vector<uint8_t>> records);
+// Splits a payload back into raw record byte-vectors; nullopt on malformed
+// input.
+std::optional<std::vector<std::vector<uint8_t>>> SplitHackPayload(
+    std::span<const uint8_t> payload);
+
+}  // namespace hacksim
+
+#endif  // SRC_ROHC_COMPRESSED_ACK_H_

@@ -1,0 +1,103 @@
+// Scenario harness: builds the paper's topologies (remote server — wired
+// backhaul — AP — WLAN clients), runs them, and returns every statistic the
+// evaluation section reports. Used by the integration tests, the examples
+// and every bench binary.
+//
+// Topology (download):
+//   server(10.0.0.1) ==500 Mbps/1 ms== AP(10.0.1.1) ~~802.11~~ client_i(10.0.2.i)
+// Upload scenarios reverse the TCP direction; HACK's symmetry (§3.1) means
+// the AP then plays the compressing role automatically.
+#ifndef SRC_SCENARIO_DOWNLOAD_SCENARIO_H_
+#define SRC_SCENARIO_DOWNLOAD_SCENARIO_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/hack/hack_agent.h"
+#include "src/phy80211/loss_model.h"
+#include "src/phy80211/wifi_phy.h"
+#include "src/stats/experiment_stats.h"
+#include "src/tcp/tcp_receiver.h"
+#include "src/tcp/tcp_sender.h"
+
+namespace hacksim {
+
+enum class TransportProto { kTcp, kUdp };
+
+struct ClientSpec {
+  double distance_m = 5.0;
+  // Per-MPDU data-frame loss seen by this client's radio (SoRa emulation);
+  // ignored when the SNR model is active.
+  double bernoulli_data_loss = 0.0;
+  double bernoulli_control_loss = 0.0;
+  SimTime start_offset;
+};
+
+struct ScenarioConfig {
+  WifiStandard standard = WifiStandard::k80211n;
+  double data_rate_mbps = 150.0;
+  int n_clients = 1;
+  TransportProto proto = TransportProto::kTcp;
+  HackVariant hack = HackVariant::kOff;
+  bool upload = false;  // reverse the transfer direction
+
+  // 0 = time-bounded run; otherwise run until every sender completes.
+  uint64_t file_bytes = 0;
+  SimTime duration = SimTime::Seconds(20);
+  // Stagger between consecutive clients' flow starts (mitigates phase
+  // effects, §4.3).
+  SimTime start_stagger = SimTime::Millis(250);
+
+  double wired_rate_bps = 500e6;
+  SimTime wired_delay = SimTime::Millis(1);
+
+  // Paper §4.3: 126-packet AP queue per flow.
+  size_t ap_queue_per_client = 126;
+  SimTime txop_limit = SimTime::Millis(4);
+
+  // Per-client overrides; padded with defaults to n_clients.
+  std::vector<ClientSpec> clients;
+  // SNR-driven loss (Figure 11); distances come from ClientSpec.
+  std::optional<SnrLossModel::Params> snr;
+
+  // SoRa quirks (§4.1).
+  SimTime extra_ack_delay;
+  SimTime extra_ack_timeout;
+
+  TcpConfig tcp;
+  uint32_t udp_payload_bytes = 1472;
+  double udp_rate_bps = 250e6;
+
+  HackAgentConfig hack_config;  // variant is overwritten from `hack`
+  uint64_t seed = 1;
+};
+
+struct ClientResult {
+  double goodput_mbps = 0.0;         // full-run goodput
+  double steady_goodput_mbps = 0.0;  // post-slow-start window
+  uint64_t bytes_delivered = 0;
+  MacStats mac;
+  HackStats hack;
+  TcpReceiverStats tcp_rx;
+  TcpSenderStats tcp_tx;
+  SimTime completion_time;  // file transfers only
+};
+
+struct ScenarioResult {
+  std::vector<ClientResult> clients;
+  MacStats ap_mac;
+  HackStats ap_hack;
+  ChannelAirtime airtime;  // medium occupancy breakdown
+  double aggregate_goodput_mbps = 0.0;
+  double steady_aggregate_goodput_mbps = 0.0;
+  SimTime sim_end;
+  uint64_t crc_failures = 0;  // decompression CRC failures (must be 0)
+  uint64_t tcp_timeouts = 0;  // summed over senders
+};
+
+ScenarioResult RunScenario(const ScenarioConfig& config);
+
+}  // namespace hacksim
+
+#endif  // SRC_SCENARIO_DOWNLOAD_SCENARIO_H_

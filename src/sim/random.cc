@@ -1,0 +1,85 @@
+#include "src/sim/random.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace hacksim {
+namespace {
+
+constexpr uint64_t RotL(uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Random::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(&sm);
+  }
+}
+
+uint64_t Random::NextU64() {
+  // xoshiro256++ step (Blackman & Vigna).
+  uint64_t result = RotL(state_[0] + state_[3], 23) + state_[0];
+  uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+uint64_t Random::NextBounded(uint64_t bound) {
+  CHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = NextU64();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+int64_t Random::NextInt(int64_t lo, int64_t hi) {
+  CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Random::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Random::NextBool(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+double Random::NextExponential(double mean) {
+  CHECK_GT(mean, 0.0);
+  double u = NextDouble();
+  // 1 - u is in (0, 1]; log of it is finite.
+  return -mean * std::log(1.0 - u);
+}
+
+Random Random::Fork() { return Random(NextU64()); }
+
+}  // namespace hacksim

@@ -1,0 +1,93 @@
+#include "src/sim/scheduler.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace hacksim {
+
+EventId Scheduler::ScheduleAt(SimTime t, std::function<void()> fn) {
+  CHECK_GE(t, now_) << "scheduling into the past";
+  CHECK(fn != nullptr);
+  EventId id = next_id_++;
+  heap_.push(HeapEntry{t, next_seq_++, id});
+  actions_.emplace(id, std::move(fn));
+  return id;
+}
+
+EventId Scheduler::ScheduleIn(SimTime delay, std::function<void()> fn) {
+  CHECK_GE(delay, SimTime::Zero());
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Scheduler::Cancel(EventId id) {
+  if (id == kInvalidEventId) {
+    return;
+  }
+  auto it = actions_.find(id);
+  if (it == actions_.end()) {
+    return;  // already fired or never existed
+  }
+  actions_.erase(it);
+  cancelled_.insert(id);
+}
+
+bool Scheduler::IsPending(EventId id) const {
+  return actions_.find(id) != actions_.end();
+}
+
+bool Scheduler::PopNext(HeapEntry* out) {
+  while (!heap_.empty()) {
+    HeapEntry entry = heap_.top();
+    heap_.pop();
+    auto cancelled_it = cancelled_.find(entry.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    *out = entry;
+    return true;
+  }
+  return false;
+}
+
+uint64_t Scheduler::Run(uint64_t limit) {
+  uint64_t n = 0;
+  HeapEntry entry;
+  while (n < limit && PopNext(&entry)) {
+    now_ = entry.time;
+    auto it = actions_.find(entry.id);
+    CHECK(it != actions_.end());
+    std::function<void()> fn = std::move(it->second);
+    actions_.erase(it);
+    fn();
+    ++n;
+    ++executed_;
+  }
+  return n;
+}
+
+uint64_t Scheduler::RunUntil(SimTime t) {
+  CHECK_GE(t, now_);
+  uint64_t n = 0;
+  HeapEntry entry;
+  while (PopNext(&entry)) {
+    if (entry.time > t) {
+      // Not due yet: put it back (seq preserved so FIFO order is unchanged).
+      heap_.push(entry);
+      break;
+    }
+    now_ = entry.time;
+    auto it = actions_.find(entry.id);
+    CHECK(it != actions_.end());
+    std::function<void()> fn = std::move(it->second);
+    actions_.erase(it);
+    fn();
+    ++n;
+    ++executed_;
+  }
+  now_ = t;
+  return n;
+}
+
+}  // namespace hacksim

@@ -1,0 +1,82 @@
+// Discrete-event scheduler: the heart of the simulator.
+//
+// Events are closures ordered by (time, insertion sequence); same-time events
+// run in FIFO order, which keeps runs deterministic for a fixed seed.
+// Cancellation is lazy: Cancel() marks the event id dead and the heap skips
+// it on pop (O(log n) amortised, no heap surgery).
+#ifndef SRC_SIM_SCHEDULER_H_
+#define SRC_SIM_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/sim_time.h"
+
+namespace hacksim {
+
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` at absolute time `t` (must be >= Now()).
+  EventId ScheduleAt(SimTime t, std::function<void()> fn);
+
+  // Schedules `fn` after `delay` (must be >= 0).
+  EventId ScheduleIn(SimTime delay, std::function<void()> fn);
+
+  // Cancels a pending event. Cancelling an already-fired or invalid id is a
+  // harmless no-op, so callers can keep stale handles safely.
+  void Cancel(EventId id);
+
+  bool IsPending(EventId id) const;
+
+  // Runs until the event queue drains or `limit` events have fired.
+  // Returns the number of events executed.
+  uint64_t Run(uint64_t limit = UINT64_MAX);
+
+  // Runs events with time <= t, then advances Now() to exactly t.
+  uint64_t RunUntil(SimTime t);
+
+  size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct HeapEntry {
+    SimTime time;
+    uint64_t seq;  // tie-break: FIFO among same-time events
+    EventId id;
+    // std::priority_queue is a max-heap; invert for earliest-first.
+    bool operator<(const HeapEntry& other) const {
+      if (time != other.time) {
+        return time > other.time;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  // Pops the next live entry, or returns false if the queue is empty.
+  bool PopNext(HeapEntry* out);
+
+  SimTime now_;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;  // 0 is kInvalidEventId
+  uint64_t executed_ = 0;
+  std::priority_queue<HeapEntry> heap_;
+  std::unordered_map<EventId, std::function<void()>> actions_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_SIM_SCHEDULER_H_

@@ -1,0 +1,75 @@
+// Simulation time: a strong type over signed 64-bit nanoseconds.
+//
+// 802.11 timing constants are microsecond-scale (SIFS 16 us, slot 9 us) with
+// sub-microsecond elements (400 ns short guard interval), so nanosecond
+// resolution represents every quantity in the paper exactly while giving
+// ~292 years of simulated range.
+#ifndef SRC_SIM_SIM_TIME_H_
+#define SRC_SIM_SIM_TIME_H_
+
+#include <cstdint>
+#include <ostream>
+
+namespace hacksim {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime Nanos(int64_t ns) { return SimTime(ns); }
+  static constexpr SimTime Micros(int64_t us) { return SimTime(us * 1000); }
+  static constexpr SimTime Millis(int64_t ms) {
+    return SimTime(ms * 1'000'000);
+  }
+  static constexpr SimTime Seconds(int64_t s) {
+    return SimTime(s * 1'000'000'000);
+  }
+  // Converts a floating-point duration in seconds, rounding to nearest ns.
+  static constexpr SimTime FromSecondsF(double s) {
+    return SimTime(static_cast<int64_t>(s * 1e9 + (s >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr SimTime FromMicrosF(double us) {
+    return SimTime(static_cast<int64_t>(us * 1e3 + (us >= 0 ? 0.5 : -0.5)));
+  }
+  static constexpr SimTime Zero() { return SimTime(0); }
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+
+  constexpr int64_t ns() const { return ns_; }
+  constexpr double ToSecondsF() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double ToMicrosF() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double ToMillisF() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr bool IsZero() const { return ns_ == 0; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime(a.ns_ + b.ns_);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime(a.ns_ - b.ns_);
+  }
+  friend constexpr SimTime operator*(SimTime a, int64_t k) {
+    return SimTime(a.ns_ * k);
+  }
+  friend constexpr SimTime operator*(int64_t k, SimTime a) { return a * k; }
+  constexpr SimTime& operator+=(SimTime other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(SimTime a, SimTime b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.ns_ << "ns";
+  }
+
+ private:
+  explicit constexpr SimTime(int64_t ns) : ns_(ns) {}
+  int64_t ns_ = 0;
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_SIM_SIM_TIME_H_

@@ -1,0 +1,43 @@
+#include "src/stats/experiment_stats.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace hacksim {
+
+void GoodputTracker::OnBytesDelivered(SimTime now, uint64_t bytes) {
+  DCHECK(now >= last_) << "samples must arrive in time order";
+  total_bytes_ += bytes;
+  if (first_ == SimTime::Max()) {
+    first_ = now;
+  }
+  last_ = now;
+  samples_.push_back(Sample{now, total_bytes_});
+}
+
+double GoodputTracker::GoodputMbps(SimTime from, SimTime to) const {
+  CHECK_LT(from, to);
+  auto cumulative_at = [this](SimTime t) -> uint64_t {
+    // Last sample with sample.t <= t.
+    auto it = std::upper_bound(
+        samples_.begin(), samples_.end(), t,
+        [](SimTime value, const Sample& s) { return value < s.t; });
+    if (it == samples_.begin()) {
+      return 0;
+    }
+    return std::prev(it)->cumulative;
+  };
+  uint64_t bytes = cumulative_at(to) - cumulative_at(from);
+  double seconds = (to - from).ToSecondsF();
+  return static_cast<double>(bytes) * 8.0 / seconds / 1e6;
+}
+
+double GoodputTracker::TotalGoodputMbps(SimTime end) const {
+  if (end.IsZero()) {
+    return 0.0;
+  }
+  return static_cast<double>(total_bytes_) * 8.0 / end.ToSecondsF() / 1e6;
+}
+
+}  // namespace hacksim

@@ -1,0 +1,75 @@
+// Aggregated per-run statistics: goodput time series and the counters that
+// back every table in the paper's evaluation. Collected by the scenario
+// harness from app sinks and MAC stats.
+#ifndef SRC_STATS_EXPERIMENT_STATS_H_
+#define SRC_STATS_EXPERIMENT_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/sim_time.h"
+#include "src/stats/mac_stats.h"
+#include "src/util/stats.h"
+
+namespace hacksim {
+
+// Records bytes delivered over time for one flow and evaluates goodput over
+// arbitrary windows (the paper uses steady-state windows for Figure 10).
+class GoodputTracker {
+ public:
+  void OnBytesDelivered(SimTime now, uint64_t bytes);
+
+  uint64_t total_bytes() const { return total_bytes_; }
+  SimTime first_delivery() const { return first_; }
+  SimTime last_delivery() const { return last_; }
+
+  // Goodput in Mbps over [from, to].
+  double GoodputMbps(SimTime from, SimTime to) const;
+  // Goodput over the whole run [0, end].
+  double TotalGoodputMbps(SimTime end) const;
+
+ private:
+  struct Sample {
+    SimTime t;
+    uint64_t cumulative;
+  };
+  std::vector<Sample> samples_;
+  uint64_t total_bytes_ = 0;
+  SimTime first_ = SimTime::Max();
+  SimTime last_;
+};
+
+// ROHC/HACK counters for Table 2 and the §3.4 robustness claims.
+struct HackStats {
+  uint64_t vanilla_acks_sent = 0;        // TCP ACK packets sent natively
+  uint64_t vanilla_ack_bytes = 0;
+  uint64_t compressed_acks_sent = 0;     // compressed ACKs placed on LL ACKs
+  uint64_t compressed_ack_bytes = 0;     // including re-sent retained copies
+  uint64_t unique_compressed_acks = 0;   // distinct TCP ACKs compressed
+  uint64_t unique_compressed_bytes = 0;
+  uint64_t acks_recovered_at_ap = 0;     // decompressed + forwarded
+  uint64_t duplicates_discarded_at_ap = 0;
+  uint64_t crc_failures_at_ap = 0;       // must stay 0 (§4.3)
+  uint64_t retained_resends = 0;         // payloads re-sent for reliability
+  uint64_t flushed_to_vanilla = 0;       // staged ACKs demoted to vanilla
+  uint64_t withdrawn_vanilla_won = 0;    // opportunistic: vanilla copy won
+  uint64_t stale_context_drops = 0;
+  uint64_t ready_race_fallbacks = 0;     // Fig 3-4 NIC-not-ready events
+
+  double CompressionRatio() const {
+    if (unique_compressed_acks == 0 || unique_compressed_bytes == 0) {
+      return 1.0;
+    }
+    // Bytes a vanilla ACK would have used / compressed bytes.
+    return static_cast<double>(vanilla_ack_bytes_equivalent()) /
+           static_cast<double>(unique_compressed_bytes);
+  }
+  uint64_t vanilla_ack_bytes_equivalent() const {
+    // 52 B: IPv4 (20) + TCP (20) + timestamps option (12).
+    return unique_compressed_acks * 52;
+  }
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_STATS_EXPERIMENT_STATS_H_

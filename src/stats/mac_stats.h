@@ -1,0 +1,71 @@
+// Counters a WifiMac exposes. These feed the reproduction of the paper's
+// Table 1 (retry fractions), Table 3 (TCP-ACK time overhead breakdown) and
+// footnote 7 (fraction of HACK payloads fitting within AIFS).
+//
+// Time attribution follows the paper's accounting (validated against the
+// published per-ACK figures):
+//   * tcp_ack_payload_airtime_ns  — IP-datagram bytes of vanilla TCP ACKs at
+//     the data rate ("TCP ACK" column: 52 B @ 54 Mbps = 7.7 us/ACK).
+//   * rohc_payload_airtime_ns     — compressed bytes at the control rate
+//     ("ROHC" column: ~4 B @ 24 Mbps = 1.4 us/ACK).
+//   * tcp_ack_channel_overhead_ns — acquisition wait + preamble + MAC header
+//     time for frames carrying vanilla TCP ACKs ("Channel" column).
+//   * tcp_ack_ll_ack_overhead_ns  — SIFS + LL ACK duration + any extra
+//     response delay for LL ACKs elicited by vanilla TCP ACK frames
+//     ("LL ACK overhead" column).
+#ifndef SRC_STATS_MAC_STATS_H_
+#define SRC_STATS_MAC_STATS_H_
+
+#include <cstdint>
+
+namespace hacksim {
+
+struct MacStats {
+  // --- data MPDU outcomes (originator side) --------------------------------
+  uint64_t mpdus_delivered_first_try = 0;
+  uint64_t mpdus_delivered_retried = 0;
+  uint64_t mpdus_dropped_retry_limit = 0;
+  uint64_t mpdu_tx_attempts = 0;
+  uint64_t ppdus_sent = 0;
+  uint64_t response_timeouts = 0;
+  uint64_t bars_sent = 0;
+  uint64_t ba_agreement_give_ups = 0;
+  uint64_t batches_sent_with_sync = 0;
+  uint64_t batches_sent_more_data = 0;   // MORE DATA bit set
+  uint64_t batches_sent_final = 0;       // MORE DATA bit clear
+  uint64_t tx_dropped_phy_busy = 0;
+  uint64_t queue_drops = 0;  // per-destination queue overflow (drop-tail)
+
+  // --- vanilla TCP ACK accounting (Table 3) ---------------------------------
+  uint64_t tcp_ack_frames_sent = 0;      // MPDUs that are pure TCP ACKs
+  uint64_t tcp_ack_bytes_sent = 0;       // their IP-datagram bytes
+  int64_t tcp_ack_payload_airtime_ns = 0;
+  int64_t tcp_ack_channel_overhead_ns = 0;
+  int64_t tcp_ack_ll_ack_overhead_ns = 0;
+
+  // --- HACK payload accounting ----------------------------------------------
+  uint64_t hack_payloads_sent = 0;
+  uint64_t hack_payload_bytes_sent = 0;
+  int64_t rohc_payload_airtime_ns = 0;
+  uint64_t hack_payloads_fit_in_aifs = 0;
+
+  // --- recipient side --------------------------------------------------------
+  uint64_t data_mpdus_received = 0;
+  uint64_t duplicate_mpdus_discarded = 0;
+  uint64_t rx_corrupted_events = 0;
+  uint64_t acks_sent = 0;
+  uint64_t block_acks_sent = 0;
+
+  double FirstTryFraction() const {
+    uint64_t delivered = mpdus_delivered_first_try + mpdus_delivered_retried;
+    if (delivered == 0) {
+      return 1.0;
+    }
+    return static_cast<double>(mpdus_delivered_first_try) /
+           static_cast<double>(delivered);
+  }
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_STATS_MAC_STATS_H_

@@ -1,0 +1,65 @@
+// Shared TCP machinery: configuration, 32-bit sequence arithmetic and the
+// timestamp clock. The TCP model is deliberately faithful where the paper's
+// dynamics depend on it: delayed ACKs (1 per 2 segments — the assumption
+// behind every capacity figure), NewReno congestion control with fast
+// retransmit (HACK must preserve dupacks; §6 criticises prior work for
+// breaking them), RFC 6298 retransmission timeouts (the §3.2 stall scenario)
+// and RFC 7323 timestamps (the 52-byte ACKs of Table 2, and §5's
+// timestamp-echo future-work variant).
+#ifndef SRC_TCP_TCP_COMMON_H_
+#define SRC_TCP_TCP_COMMON_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/sim_time.h"
+
+namespace hacksim {
+
+// Serial-number arithmetic on 32-bit sequence space.
+inline bool Seq32Lt(uint32_t a, uint32_t b) {
+  return static_cast<int32_t>(a - b) < 0;
+}
+inline bool Seq32Le(uint32_t a, uint32_t b) {
+  return static_cast<int32_t>(a - b) <= 0;
+}
+inline bool Seq32Gt(uint32_t a, uint32_t b) { return Seq32Lt(b, a); }
+inline bool Seq32Ge(uint32_t a, uint32_t b) { return Seq32Le(b, a); }
+inline uint32_t Seq32Max(uint32_t a, uint32_t b) {
+  return Seq32Gt(a, b) ? a : b;
+}
+
+struct TcpConfig {
+  uint32_t mss = 1460;            // payload bytes per segment
+  uint32_t initial_cwnd_segments = 10;
+  // 2014-era Linux default (tcp_rmem max ~208-256 KB untuned): bounds the
+  // slow-start overshoot into the AP's 126-packet queue exactly as the
+  // paper's stacks did.
+  uint32_t receive_window_bytes = 256 * 1024;
+  uint8_t window_scale = 7;
+  bool use_timestamps = true;
+  bool use_sack = true;
+
+  // Delayed ACK (RFC 1122 / 5681): one ACK per `delayed_ack_segments` full
+  // segments, or after `delayed_ack_timeout`, whichever first.
+  bool delayed_ack = true;
+  uint32_t delayed_ack_segments = 2;
+  SimTime delayed_ack_timeout = SimTime::Millis(40);
+
+  // RTO per RFC 6298 with Linux-like floor.
+  SimTime rto_initial = SimTime::Seconds(1);
+  SimTime rto_min = SimTime::Millis(200);
+  SimTime rto_max = SimTime::Seconds(60);
+
+  // Timestamp clock granularity (Linux: 1 ms).
+  SimTime ts_granularity = SimTime::Millis(1);
+};
+
+// Millisecond timestamp-option clock.
+inline uint32_t TsClock(SimTime now) {
+  return static_cast<uint32_t>(now.ns() / 1'000'000);
+}
+
+}  // namespace hacksim
+
+#endif  // SRC_TCP_TCP_COMMON_H_

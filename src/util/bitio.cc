@@ -1,0 +1,3 @@
+// bitio is header-only; this translation unit exists so the util library has
+// a consistent one-cc-per-header layout and anchors the header's compile.
+#include "src/util/bitio.h"

@@ -1,0 +1,98 @@
+// Minimal logging and invariant-checking support for the simulator.
+//
+// Philosophy (per C++ Core Guidelines E.12/I.6): programmer errors and broken
+// invariants abort via CHECK; recoverable conditions are modelled with
+// std::optional or status enums at the call site, never with exceptions on
+// hot paths.
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hacksim {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Global log threshold; messages below it are discarded. Defaults to
+// kWarning so tests and benches stay quiet unless they opt in.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+// Accumulates one log statement and emits it (to stderr) on destruction.
+// FATAL messages abort the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows streamed values when a log statement is compiled out or below
+// the active threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace hacksim
+
+#define HACKSIM_LOG_ENABLED(level) \
+  (::hacksim::LogLevel::level >= ::hacksim::GetLogLevel())
+
+#define LOG(level)                                                        \
+  if (!HACKSIM_LOG_ENABLED(k##level)) {                                   \
+  } else                                                                  \
+    ::hacksim::internal::LogMessage(::hacksim::LogLevel::k##level,        \
+                                    __FILE__, __LINE__)                   \
+        .stream()
+
+// CHECK is always on (release included): simulation correctness depends on
+// these invariants and silent corruption would invalidate every experiment.
+#define CHECK(cond)                                                       \
+  if (cond) {                                                             \
+  } else                                                                  \
+    ::hacksim::internal::LogMessage(::hacksim::LogLevel::kFatal,          \
+                                    __FILE__, __LINE__)                   \
+            .stream()                                                     \
+        << "CHECK failed: " #cond " "
+
+#define CHECK_EQ(a, b) CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_NE(a, b) CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_LT(a, b) CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_LE(a, b) CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_GT(a, b) CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_GE(a, b) CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define DCHECK(cond) \
+  if (true) {        \
+  } else             \
+    ::hacksim::internal::NullStream()
+#else
+#define DCHECK(cond) CHECK(cond)
+#endif
+
+#endif  // SRC_UTIL_LOGGING_H_

@@ -1,0 +1,162 @@
+#include "src/util/md5.h"
+
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace hacksim {
+namespace {
+
+// Per-round shift amounts (RFC 1321 §3.4).
+constexpr std::array<uint32_t, 64> kShift = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(2^32 * |sin(i + 1)|), precomputed (RFC 1321 §3.4).
+constexpr std::array<uint32_t, 64> kSine = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+constexpr uint32_t RotateLeft(uint32_t x, uint32_t c) {
+  return (x << c) | (x >> (32 - c));
+}
+
+uint32_t LoadLe32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+Md5::Md5() { Reset(); }
+
+void Md5::Reset() {
+  state_ = {0x67452301u, 0xefcdab89u, 0x98badcfeu, 0x10325476u};
+  buffer_len_ = 0;
+  total_bytes_ = 0;
+  finished_ = false;
+}
+
+void Md5::Update(std::span<const uint8_t> data) {
+  CHECK(!finished_) << "Md5::Update after Finish without Reset";
+  total_bytes_ += data.size();
+  size_t offset = 0;
+  // Fill any partial block first.
+  if (buffer_len_ > 0) {
+    size_t take = std::min(data.size(), buffer_.size() - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset += take;
+    if (buffer_len_ == buffer_.size()) {
+      ProcessBlock(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    ProcessBlock(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffer_len_ = data.size() - offset;
+  }
+}
+
+Md5Digest Md5::Finish() {
+  CHECK(!finished_);
+  finished_ = true;
+  // Padding: 0x80 then zeros until 56 mod 64, then 64-bit little-endian
+  // length in bits.
+  uint64_t bit_len = total_bytes_ * 8;
+  uint8_t pad[72] = {0x80};
+  size_t pad_len = (buffer_len_ < 56) ? (56 - buffer_len_)
+                                      : (120 - buffer_len_);
+  finished_ = false;  // allow the Update calls below
+  uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<uint8_t>(bit_len >> (8 * i));
+  }
+  Update({pad, pad_len});
+  Update({len_bytes, 8});
+  finished_ = true;
+  CHECK_EQ(buffer_len_, 0u);
+
+  Md5Digest out;
+  for (int i = 0; i < 4; ++i) {
+    out[4 * i + 0] = static_cast<uint8_t>(state_[i]);
+    out[4 * i + 1] = static_cast<uint8_t>(state_[i] >> 8);
+    out[4 * i + 2] = static_cast<uint8_t>(state_[i] >> 16);
+    out[4 * i + 3] = static_cast<uint8_t>(state_[i] >> 24);
+  }
+  return out;
+}
+
+void Md5::ProcessBlock(const uint8_t* block) {
+  uint32_t m[16];
+  for (int i = 0; i < 16; ++i) {
+    m[i] = LoadLe32(block + 4 * i);
+  }
+  uint32_t a = state_[0];
+  uint32_t b = state_[1];
+  uint32_t c = state_[2];
+  uint32_t d = state_[3];
+
+  for (uint32_t i = 0; i < 64; ++i) {
+    uint32_t f;
+    uint32_t g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    uint32_t temp = d;
+    d = c;
+    c = b;
+    b = b + RotateLeft(a + f + kSine[i] + m[g], kShift[i]);
+    a = temp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+Md5Digest Md5::Hash(std::span<const uint8_t> data) {
+  Md5 hasher;
+  hasher.Update(data);
+  return hasher.Finish();
+}
+
+std::string Md5::ToHex(const Md5Digest& digest) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace hacksim

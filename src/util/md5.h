@@ -1,0 +1,51 @@
+// MD5 message digest (RFC 1321), implemented from scratch.
+//
+// HACK uses MD5 to derive ROHC context identifiers: the CID for a TCP flow is
+// the lowest byte of the MD5 hash over the flow's 5-tuple (paper §3.3.2).
+// MD5 is used here as a stable mixing function, not for security.
+#ifndef SRC_UTIL_MD5_H_
+#define SRC_UTIL_MD5_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace hacksim {
+
+using Md5Digest = std::array<uint8_t, 16>;
+
+// Incremental MD5 hasher.
+class Md5 {
+ public:
+  Md5();
+
+  // Absorbs `data` into the running hash.
+  void Update(std::span<const uint8_t> data);
+
+  // Finalizes and returns the digest. The hasher must not be reused after
+  // calling Finish() without Reset().
+  Md5Digest Finish();
+
+  void Reset();
+
+  // One-shot convenience.
+  static Md5Digest Hash(std::span<const uint8_t> data);
+
+  // Lowercase hex rendering (for tests against RFC 1321 vectors).
+  static std::string ToHex(const Md5Digest& digest);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  std::array<uint32_t, 4> state_;
+  std::array<uint8_t, 64> buffer_;
+  size_t buffer_len_ = 0;
+  uint64_t total_bytes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_UTIL_MD5_H_

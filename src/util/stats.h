@@ -1,0 +1,74 @@
+// Small statistics helpers: running mean/variance (Welford), min/max,
+// fixed-bucket histograms, and time-weighted averages. Used by the stats
+// collectors that regenerate the paper's tables.
+#ifndef SRC_UTIL_STATS_H_
+#define SRC_UTIL_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace hacksim {
+
+// Streaming scalar summary (Welford's algorithm for numerically stable
+// variance).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  // Merges another summary into this one (parallel Welford combine).
+  void Merge(const RunningStats& other);
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Histogram over [lo, hi) with `buckets` equal-width bins plus underflow and
+// overflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int buckets);
+
+  void Add(double x);
+
+  int64_t total() const { return total_; }
+  int64_t underflow() const { return underflow_; }
+  int64_t overflow() const { return overflow_; }
+  int64_t bucket_count(int i) const { return counts_[i]; }
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+  double bucket_lo(int i) const { return lo_ + i * width_; }
+
+  // Value below which `fraction` (0..1] of samples fall. Linear
+  // interpolation within the bucket; underflow counts at lo, overflow at hi.
+  double Quantile(double fraction) const;
+
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<int64_t> counts_;
+  int64_t underflow_ = 0;
+  int64_t overflow_ = 0;
+  int64_t total_ = 0;
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_UTIL_STATS_H_

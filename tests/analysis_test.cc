@@ -1,0 +1,166 @@
+// Analytical-model tests: every headline number the paper derives in §1/§2
+// must fall out of the closed-form model.
+#include <gtest/gtest.h>
+
+#include "src/analysis/capacity_model.h"
+
+namespace hacksim {
+namespace {
+
+CapacityParams ParamsA(double rate) {
+  CapacityParams p;
+  p.standard = WifiStandard::k80211a;
+  p.data_mode = ModeForRate(Modes80211a(), rate);
+  return p;
+}
+
+CapacityParams ParamsN(double rate) {
+  CapacityParams p;
+  p.standard = WifiStandard::k80211n;
+  p.data_mode = ModeForRate(Modes80211nExtended(), rate);
+  return p;
+}
+
+TEST(CapacityTest, MeanAcquisitionOverheadMatchesPaper) {
+  // §1: 110.5 us for 802.11n EDCA best-effort.
+  EXPECT_EQ(MeanAcquisitionOverhead(WifiStandard::k80211n),
+            SimTime::Nanos(110'500));
+  // 802.11a: DIFS 34 + 7.5 * 9 = 101.5 us.
+  EXPECT_EQ(MeanAcquisitionOverhead(WifiStandard::k80211a),
+            SimTime::Nanos(101'500));
+}
+
+TEST(CapacityTest, SingleFrameAt600MbpsIsNinePercent) {
+  // §1: "If a 600 Mbps 802.11n sender sent single frames in this fashion,
+  // it would only achieve 9% of the theoretical channel capacity."
+  double eff = SingleFrameEfficiency(ParamsN(600));
+  EXPECT_NEAR(eff, 0.09, 0.01);
+}
+
+TEST(CapacityTest, AmpduHolds42FullSizeMpdus) {
+  // §4.3: batches of 42 packets at high rates.
+  EXPECT_EQ(AmpduDataMpdus(ParamsN(150)), 42);
+  EXPECT_EQ(AmpduDataMpdus(ParamsN(600)), 42);  // still 64 KB-bound
+}
+
+TEST(CapacityTest, TxopLimitsAmpduAtLowRates) {
+  // §4.3: the 4 ms TXOP limit binds at low rates.
+  int n15 = AmpduDataMpdus(ParamsN(15));
+  EXPECT_GE(n15, 3);
+  EXPECT_LE(n15, 5);
+  int n45 = AmpduDataMpdus(ParamsN(45));
+  EXPECT_GT(n45, n15);
+  EXPECT_LT(n45, 42);
+}
+
+TEST(CapacityTest, UdpBound80211a54) {
+  // §4.2: "In an ideal 802.11 MAC, UDP would achieve 30.2 Mbps" at 54 Mbps.
+  double udp = UdpGoodputMbps(ParamsA(54));
+  EXPECT_NEAR(udp, 30.2, 0.8);
+}
+
+TEST(CapacityTest, HackBeatsStockEverywhere) {
+  for (const WifiMode& mode : Modes80211a()) {
+    CapacityParams p = ParamsA(mode.rate_mbps());
+    EXPECT_GT(TcpHackGoodputMbps(p), TcpGoodputMbps(p)) << mode.Name();
+  }
+  for (const WifiMode& mode : Modes80211nExtended()) {
+    CapacityParams p = ParamsN(mode.rate_mbps());
+    EXPECT_GT(TcpHackGoodputMbps(p), TcpGoodputMbps(p)) << mode.Name();
+  }
+}
+
+TEST(CapacityTest, GainGrowsWithRate80211n) {
+  // Fig 1(b)/§4.3: ~7% at 150 Mbps, ~20% at 600 Mbps, growing with rate
+  // once A-MPDUs are byte-bound. (Below ~150 Mbps the 4 ms TXOP shrinks
+  // batches, which *raises* the relative gain slightly — §4.3 notes the
+  // same effect in Figure 11 — so monotonicity only holds from 150 up.)
+  auto gain = [](double rate) {
+    CapacityParams p = ParamsN(rate);
+    return TcpHackGoodputMbps(p) / TcpGoodputMbps(p) - 1.0;
+  };
+  EXPECT_LT(gain(150), gain(300));
+  EXPECT_LT(gain(300), gain(600));
+  EXPECT_NEAR(gain(150), 0.07, 0.03);
+  EXPECT_NEAR(gain(600), 0.20, 0.05);
+  EXPECT_GT(gain(15), gain(60)) << "TXOP-bound low rates gain more (§4.3)";
+}
+
+TEST(CapacityTest, AverageGainBelow100MbpsIsAboutEightPercent) {
+  // Fig 1(b) caption: "an 8% improvement on average ... for physical rates
+  // lower than 100 Mbps".
+  double total = 0;
+  int count = 0;
+  for (const WifiMode& mode : Modes80211n()) {
+    if (mode.rate_mbps() < 100) {
+      CapacityParams p = ParamsN(mode.rate_mbps());
+      total += TcpHackGoodputMbps(p) / TcpGoodputMbps(p) - 1.0;
+      ++count;
+    }
+  }
+  EXPECT_NEAR(total / count, 0.08, 0.03);
+}
+
+TEST(CapacityTest, ThroughputFractionShrinksWithRate) {
+  // §2.1: achievable TCP throughput is a progressively smaller fraction of
+  // the PHY rate as the latter increases.
+  double frac_prev = 1.0;
+  for (const WifiMode& mode : Modes80211a()) {
+    CapacityParams p = ParamsA(mode.rate_mbps());
+    double frac = TcpGoodputMbps(p) / mode.rate_mbps();
+    EXPECT_LT(frac, frac_prev) << mode.Name();
+    frac_prev = frac;
+  }
+}
+
+TEST(CapacityTest, Fig1aEndpoints) {
+  // Figure 1(a) y-range: ~5 Mbps at the low end, <30 at the top.
+  double lo = TcpGoodputMbps(ParamsA(6));
+  double hi_hack = TcpHackGoodputMbps(ParamsA(54));
+  EXPECT_GT(lo, 3.5);
+  EXPECT_LT(lo, 6.5);
+  EXPECT_GT(hi_hack, 26.0);
+  EXPECT_LT(hi_hack, 31.0);
+}
+
+TEST(CapacityTest, Fig1bEndpoints) {
+  // Figure 1(b): TCP/802.11n < 500 Mbps goodput even at 600 Mbps PHY;
+  // TCP/HACK around 20% above stock there.
+  double stock = TcpGoodputMbps(ParamsN(600));
+  double hack = TcpHackGoodputMbps(ParamsN(600));
+  EXPECT_GT(stock, 300.0);
+  EXPECT_LT(stock, 480.0);
+  EXPECT_GT(hack, stock * 1.15);
+}
+
+TEST(CapacityTest, UdpExceedsTcpEverywhere) {
+  for (const WifiMode& mode : Modes80211n()) {
+    CapacityParams p = ParamsN(mode.rate_mbps());
+    EXPECT_GT(UdpGoodputMbps(p), TcpGoodputMbps(p)) << mode.Name();
+  }
+}
+
+TEST(CapacityTest, HackApproachesUdpBound) {
+  // §4.2: "If TCP/HACK encapsulated all TCP ACKs in LL ACKs, it would
+  // achieve almost the same throughput as UDP."
+  CapacityParams p = ParamsA(54);
+  EXPECT_GT(TcpHackGoodputMbps(p), 0.93 * UdpGoodputMbps(p));
+}
+
+TEST(CapacityTest, DelayedAckRatioMatters) {
+  // Footnote 1: without delayed ACKs (ratio 1), stock TCP fares worse.
+  CapacityParams with_delack = ParamsA(54);
+  CapacityParams without = ParamsA(54);
+  without.delayed_ack_ratio = 1;
+  EXPECT_GT(TcpGoodputMbps(with_delack), TcpGoodputMbps(without));
+}
+
+TEST(CapacityTest, MpduSizesFeedingModel) {
+  CapacityParams p = ParamsN(150);
+  EXPECT_EQ(DataMpduBytes(p), 26u + 8 + 1512 + 4);  // 1550
+  EXPECT_EQ(TcpAckMpduBytes(p), 26u + 8 + 52 + 4);  // 90
+  EXPECT_EQ(UdpMpduBytes(p), 26u + 8 + 1500 + 4);   // 1538
+}
+
+}  // namespace
+}  // namespace hacksim

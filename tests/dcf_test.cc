@@ -1,0 +1,178 @@
+// Unit tests for the DCF/EDCA channel-access engine: AIFS deferral, backoff
+// freezing/resumption, immediate access, CW doubling, EIFS.
+#include <gtest/gtest.h>
+
+#include "src/mac80211/dcf.h"
+#include "src/phy80211/wifi_mode.h"
+
+namespace hacksim {
+namespace {
+
+class DcfFixture : public ::testing::Test {
+ protected:
+  DcfFixture() {
+    PhyTimings t = TimingsFor(WifiStandard::k80211a);
+    DcfEngine::Config cfg{t.slot, t.difs, t.cw_min, t.cw_max,
+                          SimTime::Micros(44)};
+    dcf_ = std::make_unique<DcfEngine>(&sched_, Random(99), cfg);
+    dcf_->on_grant = [this]() {
+      ++grants_;
+      last_grant_ = sched_.Now();
+    };
+  }
+
+  Scheduler sched_;
+  std::unique_ptr<DcfEngine> dcf_;
+  int grants_ = 0;
+  SimTime last_grant_;
+};
+
+TEST_F(DcfFixture, ImmediateAccessAfterLongIdle) {
+  // Medium idle since t=0; request at t=1ms: grant after (at most) AIFS.
+  sched_.RunUntil(SimTime::Millis(1));
+  dcf_->RequestAccess();
+  sched_.Run();
+  EXPECT_EQ(grants_, 1);
+  // Idle since t=0 means AIFS long since satisfied: immediate grant.
+  EXPECT_EQ(last_grant_, SimTime::Millis(1));
+}
+
+TEST_F(DcfFixture, FreshIdleWaitsAifs) {
+  dcf_->NotifyMediumBusy();
+  sched_.RunUntil(SimTime::Micros(100));
+  dcf_->RequestAccess();        // busy: must defer and draw backoff
+  sched_.RunUntil(SimTime::Micros(200));
+  dcf_->NotifyMediumIdle();
+  sched_.Run();
+  EXPECT_EQ(grants_, 1);
+  // Grant no earlier than idle start + DIFS (34 us).
+  EXPECT_GE(last_grant_, SimTime::Micros(200 + 34));
+  // And no later than DIFS + CWmin slots.
+  EXPECT_LE(last_grant_, SimTime::Micros(200 + 34 + 15 * 9));
+}
+
+TEST_F(DcfFixture, BackoffFreezesAndResumes) {
+  dcf_->NotifyMediumBusy();
+  dcf_->RequestAccess();
+  dcf_->NotifyMediumIdle();
+  int slots = dcf_->backoff_slots();
+  ASSERT_GE(slots, 0);
+  if (slots < 2) {
+    GTEST_SKIP() << "drawn backoff too short to split";
+  }
+  // Let AIFS + one slot elapse, then freeze.
+  sched_.RunUntil(SimTime::Micros(34 + 9 + 1));
+  dcf_->NotifyMediumBusy();
+  EXPECT_EQ(dcf_->backoff_slots(), slots - 1);
+  EXPECT_EQ(grants_, 0);
+  // Resume; remaining slots count down after a fresh AIFS.
+  SimTime resume = sched_.Now();
+  dcf_->NotifyMediumIdle();
+  sched_.Run();
+  EXPECT_EQ(grants_, 1);
+  EXPECT_EQ(last_grant_,
+            resume + SimTime::Micros(34) + SimTime::Micros(9) * (slots - 1));
+}
+
+TEST_F(DcfFixture, CwDoublesOnFailureAndResetsOnSuccess) {
+  EXPECT_EQ(dcf_->cw(), 15u);
+  dcf_->NotifyTxFailure();
+  EXPECT_EQ(dcf_->cw(), 31u);
+  dcf_->NotifyTxFailure();
+  EXPECT_EQ(dcf_->cw(), 63u);
+  for (int i = 0; i < 10; ++i) {
+    dcf_->NotifyTxFailure();
+  }
+  EXPECT_EQ(dcf_->cw(), 1023u);  // capped at CWmax
+  dcf_->NotifyTxSuccess();
+  EXPECT_EQ(dcf_->cw(), 15u);
+}
+
+TEST_F(DcfFixture, EifsAfterRxFailure) {
+  dcf_->NotifyRxFailed();
+  dcf_->NotifyMediumBusy();
+  dcf_->RequestAccess();
+  SimTime idle_start = sched_.Now();
+  dcf_->NotifyMediumIdle();
+  sched_.Run();
+  EXPECT_EQ(grants_, 1);
+  // Deferral extended by eifs_extra (44 us here).
+  EXPECT_GE(last_grant_, idle_start + SimTime::Micros(34 + 44));
+}
+
+TEST_F(DcfFixture, RxOkClearsEifs) {
+  dcf_->NotifyRxFailed();
+  dcf_->NotifyRxOk();
+  sched_.RunUntil(SimTime::Millis(1));
+  dcf_->RequestAccess();
+  sched_.Run();
+  EXPECT_EQ(last_grant_, SimTime::Millis(1));  // immediate: no EIFS residue
+}
+
+TEST_F(DcfFixture, CancelAccessPreventsGrant) {
+  dcf_->NotifyMediumBusy();
+  dcf_->RequestAccess();
+  dcf_->NotifyMediumIdle();
+  dcf_->CancelAccess();
+  sched_.Run();
+  EXPECT_EQ(grants_, 0);
+}
+
+TEST_F(DcfFixture, RepeatedRequestIsIdempotent) {
+  sched_.RunUntil(SimTime::Millis(1));
+  dcf_->RequestAccess();
+  dcf_->RequestAccess();
+  dcf_->RequestAccess();
+  sched_.Run();
+  EXPECT_EQ(grants_, 1);
+}
+
+TEST_F(DcfFixture, PostTxBackoffDelaysNextGrant) {
+  sched_.RunUntil(SimTime::Millis(1));
+  dcf_->DrawPostTxBackoff();
+  int slots = dcf_->backoff_slots();
+  dcf_->RequestAccess();
+  sched_.Run();
+  EXPECT_EQ(grants_, 1);
+  // Even on a long-idle medium, a fresh post-TX backoff must elapse in
+  // real time from the draw — past idle time cannot be credited.
+  if (slots > 0) {
+    EXPECT_GE(last_grant_, SimTime::Millis(1) + SimTime::Micros(9) * slots);
+  }
+}
+
+TEST_F(DcfFixture, GrantTimesAreSlotAligned) {
+  // Statistical check: grants after busy periods land on AIFS + k*slot.
+  for (int i = 0; i < 50; ++i) {
+    dcf_->NotifyMediumBusy();
+    dcf_->RequestAccess();
+    SimTime idle_start = sched_.Now();
+    dcf_->NotifyMediumIdle();
+    int before = grants_;
+    sched_.Run();
+    ASSERT_EQ(grants_, before + 1);
+    int64_t offset_ns = (last_grant_ - idle_start).ns() - 34'000;
+    EXPECT_GE(offset_ns, 0);
+    EXPECT_EQ(offset_ns % 9'000, 0) << "grant not slot-aligned";
+    EXPECT_LE(offset_ns / 9'000, 15);
+  }
+}
+
+TEST_F(DcfFixture, BackoffDistributionIsUniformish) {
+  // Mean of CWmin backoff draws should be ~CWmin/2 = 7.5 slots.
+  double total_slots = 0;
+  int samples = 200;
+  for (int i = 0; i < samples; ++i) {
+    dcf_->NotifyMediumBusy();
+    dcf_->RequestAccess();
+    SimTime idle_start = sched_.Now();
+    dcf_->NotifyMediumIdle();
+    sched_.Run();
+    total_slots += static_cast<double>(
+        ((last_grant_ - idle_start).ns() - 34'000) / 9'000);
+  }
+  EXPECT_NEAR(total_slots / samples, 7.5, 1.0);
+}
+
+}  // namespace
+}  // namespace hacksim

@@ -1,0 +1,345 @@
+// MAC-layer tests: two stations on a clean or lossy channel exercising
+// stop-and-wait exchanges (802.11a), A-MPDU + Block ACK (802.11n), retry
+// and BAR recovery, MORE DATA and SYNC bits, NAV, and in-order delivery.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/mac80211/wifi_mac.h"
+#include "src/phy80211/wifi_phy.h"
+
+namespace hacksim {
+namespace {
+
+Packet MakeUdpPacket(uint32_t payload, uint16_t dst_port = 9) {
+  return Packet::MakeUdp(Ipv4Address::FromOctets(10, 0, 0, 1),
+                         Ipv4Address::FromOctets(10, 0, 2, 1), 7, dst_port,
+                         payload);
+}
+
+Packet MakeTcpAckPacket() {
+  TcpHeader tcp;
+  tcp.src_port = 6000;
+  tcp.dst_port = 5000;
+  tcp.flag_ack = true;
+  tcp.window = 1000;
+  tcp.timestamps = TcpTimestamps{1, 2};
+  return Packet::MakeTcp(Ipv4Address::FromOctets(10, 0, 2, 1),
+                         Ipv4Address::FromOctets(10, 0, 0, 1), tcp, 0);
+}
+
+struct MacPair {
+  explicit MacPair(WifiStandard standard, double rate_mbps,
+                   double loss_at_b = 0.0)
+      : channel(&sched) {
+    WifiMacConfig cfg;
+    cfg.standard = standard;
+    cfg.data_mode = ModeForRate(standard == WifiStandard::k80211a
+                                    ? Modes80211a()
+                                    : Modes80211n(),
+                                rate_mbps);
+    phy_a = std::make_unique<WifiPhy>(&sched, Random(1));
+    phy_b = std::make_unique<WifiPhy>(&sched, Random(2));
+    phy_a->AttachTo(&channel);
+    phy_b->AttachTo(&channel);
+    phy_a->set_position({0, 0});
+    phy_b->set_position({5, 0});
+    if (loss_at_b > 0) {
+      phy_b->set_loss_model(
+          std::make_unique<BernoulliLossModel>(loss_at_b, 0.0));
+    }
+    mac_a = std::make_unique<WifiMac>(&sched, phy_a.get(),
+                                      MacAddress::ForStation(0), cfg,
+                                      Random(11));
+    mac_b = std::make_unique<WifiMac>(&sched, phy_b.get(),
+                                      MacAddress::ForStation(1), cfg,
+                                      Random(12));
+    mac_b->on_rx_packet = [this](Packet p, MacAddress) {
+      received_at_b.push_back(std::move(p));
+    };
+    mac_a->on_rx_packet = [this](Packet p, MacAddress) {
+      received_at_a.push_back(std::move(p));
+    };
+  }
+
+  Scheduler sched;
+  WirelessChannel channel;
+  std::unique_ptr<WifiPhy> phy_a, phy_b;
+  std::unique_ptr<WifiMac> mac_a, mac_b;
+  std::vector<Packet> received_at_a, received_at_b;
+};
+
+TEST(MacTest, SingleFrameDelivery80211a) {
+  MacPair pair(WifiStandard::k80211a, 54);
+  pair.mac_a->Enqueue(MakeUdpPacket(1000), MacAddress::ForStation(1));
+  pair.sched.RunUntil(SimTime::Millis(5));
+  ASSERT_EQ(pair.received_at_b.size(), 1u);
+  EXPECT_EQ(pair.received_at_b[0].payload_bytes(), 1000u);
+  EXPECT_EQ(pair.mac_a->stats().mpdus_delivered_first_try, 1u);
+  EXPECT_EQ(pair.mac_b->stats().acks_sent, 1u);
+}
+
+TEST(MacTest, ManyFramesInOrder80211a) {
+  MacPair pair(WifiStandard::k80211a, 54);
+  for (uint32_t i = 0; i < 50; ++i) {
+    pair.mac_a->Enqueue(MakeUdpPacket(100 + i), MacAddress::ForStation(1));
+  }
+  pair.sched.RunUntil(SimTime::Millis(100));
+  ASSERT_EQ(pair.received_at_b.size(), 50u);
+  for (uint32_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(pair.received_at_b[i].payload_bytes(), 100 + i);
+  }
+}
+
+TEST(MacTest, RetriesRecoverLoss80211a) {
+  MacPair pair(WifiStandard::k80211a, 54, /*loss_at_b=*/0.3);
+  for (uint32_t i = 0; i < 50; ++i) {
+    pair.mac_a->Enqueue(MakeUdpPacket(500), MacAddress::ForStation(1));
+  }
+  pair.sched.RunUntil(SimTime::Millis(500));
+  // With a 0.3 loss rate and 7 retries, essentially everything arrives.
+  EXPECT_EQ(pair.received_at_b.size(), 50u);
+  EXPECT_GT(pair.mac_a->stats().mpdus_delivered_retried, 0u);
+  EXPECT_GT(pair.mac_a->stats().response_timeouts, 0u);
+  // No duplicate deliveries despite retransmissions.
+  EXPECT_EQ(pair.mac_b->stats().data_mpdus_received -
+                pair.mac_b->stats().duplicate_mpdus_discarded,
+            50u);
+}
+
+TEST(MacTest, AmpduAggregates80211n) {
+  MacPair pair(WifiStandard::k80211n, 150);
+  for (uint32_t i = 0; i < 42; ++i) {
+    pair.mac_a->Enqueue(MakeUdpPacket(1460), MacAddress::ForStation(1));
+  }
+  pair.sched.RunUntil(SimTime::Millis(20));
+  EXPECT_EQ(pair.received_at_b.size(), 42u);
+  // All 42 should fit one A-MPDU: a single PPDU and a single Block ACK.
+  EXPECT_EQ(pair.mac_a->stats().ppdus_sent, 1u);
+  EXPECT_EQ(pair.mac_b->stats().block_acks_sent, 1u);
+}
+
+TEST(MacTest, AmpduRespects64MpduLimitForSmallFrames) {
+  MacPair pair(WifiStandard::k80211n, 150);
+  for (uint32_t i = 0; i < 100; ++i) {
+    pair.mac_a->Enqueue(MakeUdpPacket(40), MacAddress::ForStation(1));
+  }
+  pair.sched.RunUntil(SimTime::Millis(20));
+  EXPECT_EQ(pair.received_at_b.size(), 100u);
+  // 64-MPDU cap: at least two PPDUs needed.
+  EXPECT_GE(pair.mac_a->stats().ppdus_sent, 2u);
+}
+
+TEST(MacTest, TxopLimitsAmpduAtLowRates) {
+  // At 15 Mbps a 1460 B MPDU lasts ~840 us: only ~4 fit in a 4 ms TXOP.
+  MacPair pair(WifiStandard::k80211n, 15);
+  for (uint32_t i = 0; i < 12; ++i) {
+    pair.mac_a->Enqueue(MakeUdpPacket(1460), MacAddress::ForStation(1));
+  }
+  pair.sched.RunUntil(SimTime::Millis(50));
+  EXPECT_EQ(pair.received_at_b.size(), 12u);
+  EXPECT_GE(pair.mac_a->stats().ppdus_sent, 3u);
+}
+
+TEST(MacTest, PartialAmpduLossRetransmitsOnlyMissing) {
+  MacPair pair(WifiStandard::k80211n, 150, /*loss_at_b=*/0.2);
+  for (uint32_t i = 0; i < 42; ++i) {
+    pair.mac_a->Enqueue(MakeUdpPacket(1000 + i), MacAddress::ForStation(1));
+  }
+  pair.sched.RunUntil(SimTime::Millis(200));
+  ASSERT_EQ(pair.received_at_b.size(), 42u);
+  // In-order delivery despite partial-batch losses (reorder buffer works).
+  for (uint32_t i = 0; i < 42; ++i) {
+    EXPECT_EQ(pair.received_at_b[i].payload_bytes(), 1000 + i);
+  }
+  EXPECT_GT(pair.mac_a->stats().mpdus_delivered_retried, 0u);
+  uint64_t attempts = pair.mac_a->stats().mpdu_tx_attempts;
+  // Selective retransmission: far fewer attempts than full-batch repeats.
+  EXPECT_LT(attempts, 42u * 3);
+}
+
+TEST(MacTest, HeavyLossDropsAfterRetryLimit) {
+  MacPair pair(WifiStandard::k80211n, 150, /*loss_at_b=*/0.95);
+  for (uint32_t i = 0; i < 10; ++i) {
+    pair.mac_a->Enqueue(MakeUdpPacket(1000), MacAddress::ForStation(1));
+  }
+  pair.sched.RunUntil(SimTime::Seconds(2));
+  EXPECT_GT(pair.mac_a->stats().mpdus_dropped_retry_limit, 0u);
+}
+
+TEST(MacTest, QueueLimitDropsTail) {
+  MacPair pair(WifiStandard::k80211n, 150);
+  for (uint32_t i = 0; i < 200; ++i) {
+    pair.mac_a->Enqueue(MakeUdpPacket(1460), MacAddress::ForStation(1));
+  }
+  // Default per-dest limit is 126: the rest dropped at enqueue.
+  EXPECT_EQ(pair.mac_a->stats().queue_drops, 200u - 126u);
+}
+
+TEST(MacTest, RemoveQueuedPullsMatchingPackets) {
+  MacPair pair(WifiStandard::k80211n, 150);
+  // Block the medium so nothing transmits while we manipulate the queue.
+  Packet target = MakeUdpPacket(777);
+  uint64_t uid = target.uid();
+  pair.mac_a->Enqueue(MakeUdpPacket(1), MacAddress::ForStation(1));
+  pair.mac_a->Enqueue(std::move(target), MacAddress::ForStation(1));
+  pair.mac_a->Enqueue(MakeUdpPacket(3), MacAddress::ForStation(1));
+  size_t removed = pair.mac_a->RemoveQueued(
+      MacAddress::ForStation(1),
+      [uid](const Packet& p) { return p.uid() == uid; });
+  EXPECT_EQ(removed, 1u);
+}
+
+// Hook recorder for MORE DATA / SYNC observation.
+class RecordingHooks : public HackHooks {
+ public:
+  void OnDataPpdu(MacAddress, bool aggregated, bool has_new, bool more_data,
+                  bool sync) override {
+    ppdus.push_back({aggregated, has_new, more_data, sync});
+  }
+  std::vector<uint8_t> BuildAckPayload(MacAddress) override {
+    return payload_to_attach;
+  }
+  void OnAckPayload(MacAddress, std::span<const uint8_t> payload) override {
+    received_payloads.emplace_back(payload.begin(), payload.end());
+  }
+
+  struct PpduInfo {
+    bool aggregated;
+    bool has_new;
+    bool more_data;
+    bool sync;
+  };
+  std::vector<PpduInfo> ppdus;
+  std::vector<uint8_t> payload_to_attach;
+  std::vector<std::vector<uint8_t>> received_payloads;
+};
+
+TEST(MacTest, MoreDataBitTracksQueueDepth) {
+  MacPair pair(WifiStandard::k80211n, 150);
+  RecordingHooks hooks;
+  pair.mac_b->set_hack_hooks(&hooks);
+  // 50 packets -> batch 1 of 42 (more data), batch 2 of 8 (no more data).
+  for (uint32_t i = 0; i < 50; ++i) {
+    pair.mac_a->Enqueue(MakeUdpPacket(1460), MacAddress::ForStation(1));
+  }
+  pair.sched.RunUntil(SimTime::Millis(50));
+  ASSERT_EQ(hooks.ppdus.size(), 2u);
+  EXPECT_TRUE(hooks.ppdus[0].more_data);
+  EXPECT_FALSE(hooks.ppdus[1].more_data);
+  EXPECT_TRUE(hooks.ppdus[0].aggregated);
+}
+
+TEST(MacTest, MoreDataBitOnSingleMpdus) {
+  MacPair pair(WifiStandard::k80211a, 54);
+  RecordingHooks hooks;
+  pair.mac_b->set_hack_hooks(&hooks);
+  for (uint32_t i = 0; i < 3; ++i) {
+    pair.mac_a->Enqueue(MakeUdpPacket(100), MacAddress::ForStation(1));
+  }
+  pair.sched.RunUntil(SimTime::Millis(10));
+  ASSERT_EQ(hooks.ppdus.size(), 3u);
+  EXPECT_TRUE(hooks.ppdus[0].more_data);
+  EXPECT_TRUE(hooks.ppdus[1].more_data);
+  EXPECT_FALSE(hooks.ppdus[2].more_data);
+  EXPECT_FALSE(hooks.ppdus[0].aggregated);
+  EXPECT_TRUE(hooks.ppdus[0].has_new);
+}
+
+TEST(MacTest, HackPayloadRidesBlockAck) {
+  MacPair pair(WifiStandard::k80211n, 150);
+  RecordingHooks client_hooks;
+  RecordingHooks ap_hooks;
+  pair.mac_b->set_hack_hooks(&client_hooks);
+  pair.mac_a->set_hack_hooks(&ap_hooks);
+  client_hooks.payload_to_attach = {0xDE, 0xAD, 0xBE, 0xEF};
+  pair.mac_a->Enqueue(MakeUdpPacket(1460), MacAddress::ForStation(1));
+  pair.sched.RunUntil(SimTime::Millis(10));
+  ASSERT_EQ(ap_hooks.received_payloads.size(), 1u);
+  EXPECT_EQ(ap_hooks.received_payloads[0],
+            (std::vector<uint8_t>{0xDE, 0xAD, 0xBE, 0xEF}));
+  EXPECT_EQ(pair.mac_b->stats().hack_payloads_sent, 1u);
+}
+
+TEST(MacTest, HackPayloadRidesSingleAck80211a) {
+  MacPair pair(WifiStandard::k80211a, 54);
+  RecordingHooks client_hooks;
+  RecordingHooks ap_hooks;
+  pair.mac_b->set_hack_hooks(&client_hooks);
+  pair.mac_a->set_hack_hooks(&ap_hooks);
+  client_hooks.payload_to_attach = {1, 2, 3};
+  pair.mac_a->Enqueue(MakeUdpPacket(100), MacAddress::ForStation(1));
+  pair.sched.RunUntil(SimTime::Millis(10));
+  ASSERT_EQ(ap_hooks.received_payloads.size(), 1u);
+}
+
+TEST(MacTest, SyncBitSetAfterBarGiveUp) {
+  // Client fully deaf (data AND control 100% lost at B): the AP's batch
+  // elicits no BA; BARs fail; after the BAR retry limit the AP gives up and
+  // marks SYNC. Then we heal the channel and check the next batch carries
+  // SYNC.
+  MacPair pair(WifiStandard::k80211n, 150);
+  pair.phy_b->set_loss_model(std::make_unique<BernoulliLossModel>(1.0, 1.0));
+  RecordingHooks hooks;
+  pair.mac_b->set_hack_hooks(&hooks);
+  pair.mac_a->Enqueue(MakeUdpPacket(1460), MacAddress::ForStation(1));
+  pair.sched.RunUntil(SimTime::Millis(200));
+  EXPECT_GT(pair.mac_a->stats().bars_sent, 0u);
+  EXPECT_GT(pair.mac_a->stats().ba_agreement_give_ups, 0u);
+  // Heal and send another packet: SYNC must be set on it.
+  pair.phy_b->set_loss_model(std::make_unique<NoLossModel>());
+  pair.mac_a->Enqueue(MakeUdpPacket(1460), MacAddress::ForStation(1));
+  pair.sched.RunUntil(SimTime::Millis(400));
+  ASSERT_FALSE(hooks.ppdus.empty());
+  EXPECT_TRUE(hooks.ppdus.back().sync);
+  EXPECT_GT(pair.mac_a->stats().batches_sent_with_sync, 0u);
+  // After the client's BA arrives, SYNC clears for subsequent batches.
+  pair.mac_a->Enqueue(MakeUdpPacket(1460), MacAddress::ForStation(1));
+  pair.sched.RunUntil(SimTime::Millis(600));
+  EXPECT_FALSE(hooks.ppdus.back().sync);
+}
+
+TEST(MacTest, BidirectionalTrafficBothDeliver) {
+  MacPair pair(WifiStandard::k80211n, 150);
+  for (uint32_t i = 0; i < 30; ++i) {
+    pair.mac_a->Enqueue(MakeUdpPacket(1460), MacAddress::ForStation(1));
+    pair.mac_b->Enqueue(MakeTcpAckPacket(), MacAddress::ForStation(0));
+  }
+  pair.sched.RunUntil(SimTime::Millis(100));
+  EXPECT_EQ(pair.received_at_b.size(), 30u);
+  EXPECT_EQ(pair.received_at_a.size(), 30u);
+}
+
+TEST(MacTest, TcpAckStatsAccounting) {
+  MacPair pair(WifiStandard::k80211a, 54);
+  pair.mac_b->Enqueue(MakeTcpAckPacket(), MacAddress::ForStation(0));
+  pair.sched.RunUntil(SimTime::Millis(10));
+  ASSERT_EQ(pair.received_at_a.size(), 1u);
+  const MacStats& s = pair.mac_b->stats();
+  EXPECT_EQ(s.tcp_ack_frames_sent, 1u);
+  EXPECT_EQ(s.tcp_ack_bytes_sent, 52u);
+  // Payload airtime: 52 B at 54 Mbps = 7.7 us (Table 3's per-ACK figure).
+  EXPECT_NEAR(static_cast<double>(s.tcp_ack_payload_airtime_ns), 7703.0,
+              10.0);
+  EXPECT_GT(s.tcp_ack_channel_overhead_ns, 0);
+  EXPECT_GT(s.tcp_ack_ll_ack_overhead_ns, 0);
+}
+
+TEST(MacTest, ContendersEventuallyCollideAndRecover) {
+  // Both stations saturated: backoff collisions must occur, but everything
+  // is eventually delivered exactly once.
+  MacPair pair(WifiStandard::k80211a, 54);
+  for (uint32_t i = 0; i < 100; ++i) {
+    pair.mac_a->Enqueue(MakeUdpPacket(800, 9), MacAddress::ForStation(1));
+    pair.mac_b->Enqueue(MakeUdpPacket(800, 10), MacAddress::ForStation(0));
+  }
+  pair.sched.RunUntil(SimTime::Seconds(2));
+  EXPECT_EQ(pair.received_at_b.size(), 100u);
+  EXPECT_EQ(pair.received_at_a.size(), 100u);
+  uint64_t timeouts = pair.mac_a->stats().response_timeouts +
+                      pair.mac_b->stats().response_timeouts;
+  EXPECT_GT(timeouts, 0u) << "saturated contenders should collide sometimes";
+}
+
+}  // namespace
+}  // namespace hacksim

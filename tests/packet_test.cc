@@ -1,0 +1,89 @@
+// Unit tests: packet construction, size accounting, flow extraction.
+#include <gtest/gtest.h>
+
+#include "src/packet/packet.h"
+
+namespace hacksim {
+namespace {
+
+Packet MakeDataSegment(uint32_t payload) {
+  TcpHeader tcp;
+  tcp.src_port = 5000;
+  tcp.dst_port = 6000;
+  tcp.seq = 1;
+  tcp.ack = 1;
+  tcp.flag_ack = true;
+  tcp.window = 1000;
+  tcp.timestamps = TcpTimestamps{42, 7};
+  return Packet::MakeTcp(Ipv4Address::FromOctets(10, 0, 0, 1),
+                         Ipv4Address::FromOctets(10, 0, 2, 1), tcp, payload);
+}
+
+TEST(PacketTest, TcpDataSizeIsHeadersPlusPayload) {
+  Packet p = MakeDataSegment(1460);
+  // 20 IP + 32 TCP (with timestamps) + 1460 payload = 1512.
+  EXPECT_EQ(p.SizeBytes(), 1512u);
+  EXPECT_EQ(p.ip().total_length, 1512u);
+}
+
+TEST(PacketTest, PureAckIs52Bytes) {
+  // The paper's Table 2: 9060 ACKs, 471120 bytes -> exactly 52 B per ACK.
+  Packet p = MakeDataSegment(0);
+  EXPECT_EQ(p.SizeBytes(), 52u);
+  EXPECT_TRUE(p.IsPureTcpAck());
+}
+
+TEST(PacketTest, DataSegmentIsNotPureAck) {
+  EXPECT_FALSE(MakeDataSegment(1460).IsPureTcpAck());
+}
+
+TEST(PacketTest, SynIsNotPureAck) {
+  TcpHeader tcp;
+  tcp.flag_syn = true;
+  tcp.flag_ack = true;
+  Packet p = Packet::MakeTcp(Ipv4Address::FromOctets(1, 1, 1, 1),
+                             Ipv4Address::FromOctets(2, 2, 2, 2), tcp, 0);
+  EXPECT_FALSE(p.IsPureTcpAck());
+}
+
+TEST(PacketTest, UdpSize) {
+  Packet p = Packet::MakeUdp(Ipv4Address::FromOctets(10, 0, 0, 1),
+                             Ipv4Address::FromOctets(10, 0, 2, 1), 7, 9,
+                             1472);
+  // 20 IP + 8 UDP + 1472 = 1500 (a full MTU datagram).
+  EXPECT_EQ(p.SizeBytes(), 1500u);
+  EXPECT_FALSE(p.IsPureTcpAck());
+}
+
+TEST(PacketTest, FlowExtraction) {
+  Packet p = MakeDataSegment(100);
+  FiveTuple f = p.Flow();
+  EXPECT_EQ(f.src_ip, Ipv4Address::FromOctets(10, 0, 0, 1));
+  EXPECT_EQ(f.dst_ip, Ipv4Address::FromOctets(10, 0, 2, 1));
+  EXPECT_EQ(f.src_port, 5000);
+  EXPECT_EQ(f.dst_port, 6000);
+  EXPECT_EQ(f.protocol, kIpProtoTcp);
+}
+
+TEST(PacketTest, UidsAreUnique) {
+  Packet a = MakeDataSegment(1);
+  Packet b = MakeDataSegment(1);
+  EXPECT_NE(a.uid(), b.uid());
+  Packet copy = a;  // copies share the uid (same logical packet)
+  EXPECT_EQ(copy.uid(), a.uid());
+}
+
+TEST(PacketTest, SackGrowsAckSize) {
+  TcpHeader tcp;
+  tcp.flag_ack = true;
+  tcp.timestamps = TcpTimestamps{1, 2};
+  tcp.sack_blocks = {{100, 200}};
+  Packet p = Packet::MakeTcp(Ipv4Address::FromOctets(1, 1, 1, 1),
+                             Ipv4Address::FromOctets(2, 2, 2, 2), tcp, 0);
+  // 20 IP + 32 (base+ts) + 12 (2 NOP + 2 + 8) = 64.
+  EXPECT_EQ(p.SizeBytes(), 64u);
+  EXPECT_TRUE(p.IsPureTcpAck());  // dupacks with SACK are still pure ACKs
+}
+
+}  // namespace
+}  // namespace hacksim

@@ -1,0 +1,217 @@
+// Unit tests: discrete-event scheduler and deterministic PRNG.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/sim/scheduler.h"
+
+namespace hacksim {
+namespace {
+
+TEST(SimTimeTest, Conversions) {
+  EXPECT_EQ(SimTime::Micros(16).ns(), 16'000);
+  EXPECT_EQ(SimTime::Millis(4).ns(), 4'000'000);
+  EXPECT_EQ(SimTime::Seconds(2).ns(), 2'000'000'000);
+  EXPECT_DOUBLE_EQ(SimTime::Micros(9).ToMicrosF(), 9.0);
+  EXPECT_EQ(SimTime::FromSecondsF(1e-6).ns(), 1000);
+  EXPECT_EQ(SimTime::FromMicrosF(110.5).ns(), 110'500);
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  SimTime a = SimTime::Micros(10);
+  SimTime b = SimTime::Micros(3);
+  EXPECT_EQ((a + b).ns(), 13'000);
+  EXPECT_EQ((a - b).ns(), 7'000);
+  EXPECT_EQ((a * 4).ns(), 40'000);
+  EXPECT_LT(b, a);
+  EXPECT_GE(a, a);
+}
+
+TEST(SchedulerTest, RunsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.ScheduleAt(SimTime::Micros(30), [&] { order.push_back(3); });
+  sched.ScheduleAt(SimTime::Micros(10), [&] { order.push_back(1); });
+  sched.ScheduleAt(SimTime::Micros(20), [&] { order.push_back(2); });
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.Now(), SimTime::Micros(30));
+}
+
+TEST(SchedulerTest, SameTimeIsFifo) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sched.ScheduleAt(SimTime::Micros(5), [&order, i] { order.push_back(i); });
+  }
+  sched.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler sched;
+  bool ran = false;
+  EventId id = sched.ScheduleAt(SimTime::Micros(10), [&] { ran = true; });
+  EXPECT_TRUE(sched.IsPending(id));
+  sched.Cancel(id);
+  EXPECT_FALSE(sched.IsPending(id));
+  sched.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SchedulerTest, CancelInvalidAndStaleIdsAreNoops) {
+  Scheduler sched;
+  sched.Cancel(kInvalidEventId);
+  EventId id = sched.ScheduleAt(SimTime::Micros(1), [] {});
+  sched.Run();
+  sched.Cancel(id);  // already fired: harmless
+}
+
+TEST(SchedulerTest, EventsCanScheduleEvents) {
+  Scheduler sched;
+  int count = 0;
+  std::function<void()> chain = [&]() {
+    if (++count < 5) {
+      sched.ScheduleIn(SimTime::Micros(10), chain);
+    }
+  };
+  sched.ScheduleIn(SimTime::Micros(10), chain);
+  sched.Run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sched.Now(), SimTime::Micros(50));
+}
+
+TEST(SchedulerTest, RunUntilStopsAndAdvancesClock) {
+  Scheduler sched;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sched.ScheduleAt(SimTime::Micros(i * 10), [&] { ++count; });
+  }
+  sched.RunUntil(SimTime::Micros(35));
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sched.Now(), SimTime::Micros(35));
+  sched.RunUntil(SimTime::Micros(200));
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(sched.Now(), SimTime::Micros(200));
+}
+
+TEST(SchedulerTest, RunWithLimitCountsEvents) {
+  Scheduler sched;
+  for (int i = 0; i < 10; ++i) {
+    sched.ScheduleAt(SimTime::Micros(i), [] {});
+  }
+  EXPECT_EQ(sched.Run(4), 4u);
+  EXPECT_EQ(sched.Run(), 6u);
+}
+
+TEST(SchedulerTest, CancelledEventsDontBlockProgress) {
+  Scheduler sched;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sched.ScheduleAt(SimTime::Micros(1), [] {}));
+  }
+  bool ran = false;
+  sched.ScheduleAt(SimTime::Micros(2), [&] { ran = true; });
+  for (EventId id : ids) {
+    sched.Cancel(id);
+  }
+  EXPECT_EQ(sched.Run(), 1u);
+  EXPECT_TRUE(ran);
+}
+
+// --- Random -------------------------------------------------------------------
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(12345);
+  Random b(12345);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1);
+  Random b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RandomTest, BoundedStaysInBounds) {
+  Random r(7);
+  for (uint64_t bound : {1ull, 2ull, 15ull, 16ull, 1023ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(r.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RandomTest, NextIntInclusiveRange) {
+  Random r(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = r.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Random r(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = r.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RandomTest, BernoulliFrequency) {
+  Random r(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (r.NextBool(0.02)) {
+      ++hits;
+    }
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.02, 0.003);
+  EXPECT_FALSE(r.NextBool(0.0));
+  EXPECT_TRUE(r.NextBool(1.0));
+}
+
+TEST(RandomTest, ExponentialMean) {
+  Random r(17);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    double v = r.NextExponential(5.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 100000, 5.0, 0.15);
+}
+
+TEST(RandomTest, ForkedStreamsAreIndependentOfParentDrawCount) {
+  Random parent1(42);
+  Random child1 = parent1.Fork();
+  uint64_t c1 = child1.NextU64();
+  Random parent2(42);
+  Random child2 = parent2.Fork();
+  EXPECT_EQ(c1, child2.NextU64());
+}
+
+}  // namespace
+}  // namespace hacksim
