@@ -36,7 +36,7 @@ bool HackAgent::ShouldHoldAcks(const PeerState& ps) const {
   return false;
 }
 
-bool HackAgent::OfferOutgoingPacket(const Packet& packet, MacAddress dest) {
+bool HackAgent::OfferOutgoingPacket(Packet&& packet, MacAddress dest) {
   if (config_.variant == HackVariant::kOff || !packet.IsPureTcpAck()) {
     return false;
   }
@@ -45,19 +45,18 @@ bool HackAgent::OfferOutgoingPacket(const Packet& packet, MacAddress dest) {
 
   bool hold = ShouldHoldAcks(ps) && ContextEstablished(flow);
   if (!hold) {
-    SendVanilla(packet, dest);
+    SendVanilla(std::move(packet), dest);
     return true;  // we enqueued it ourselves
   }
 
   RohcCompressor::Result compressed = compressor_.Compress(packet);
   if (compressed.bytes.empty()) {
     // CID collision or inexpressible options: this flow stays vanilla.
-    SendVanilla(packet, dest);
+    SendVanilla(std::move(packet), dest);
     return true;
   }
 
   StagedAck staged;
-  staged.original = packet;
   staged.flow = flow;
   staged.compressed = std::move(compressed.bytes);
   staged.ready_at = scheduler_->Now() + config_.staging_latency;
@@ -69,23 +68,26 @@ bool HackAgent::OfferOutgoingPacket(const Packet& packet, MacAddress dest) {
     // wins. The vanilla copy is pulled from the MAC queue if the compressed
     // copy rides an LL ACK first.
     staged.vanilla_uid = packet.uid();
+    staged.original = packet;  // deliberate copy: the original races vanilla
     ps.staged.push_back(std::move(staged));
     return false;  // caller enqueues the vanilla copy
   }
 
+  std::optional<TcpTimestamps> timestamps = packet.tcp().timestamps;
+  staged.original = std::move(packet);
   ps.staged.push_back(std::move(staged));
   if (config_.variant == HackVariant::kExplicitTimer ||
       config_.variant == HackVariant::kTimestampEcho) {
     ArmFlushTimer(dest, ps);
   }
-  if (packet.tcp().timestamps.has_value()) {
-    ps.last_released_tsval = packet.tcp().timestamps->tsval;
+  if (timestamps.has_value()) {
+    ps.last_released_tsval = timestamps->tsval;
     ps.echo_outstanding = true;
   }
   return true;
 }
 
-void HackAgent::SendVanilla(const Packet& packet, MacAddress dest) {
+void HackAgent::SendVanilla(Packet&& packet, MacAddress dest) {
   PeerState& ps = peers_[dest];
   FiveTuple flow = packet.Flow();
   // Fig 7: going vanilla invalidates any compressed state for the flow; the
@@ -98,7 +100,7 @@ void HackAgent::SendVanilla(const Packet& packet, MacAddress dest) {
     ps.last_released_tsval = packet.tcp().timestamps->tsval;
     ps.echo_outstanding = true;
   }
-  mac_->Enqueue(packet, dest);
+  mac_->Enqueue(std::move(packet), dest);
 }
 
 void HackAgent::FlushFlowState(PeerState& ps, const FiveTuple& flow,
@@ -127,7 +129,7 @@ void HackAgent::FlushFlowState(PeerState& ps, const FiveTuple& flow,
   for (StagedAck& s : demote) {
     ++stats_.vanilla_acks_sent;
     stats_.vanilla_ack_bytes += s.original.SizeBytes();
-    mac_->Enqueue(s.original, dest);
+    mac_->Enqueue(std::move(s.original), dest);
   }
   size_t flushed = dropped + demote.size();
   if (flushed > 0) {
@@ -183,7 +185,7 @@ void HackAgent::FlushAllToVanilla(MacAddress dest, PeerState& ps) {
     ++stats_.vanilla_acks_sent;
     stats_.vanilla_ack_bytes += s.original.SizeBytes();
     ++stats_.flushed_to_vanilla;
-    mac_->Enqueue(s.original, dest);
+    mac_->Enqueue(std::move(s.original), dest);
   }
 }
 

@@ -65,9 +65,11 @@ class HackAgent final : public HackHooks {
 
   // --- client role -----------------------------------------------------------
   // Offer an outgoing packet heading to `dest`. Returns true if HACK
-  // consumed it (it will ride an LL ACK); false means the caller enqueues it
-  // on the MAC as usual.
-  bool OfferOutgoingPacket(const Packet& packet, MacAddress dest);
+  // consumed it (it will ride an LL ACK, or was enqueued vanilla by the
+  // agent itself — either way the packet was moved from); false means the
+  // packet was left untouched and the caller enqueues it on the MAC as
+  // usual.
+  bool OfferOutgoingPacket(Packet&& packet, MacAddress dest);
 
   // Wire to WifiMac::on_mpdu_delivered.
   void OnMpduDelivered(const Packet& packet, MacAddress dest);
@@ -112,7 +114,7 @@ class HackAgent final : public HackHooks {
   bool ContextEstablished(const FiveTuple& flow) const {
     return established_flows_.count(flow) != 0;
   }
-  void SendVanilla(const Packet& packet, MacAddress dest);
+  void SendVanilla(Packet&& packet, MacAddress dest);
   // Fig 7: a vanilla ACK for `flow` is about to go out — drop the flow's
   // retained records (the newer cumulative ACK supersedes them) and demote
   // its staged (never-sent) records to vanilla so dupack counts survive.

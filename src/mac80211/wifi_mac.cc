@@ -55,7 +55,7 @@ WifiMac::WifiMac(Scheduler* scheduler, WifiPhy* phy, MacAddress address,
 
 // --- upper-layer interface ----------------------------------------------------
 
-void WifiMac::Enqueue(Packet packet, MacAddress dest) {
+void WifiMac::Enqueue(Packet&& packet, MacAddress dest) {
   TxState& st = tx_[dest];
   if (std::find(round_robin_.begin(), round_robin_.end(), dest) ==
       round_robin_.end()) {
@@ -244,8 +244,10 @@ Ppdu WifiMac::BuildDataPpdu(MacAddress dest, TxState& st) {
   ppdu.aggregated = true;
   current_aggregated_ = true;
   size_t psdu_bytes = 0;
-  auto fits = [&](const WifiFrame& frame) {
-    size_t padded = (frame.SizeBytes() + 3) & ~size_t{3};
+  // Admission check on the byte count alone, so fresh MPDUs can be sized
+  // before their Packet is moved out of the queue.
+  auto fits_bytes = [&](size_t mpdu_bytes) {
+    size_t padded = (mpdu_bytes + 3) & ~size_t{3};
     size_t new_bytes = psdu_bytes + kAmpduDelimiterBytes + padded;
     if (new_bytes > kMaxAmpduBytes ||
         ppdu.mpdus.size() + 1 > kMaxAmpduMpdus) {
@@ -271,31 +273,36 @@ Ppdu WifiMac::BuildDataPpdu(MacAddress dest, TxState& st) {
   });
   for (uint16_t seq : retx) {
     OutstandingMpdu& out = st.outstanding[seq];
-    WifiFrame frame = out.frame;
-    frame.retry = true;
-    if (!fits(frame)) {
+    if (!fits_bytes(out.frame.SizeBytes())) {
       break;
     }
+    WifiFrame frame = out.frame;  // retention copy: kept for further retx
+    frame.retry = true;
     add(std::move(frame));
   }
 
-  // Fresh MPDUs.
+  // Fresh MPDUs: the Packet moves queue -> frame -> outstanding (the
+  // retained copy for retransmission); the PPDU gets a copy of the frame.
   while (!st.queue.empty() &&
          SeqInWindow(st.win_start, st.next_seq,
                      static_cast<uint16_t>(kMaxAmpduMpdus))) {
+    size_t mpdu_bytes = kQosDataHeaderBytes + kLlcSnapBytes +
+                        st.queue.front().SizeBytes() + kFcsBytes;
+    if (!fits_bytes(mpdu_bytes)) {
+      break;
+    }
     WifiFrame frame;
     frame.type = WifiFrameType::kData;
     frame.ta = address_;
     frame.ra = dest;
     frame.seq = st.next_seq;
-    frame.packet = st.queue.front();
-    if (!fits(frame)) {
-      break;
-    }
+    frame.packet = std::move(st.queue.front());
     st.queue.pop_front();
     st.next_seq = SeqAdd(st.next_seq, 1);
-    st.outstanding.emplace(frame.seq, OutstandingMpdu{frame, 0});
-    add(std::move(frame));
+    auto [it, inserted] =
+        st.outstanding.emplace(frame.seq, OutstandingMpdu{std::move(frame), 0});
+    CHECK(inserted);
+    add(WifiFrame(it->second.frame));
   }
 
   if (ppdu.mpdus.empty()) {

@@ -46,8 +46,9 @@ class WifiMac final : public WifiPhyListener {
   WifiMac(Scheduler* scheduler, WifiPhy* phy, MacAddress address,
           WifiMacConfig config, Random rng);
 
-  // Upper-layer interface.
-  void Enqueue(Packet packet, MacAddress dest);
+  // Upper-layer interface. Takes ownership: the packet is moved into the
+  // per-destination queue (or dropped), never copied.
+  void Enqueue(Packet&& packet, MacAddress dest);
   size_t QueueDepth(MacAddress dest) const;
   // Removes queued (not yet transmitted) packets matching `pred`; returns
   // the number removed. Used by opportunistic HACK to pull vanilla TCP ACKs

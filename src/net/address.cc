@@ -46,10 +46,14 @@ std::array<uint8_t, 13> FiveTuple::Canonical() const {
 }
 
 uint8_t FiveTuple::RohcCid() const {
+  if (cid_cache_.v != 0) {
+    return static_cast<uint8_t>(cid_cache_.v - 1);
+  }
   auto canonical = Canonical();
   Md5Digest digest = Md5::Hash(canonical);
   // "selects the lowest byte as the CID" — lowest byte of the 128-bit
   // digest rendered as the usual byte sequence is digest[15].
+  cid_cache_.v = static_cast<uint16_t>(digest[15]) + 1;
   return digest[15];
 }
 

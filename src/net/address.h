@@ -66,22 +66,64 @@ class MacAddress {
   uint64_t value_ = 0;
 };
 
+// Memo slot for FiveTuple::RohcCid(). Deliberately NOT propagated by copy
+// or assignment: the usual reason to copy a tuple is to derive a variant
+// with different fields, and a copied memo would then serve a stale CID.
+struct RohcCidCache {
+  mutable uint16_t v = 0;  // 0 = unset, else CID + 1
+
+  constexpr RohcCidCache() = default;
+  constexpr RohcCidCache(const RohcCidCache&) {}
+  constexpr RohcCidCache& operator=(const RohcCidCache&) {
+    v = 0;
+    return *this;
+  }
+};
+
 // TCP/IP 5-tuple. Protocol is implicit (TCP) for HACK purposes but kept so
 // the key generalises (the paper mentions SCTP/DCCP as future higher layers).
+//
+// The key fields are written at construction and treated as immutable once
+// RohcCid() has been called on that object: the MD5-derived result is
+// memoised (cid_cache_), so mutating a field afterwards would serve a stale
+// CID. Copies start with a cold memo, so copy-then-mutate stays correct.
 struct FiveTuple {
+  constexpr FiveTuple() = default;
+  constexpr FiveTuple(Ipv4Address src, Ipv4Address dst, uint16_t sport,
+                      uint16_t dport, uint8_t proto = 6)
+      : src_ip(src),
+        dst_ip(dst),
+        src_port(sport),
+        dst_port(dport),
+        protocol(proto) {}
+
   Ipv4Address src_ip;
   Ipv4Address dst_ip;
   uint16_t src_port = 0;
   uint16_t dst_port = 0;
   uint8_t protocol = 6;
+  // Not part of the key — excluded from comparison and hashing.
+  RohcCidCache cid_cache_;
 
-  friend constexpr auto operator<=>(const FiveTuple&,
-                                    const FiveTuple&) = default;
+  friend constexpr bool operator==(const FiveTuple& a, const FiveTuple& b) {
+    return a.src_ip == b.src_ip && a.dst_ip == b.dst_ip &&
+           a.src_port == b.src_port && a.dst_port == b.dst_port &&
+           a.protocol == b.protocol;
+  }
+  friend constexpr std::strong_ordering operator<=>(const FiveTuple& a,
+                                                    const FiveTuple& b) {
+    if (auto c = a.src_ip <=> b.src_ip; c != 0) return c;
+    if (auto c = a.dst_ip <=> b.dst_ip; c != 0) return c;
+    if (auto c = a.src_port <=> b.src_port; c != 0) return c;
+    if (auto c = a.dst_port <=> b.dst_port; c != 0) return c;
+    return a.protocol <=> b.protocol;
+  }
 
   // Canonical 13-byte serialisation hashed to derive the ROHC CID.
   std::array<uint8_t, 13> Canonical() const;
 
-  // Low byte of MD5 over Canonical() — the paper's CID derivation.
+  // Low byte of MD5 over Canonical() — the paper's CID derivation. Hashes
+  // once per tuple; repeat calls return the memoised byte.
   uint8_t RohcCid() const;
 
   // The same flow viewed from the opposite direction.

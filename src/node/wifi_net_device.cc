@@ -28,9 +28,12 @@ void WifiNetDevice::EnableHack(HackAgentConfig config) {
 }
 
 void WifiNetDevice::Send(Packet packet, MacAddress next_hop) {
-  if (hack_ != nullptr && hack_->OfferOutgoingPacket(packet, next_hop)) {
+  if (hack_ != nullptr &&
+      hack_->OfferOutgoingPacket(std::move(packet), next_hop)) {
     return;  // consumed: it will ride an LL ACK (or was enqueued vanilla)
   }
+  // A false return means the agent left `packet` untouched (it only moves
+  // from packets it consumes), so forwarding it on is safe.
   mac_->Enqueue(std::move(packet), next_hop);
 }
 

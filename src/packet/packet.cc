@@ -6,7 +6,7 @@
 
 namespace hacksim {
 
-uint64_t Packet::next_uid_ = 1;
+constinit uint64_t Packet::next_uid_ = 1;
 
 Packet Packet::MakeTcp(Ipv4Address src, Ipv4Address dst, TcpHeader tcp,
                        uint32_t payload_bytes) {

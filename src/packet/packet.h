@@ -2,8 +2,12 @@
 // length. Headers are real (serialisable, byte-exact); payload bytes are not
 // materialised — only their count matters for airtime, queueing and goodput.
 //
-// Packets are value types: cheap to copy (~100 bytes), stored by value in
-// queues, and safe to retain for link-layer retransmission.
+// Packets are value types stored by value in queues and safe to retain for
+// link-layer retransmission — but the hot path never copies them: every
+// queue handoff (device -> HACK agent -> MAC queue -> frame) moves, which
+// transfers the header storage (including any SACK-block allocation)
+// pointer-for-pointer. Copies are reserved for deliberate retention (MAC
+// retransmission buffers, the opportunistic HACK race).
 #ifndef SRC_PACKET_PACKET_H_
 #define SRC_PACKET_PACKET_H_
 
@@ -22,6 +26,11 @@ namespace hacksim {
 class Packet {
  public:
   Packet() = default;
+  Packet(const Packet&) = default;
+  Packet& operator=(const Packet&) = default;
+  // Moves must stay noexcept so containers relocate rather than copy.
+  Packet(Packet&&) noexcept = default;
+  Packet& operator=(Packet&&) noexcept = default;
 
   // --- builders -----------------------------------------------------------
   static Packet MakeTcp(Ipv4Address src, Ipv4Address dst, TcpHeader tcp,
@@ -61,7 +70,12 @@ class Packet {
   std::string ToString() const;
 
  private:
-  static uint64_t next_uid_;
+  // Monotonic uid source for the builders. `constinit` proves constant
+  // initialisation — no static-initialisation-order hazard even when a
+  // Packet is built from another translation unit's static initialiser.
+  // Plain (non-atomic) because the simulator is single-threaded by design;
+  // see docs/perf.md before adding threads.
+  static constinit uint64_t next_uid_;
 
   uint64_t uid_ = 0;
   SimTime created_at_;

@@ -26,10 +26,12 @@ RohcCompressor::Result RohcCompressor::Compress(const Packet& ack_packet) {
   CHECK(ack_packet.IsPureTcpAck());
   const TcpHeader& tcp = ack_packet.tcp();
   FiveTuple flow = ack_packet.Flow();
-  uint8_t cid = flow.RohcCid();
 
+  // Context lookup first: flows in steady state never touch MD5 — the CID
+  // is derived once at context creation and cached in the context.
   auto it = flows_.find(flow);
   if (it == flows_.end()) {
+    uint8_t cid = flow.RohcCid();
     if (cid_owner_[cid].has_value() && *cid_owner_[cid] != flow) {
       ++cid_collisions_;
       return Result{};  // younger flow loses: vanilla only
@@ -37,13 +39,14 @@ RohcCompressor::Result RohcCompressor::Compress(const Packet& ack_packet) {
     cid_owner_[cid] = flow;
     CompressorContext ctx;
     ctx.state.flow = flow;
+    ctx.cid = cid;
     it = flows_.emplace(flow, std::move(ctx)).first;
   }
   CompressorContext& ctx = it->second;
   RohcContextState& st = ctx.state;
 
   CompressedAckRecord rec;
-  rec.cid = cid;
+  rec.cid = ctx.cid;
   rec.msn = ctx.next_msn++;
 
   bool need_refresh = ctx.needs_refresh;
@@ -143,7 +146,11 @@ void RohcDecompressor::NoteVanillaAck(const Packet& ack_packet) {
     return;
   }
   FiveTuple flow = ack_packet.Flow();
-  uint8_t cid = flow.RohcCid();
+  auto [cid_it, fresh_flow] = flow_cids_.try_emplace(flow, 0);
+  if (fresh_flow) {
+    cid_it->second = flow.RohcCid();  // one MD5 per flow, memoised after
+  }
+  uint8_t cid = cid_it->second;
   auto& slot = contexts_[cid];
   if (slot.has_value() && slot->state.flow != flow) {
     return;  // CID collision: first flow keeps the slot

@@ -64,6 +64,7 @@ class RohcCompressor {
  private:
   struct CompressorContext {
     RohcContextState state;
+    uint8_t cid = 0;  // derived once at context creation (MD5 over 5-tuple)
     uint8_t next_msn = 0;
     bool needs_refresh = true;  // fresh contexts always refresh first
   };
@@ -111,6 +112,10 @@ class RohcDecompressor {
   Packet Reconstruct(const DecompressorContext& ctx) const;
 
   std::array<std::optional<DecompressorContext>, 256> contexts_;
+  // flow -> CID memo so NoteVanillaAck does one MD5 per flow, not per ACK
+  // (every forwarded vanilla TCP ACK lands there; under the opportunistic
+  // variant that is *all* of them).
+  std::unordered_map<FiveTuple, uint8_t, FiveTupleHash> flow_cids_;
   uint64_t duplicates_ = 0;
   uint64_t crc_failures_ = 0;
   uint64_t stale_drops_ = 0;

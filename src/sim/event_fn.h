@@ -1,0 +1,186 @@
+// EventFn: a move-only `void()` callable with small-buffer optimisation.
+//
+// The scheduler fires millions of closures per simulated second; almost all
+// of them capture a `this` pointer plus a few words of state. std::function
+// would heap-allocate many of those (libstdc++'s inline buffer is 16 bytes)
+// and drags in copy semantics the scheduler never needs. EventFn stores any
+// callable up to kInlineBytes inline and falls back to the heap only for
+// oversized captures (e.g. a lambda holding a whole Packet).
+//
+// Hot-path design notes:
+//  * Trivially-copyable callables (the overwhelmingly common case: `this`
+//    plus scalars) relocate with a straight memcpy — no indirect call.
+//    Heap-stored callables relocate by pointer copy, so they are trivially
+//    relocatable too; only inline captures with non-trivial move ctors pay
+//    an indirect relocation.
+//  * InvokeAndReset() fuses the call and the destruction into a single
+//    indirect dispatch — the scheduler's fire path touches one function
+//    pointer per event.
+//
+// Unlike std::function, move-only callables are supported, so events can own
+// their payloads (`[p = std::move(packet)]`) instead of copying them.
+#ifndef SRC_SIM_EVENT_FN_H_
+#define SRC_SIM_EVENT_FN_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hacksim {
+
+class EventFn {
+ public:
+  // Large enough for `this` + ~5 words of captured state — covers every
+  // callback on the MAC/DCF/TCP hot paths.
+  static constexpr size_t kInlineBytes = 48;
+
+  EventFn() = default;
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    Construct(std::forward<F>(fn));
+  }
+
+  // Destroys the current callable (if any) and constructs `fn` in place —
+  // no intermediate EventFn, so no extra relocation on the scheduling path.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<std::is_invocable_r_v<void, D&>>>
+  void Emplace(F&& fn) {
+    Reset();
+    if constexpr (std::is_same_v<D, EventFn>) {
+      MoveFrom(fn);
+    } else {
+      Construct(std::forward<F>(fn));
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  // Calls the callable and destroys it, leaving *this empty — one indirect
+  // dispatch total. The callable is destroyed even if it throws.
+  void InvokeAndReset() {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->invoke_destroy(storage_);
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  // True when the callable lives in the inline buffer (test/bench hook).
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_stored; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Call the stored callable, then destroy it.
+    void (*invoke_destroy)(void* storage);
+    // Move-construct into `dst` from `src`, then destroy `src`. Null when a
+    // plain memcpy of the storage buffer relocates correctly.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+    bool inline_stored;
+  };
+
+  template <typename D>
+  static D* Stored(void* storage) {
+    return std::launder(reinterpret_cast<D*>(storage));
+  }
+  template <typename D>
+  static D* StoredHeap(void* storage) {
+    return *std::launder(reinterpret_cast<D**>(storage));
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*Stored<D>(s))(); },
+      [](void* s) {
+        D* fn = Stored<D>(s);
+        struct Destroyer {  // destroy even on unwind
+          D* fn;
+          ~Destroyer() { fn->~D(); }
+        } destroyer{fn};
+        (*fn)();
+      },
+      std::is_trivially_copyable_v<D>
+          ? nullptr
+          : +[](void* dst, void* src) {
+              D* from = Stored<D>(src);
+              ::new (dst) D(std::move(*from));
+              from->~D();
+            },
+      [](void* s) { Stored<D>(s)->~D(); },
+      /*inline_stored=*/true,
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* s) { (*StoredHeap<D>(s))(); },
+      [](void* s) {
+        D* fn = StoredHeap<D>(s);
+        struct Deleter {
+          D* fn;
+          ~Deleter() { delete fn; }
+        } deleter{fn};
+        (*fn)();
+      },
+      nullptr,  // pointer payload: memcpy relocates
+      [](void* s) { delete StoredHeap<D>(s); },
+      /*inline_stored=*/false,
+  };
+
+  template <typename F, typename D = std::decay_t<F>>
+  void Construct(F&& fn) {
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  void MoveFrom(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->relocate == nullptr) {
+        std::memcpy(storage_, other.storage_, kInlineBytes);
+      } else {
+        ops_->relocate(storage_, other.storage_);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_SIM_EVENT_FN_H_

@@ -2,65 +2,45 @@
 
 #include <utility>
 
-#include "src/util/logging.h"
-
 namespace hacksim {
 
-EventId Scheduler::ScheduleAt(SimTime t, std::function<void()> fn) {
-  CHECK_GE(t, now_) << "scheduling into the past";
-  CHECK(fn != nullptr);
-  EventId id = next_id_++;
-  heap_.push(HeapEntry{t, next_seq_++, id});
-  actions_.emplace(id, std::move(fn));
-  return id;
-}
-
-EventId Scheduler::ScheduleIn(SimTime delay, std::function<void()> fn) {
-  CHECK_GE(delay, SimTime::Zero());
-  return ScheduleAt(now_ + delay, std::move(fn));
+EventFn Scheduler::Retire(EventId id) {
+  Slot& s = slots_[SlotOf(id)];
+  EventFn fn = std::move(s.fn);
+  // Bump the generation so every outstanding handle to this slot — the id
+  // just retired and any heap entry still carrying it — goes stale. If the
+  // 32-bit generation wraps (2^32 retires of this one slot; the LIFO free
+  // list does concentrate reuse on hot slots), the slot is retired
+  // permanently instead of recycled: generation 0 matches no id ever issued
+  // (ids pack generation >= 1), so the ABA alias a wrap could otherwise
+  // create is impossible. The arena grows by one slot per ~4 billion
+  // reuses — negligible leak, bought determinism.
+  if (++s.generation != 0) {
+    s.next_free = free_head_;
+    free_head_ = SlotOf(id);
+  }
+  --live_;
+  return fn;
 }
 
 void Scheduler::Cancel(EventId id) {
-  if (id == kInvalidEventId) {
-    return;
+  if (!IsPending(id)) {
+    return;  // already fired, cancelled, or never existed
   }
-  auto it = actions_.find(id);
-  if (it == actions_.end()) {
-    return;  // already fired or never existed
-  }
-  actions_.erase(it);
-  cancelled_.insert(id);
-}
-
-bool Scheduler::IsPending(EventId id) const {
-  return actions_.find(id) != actions_.end();
-}
-
-bool Scheduler::PopNext(HeapEntry* out) {
-  while (!heap_.empty()) {
-    HeapEntry entry = heap_.top();
-    heap_.pop();
-    auto cancelled_it = cancelled_.find(entry.id);
-    if (cancelled_it != cancelled_.end()) {
-      cancelled_.erase(cancelled_it);
-      continue;
-    }
-    *out = entry;
-    return true;
-  }
-  return false;
+  Retire(id).Reset();  // heap entry stays; the generation check skips it
 }
 
 uint64_t Scheduler::Run(uint64_t limit) {
   uint64_t n = 0;
-  HeapEntry entry;
-  while (n < limit && PopNext(&entry)) {
-    now_ = entry.time;
-    auto it = actions_.find(entry.id);
-    CHECK(it != actions_.end());
-    std::function<void()> fn = std::move(it->second);
-    actions_.erase(it);
-    fn();
+  while (n < limit && SettleTop()) {
+    HeapEntry entry = heap_.front();
+    PopTop();
+    now_ = KeyTime(entry.key);
+    // Retire before invoking: the event is no longer pending while it runs,
+    // so cancelling its own id inside the callback is a harmless no-op and
+    // the slot is immediately reusable by events it schedules.
+    EventFn fn = Retire(entry.id);
+    fn.InvokeAndReset();
     ++n;
     ++executed_;
   }
@@ -70,19 +50,12 @@ uint64_t Scheduler::Run(uint64_t limit) {
 uint64_t Scheduler::RunUntil(SimTime t) {
   CHECK_GE(t, now_);
   uint64_t n = 0;
-  HeapEntry entry;
-  while (PopNext(&entry)) {
-    if (entry.time > t) {
-      // Not due yet: put it back (seq preserved so FIFO order is unchanged).
-      heap_.push(entry);
-      break;
-    }
-    now_ = entry.time;
-    auto it = actions_.find(entry.id);
-    CHECK(it != actions_.end());
-    std::function<void()> fn = std::move(it->second);
-    actions_.erase(it);
-    fn();
+  while (SettleTop() && KeyTime(heap_.front().key) <= t) {
+    HeapEntry entry = heap_.front();
+    PopTop();
+    now_ = KeyTime(entry.key);
+    EventFn fn = Retire(entry.id);
+    fn.InvokeAndReset();
     ++n;
     ++executed_;
   }

@@ -2,22 +2,45 @@
 //
 // Events are closures ordered by (time, insertion sequence); same-time events
 // run in FIFO order, which keeps runs deterministic for a fixed seed.
-// Cancellation is lazy: Cancel() marks the event id dead and the heap skips
-// it on pop (O(log n) amortised, no heap surgery).
+//
+// Storage is a slot arena: every pending event occupies one slot in a
+// contiguous free-listed vector, and an EventId packs (generation, slot
+// index) into 64 bits. Cancel()/IsPending() are O(1) array probes — no hash
+// tables anywhere. The slot's generation is bumped whenever the event fires
+// or is cancelled, so stale handles (including ids whose slot has since been
+// reused) mismatch and are harmless no-ops. Cancellation is lazy: a
+// cancelled id stays in the heap until popped, where the generation check
+// skips it.
+//
+// The priority queue is a binary min-heap of 32-byte (key, id) entries whose
+// ordering key packs (time, seq) into one 128-bit unsigned compare — a
+// single predictable branch per comparison, which matters because bursts of
+// same-time events (SIFS responses, slot boundaries) would otherwise take
+// the time-equal/seq-compare double branch on every sift step.
+//
+// Closures are scheduled by perfect forwarding straight into the slot's
+// EventFn (see Emplace), so the common capture — `this` plus a few words —
+// is placement-built in the arena with no intermediate copies and no heap
+// allocation.
+//
+// Single-threaded by design, like the rest of the simulator.
 #ifndef SRC_SIM_SCHEDULER_H_
 #define SRC_SIM_SCHEDULER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "src/sim/event_fn.h"
 #include "src/sim/sim_time.h"
+#include "src/util/logging.h"
 
 namespace hacksim {
 
+// Packed (generation << 32 | slot). Generations start at 1, so a valid id is
+// never 0 and kInvalidEventId never matches a live slot.
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
@@ -30,16 +53,43 @@ class Scheduler {
   SimTime Now() const { return now_; }
 
   // Schedules `fn` at absolute time `t` (must be >= Now()).
-  EventId ScheduleAt(SimTime t, std::function<void()> fn);
+  template <typename F,
+            typename = std::enable_if_t<
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventId ScheduleAt(SimTime t, F&& fn) {
+    CHECK_GE(t, now_) << "scheduling into the past";
+    // Catch null function pointers / empty std::functions at the schedule
+    // site, not at dispatch (lambdas are not bool-convertible and skip
+    // this).
+    if constexpr (std::is_constructible_v<bool, const std::decay_t<F>&>) {
+      CHECK(static_cast<bool>(fn)) << "scheduling a null callable";
+    }
+    uint32_t slot = AllocSlot();
+    slots_[slot].fn.Emplace(std::forward<F>(fn));
+    EventId id =
+        (static_cast<EventId>(slots_[slot].generation) << 32) | slot;
+    Push(HeapEntry{PackKey(t, next_seq_++), id});
+    ++live_;
+    return id;
+  }
 
   // Schedules `fn` after `delay` (must be >= 0).
-  EventId ScheduleIn(SimTime delay, std::function<void()> fn);
+  template <typename F,
+            typename = std::enable_if_t<
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventId ScheduleIn(SimTime delay, F&& fn) {
+    CHECK_GE(delay, SimTime::Zero());
+    return ScheduleAt(now_ + delay, std::forward<F>(fn));
+  }
 
   // Cancels a pending event. Cancelling an already-fired or invalid id is a
   // harmless no-op, so callers can keep stale handles safely.
   void Cancel(EventId id);
 
-  bool IsPending(EventId id) const;
+  bool IsPending(EventId id) const {
+    uint32_t slot = SlotOf(id);
+    return slot < slots_.size() && slots_[slot].generation == GenerationOf(id);
+  }
 
   // Runs until the event queue drains or `limit` events have fired.
   // Returns the number of events executed.
@@ -48,33 +98,90 @@ class Scheduler {
   // Runs events with time <= t, then advances Now() to exactly t.
   uint64_t RunUntil(SimTime t);
 
-  size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  size_t pending_events() const { return live_; }
   uint64_t events_executed() const { return executed_; }
 
  private:
-  struct HeapEntry {
-    SimTime time;
-    uint64_t seq;  // tie-break: FIFO among same-time events
-    EventId id;
-    // std::priority_queue is a max-heap; invert for earliest-first.
-    bool operator<(const HeapEntry& other) const {
-      if (time != other.time) {
-        return time > other.time;
-      }
-      return seq > other.seq;
-    }
+  static constexpr uint32_t kNilSlot = UINT32_MAX;
+
+  struct Slot {
+    EventFn fn;
+    // Matches the generation packed into outstanding ids while the slot is
+    // armed; already bumped past them while free. 0 only after wrap, which
+    // permanently retires the slot (see Retire).
+    uint32_t generation = 1;
+    uint32_t next_free = kNilSlot;
   };
 
-  // Pops the next live entry, or returns false if the queue is empty.
-  bool PopNext(HeapEntry* out);
+  // 128-bit key: time in the high 64 bits, insertion seq in the low 64, so
+  // (time, FIFO) ordering is a single unsigned compare. Times are never
+  // negative (Now() starts at zero and only advances).
+  using HeapKey = unsigned __int128;
+  static HeapKey PackKey(SimTime t, uint64_t seq) {
+    return (static_cast<HeapKey>(static_cast<uint64_t>(t.ns())) << 64) | seq;
+  }
+  static SimTime KeyTime(HeapKey key) {
+    return SimTime::Nanos(static_cast<int64_t>(key >> 64));
+  }
+
+  struct HeapEntry {
+    HeapKey key;
+    EventId id;
+    bool operator<(const HeapEntry& other) const { return key < other.key; }
+    bool operator>(const HeapEntry& other) const { return other < *this; }
+  };
+
+  static constexpr uint32_t SlotOf(EventId id) {
+    return static_cast<uint32_t>(id);
+  }
+  static constexpr uint32_t GenerationOf(EventId id) {
+    return static_cast<uint32_t>(id >> 32);
+  }
+
+  uint32_t AllocSlot() {
+    if (free_head_ != kNilSlot) {
+      uint32_t slot = free_head_;
+      free_head_ = slots_[slot].next_free;
+      return slot;
+    }
+    uint32_t slot = static_cast<uint32_t>(slots_.size());
+    CHECK_LT(slot, kNilSlot) << "slot arena exhausted";
+    slots_.emplace_back();
+    return slot;
+  }
+
+  // Min-heap via inverted comparator (std::*_heap build max-heaps).
+  void Push(HeapEntry entry) {
+    heap_.push_back(entry);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+  void PopTop() {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
+  }
+
+  // Drops dead heap entries until the top is live; false if heap empties.
+  bool SettleTop() {
+    while (!heap_.empty()) {
+      if (IsPending(heap_.front().id)) {
+        return true;
+      }
+      PopTop();  // cancelled: drop the dead entry
+    }
+    return false;
+  }
+
+  // Retires the armed slot behind `id`: bumps the generation (invalidating
+  // outstanding handles) and returns the slot to the free list.
+  EventFn Retire(EventId id);
 
   SimTime now_;
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;  // 0 is kInvalidEventId
   uint64_t executed_ = 0;
-  std::priority_queue<HeapEntry> heap_;
-  std::unordered_map<EventId, std::function<void()>> actions_;
-  std::unordered_set<EventId> cancelled_;
+  size_t live_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  uint32_t free_head_ = kNilSlot;
 };
 
 }  // namespace hacksim

@@ -66,7 +66,7 @@ void TcpReceiver::SendSynAck() {
   }
   Packet p = Packet::MakeTcp(back.src_ip, back.dst_ip, tcp, 0);
   p.set_created_at(scheduler_->Now());
-  send_(p);
+  send_(std::move(p));
 }
 
 void TcpReceiver::AcceptData(const Packet& packet) {

@@ -38,7 +38,7 @@ void TcpSender::SendSyn() {
   }
   Packet p = Packet::MakeTcp(flow_.src_ip, flow_.dst_ip, tcp, 0);
   p.set_created_at(scheduler_->Now());
-  send_(p);
+  send_(std::move(p));
   RestartRtoTimer();
 }
 

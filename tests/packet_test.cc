@@ -1,5 +1,9 @@
-// Unit tests: packet construction, size accounting, flow extraction.
+// Unit tests: packet construction, size accounting, flow extraction, and
+// the move guarantees the zero-copy MAC hot path relies on.
 #include <gtest/gtest.h>
+
+#include <deque>
+#include <utility>
 
 #include "src/packet/packet.h"
 
@@ -71,6 +75,43 @@ TEST(PacketTest, UidsAreUnique) {
   EXPECT_NE(a.uid(), b.uid());
   Packet copy = a;  // copies share the uid (same logical packet)
   EXPECT_EQ(copy.uid(), a.uid());
+}
+
+TEST(PacketTest, MovesAreNoexcept) {
+  // Containers (std::deque/vector of Packet) relocate by move only when the
+  // move operations are noexcept.
+  static_assert(std::is_nothrow_move_constructible_v<Packet>);
+  static_assert(std::is_nothrow_move_assignable_v<Packet>);
+}
+
+TEST(PacketTest, QueueHandoffMovesHeaderStorageWithoutReallocation) {
+  // The hot path hands packets device -> agent -> MAC queue -> frame by
+  // move. A moved Packet must carry its header allocations (here: the SACK
+  // block vector) pointer-for-pointer — no reallocation, no copy.
+  TcpHeader tcp;
+  tcp.flag_ack = true;
+  tcp.timestamps = TcpTimestamps{1, 2};
+  tcp.sack_blocks = {{100, 200}, {300, 400}};
+  Packet p = Packet::MakeTcp(Ipv4Address::FromOctets(10, 0, 2, 1),
+                             Ipv4Address::FromOctets(10, 0, 0, 1),
+                             std::move(tcp), 0);
+  const SackBlock* sack_data = p.tcp().sack_blocks.data();
+  uint64_t uid = p.uid();
+
+  std::deque<Packet> queue;
+  queue.push_back(std::move(p));           // enqueue (WifiMac::Enqueue)
+  Packet handed = std::move(queue.front()); // dequeue into a frame
+  queue.pop_front();
+
+  EXPECT_EQ(handed.uid(), uid);
+  EXPECT_EQ(handed.tcp().sack_blocks.data(), sack_data)
+      << "queue handoff reallocated header storage";
+  EXPECT_EQ(handed.tcp().sack_blocks.size(), 2u);
+
+  // Copies, by contrast, must deep-copy (retention semantics).
+  Packet copy = handed;
+  EXPECT_NE(copy.tcp().sack_blocks.data(), handed.tcp().sack_blocks.data());
+  EXPECT_EQ(copy.uid(), handed.uid());  // same logical packet
 }
 
 TEST(PacketTest, SackGrowsAckSize) {

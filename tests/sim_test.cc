@@ -1,6 +1,8 @@
-// Unit tests: discrete-event scheduler and deterministic PRNG.
+// Unit tests: discrete-event scheduler (slot arena + EventFn) and
+// deterministic PRNG.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "src/sim/random.h"
@@ -120,6 +122,188 @@ TEST(SchedulerTest, CancelledEventsDontBlockProgress) {
   }
   EXPECT_EQ(sched.Run(), 1u);
   EXPECT_TRUE(ran);
+}
+
+TEST(SchedulerTest, CancelledSlotReuseInvalidatesStaleId) {
+  Scheduler sched;
+  bool first_ran = false;
+  bool second_ran = false;
+  EventId first = sched.ScheduleAt(SimTime::Micros(10), [&] {
+    first_ran = true;
+  });
+  sched.Cancel(first);
+  // The freed slot is reused; the stale id must not alias the new event.
+  EventId second = sched.ScheduleAt(SimTime::Micros(20), [&] {
+    second_ran = true;
+  });
+  EXPECT_FALSE(sched.IsPending(first));
+  EXPECT_TRUE(sched.IsPending(second));
+  sched.Cancel(first);  // stale: must not cancel the reused slot
+  EXPECT_TRUE(sched.IsPending(second));
+  sched.Run();
+  EXPECT_FALSE(first_ran);
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(SchedulerTest, StaleIdAfterFireNeverAliasesReusedSlot) {
+  Scheduler sched;
+  EventId first = sched.ScheduleAt(SimTime::Micros(1), [] {});
+  sched.Run();  // `first` fires; its slot returns to the free list
+  int ran = 0;
+  EventId second = sched.ScheduleAt(SimTime::Micros(2), [&] { ++ran; });
+  EXPECT_FALSE(sched.IsPending(first));
+  sched.Cancel(first);  // no-op: generation mismatch
+  EXPECT_TRUE(sched.IsPending(second));
+  sched.Run();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(SchedulerTest, CancelOwnIdInsideCallbackIsNoop) {
+  Scheduler sched;
+  EventId self = kInvalidEventId;
+  bool later_ran = false;
+  self = sched.ScheduleAt(SimTime::Micros(5), [&] {
+    // While running, the event is no longer pending; cancelling it must not
+    // disturb anything (in particular not an event reusing the slot).
+    EXPECT_FALSE(sched.IsPending(self));
+    sched.Cancel(self);
+    EventId next = sched.ScheduleIn(SimTime::Micros(1),
+                                    [&] { later_ran = true; });
+    sched.Cancel(self);  // still a no-op, even though the slot was reused
+    EXPECT_TRUE(sched.IsPending(next));
+  });
+  sched.Run();
+  EXPECT_TRUE(later_ran);
+}
+
+TEST(SchedulerTest, CancelOtherPendingEventInsideCallback) {
+  Scheduler sched;
+  bool victim_ran = false;
+  EventId victim = sched.ScheduleAt(SimTime::Micros(10),
+                                    [&] { victim_ran = true; });
+  sched.ScheduleAt(SimTime::Micros(5), [&] { sched.Cancel(victim); });
+  sched.Run();
+  EXPECT_FALSE(victim_ran);
+}
+
+TEST(SchedulerTest, RescheduleStormKeepsFifoOrder) {
+  // Cancel/re-schedule churn (the MAC's response-timeout pattern) must not
+  // perturb FIFO ordering among surviving same-time events, regardless of
+  // which arena slots get recycled.
+  Scheduler sched;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int round = 0; round < 50; ++round) {
+    ids.clear();
+    for (int i = 0; i < 20; ++i) {
+      ids.push_back(sched.ScheduleAt(SimTime::Micros(100 + round),
+                                     [&order, i] { order.push_back(i); }));
+    }
+    // Cancel every third, then add replacements at the same time.
+    for (size_t i = 0; i < ids.size(); i += 3) {
+      sched.Cancel(ids[i]);
+    }
+    for (int i = 20; i < 25; ++i) {
+      sched.ScheduleAt(SimTime::Micros(100 + round),
+                       [&order, i] { order.push_back(i); });
+    }
+    order.clear();
+    sched.RunUntil(SimTime::Micros(100 + round));
+    // Survivors in insertion order, then the replacements.
+    std::vector<int> want;
+    for (int i = 0; i < 20; ++i) {
+      if (i % 3 != 0) {
+        want.push_back(i);
+      }
+    }
+    for (int i = 20; i < 25; ++i) {
+      want.push_back(i);
+    }
+    ASSERT_EQ(order, want) << "round " << round;
+  }
+}
+
+TEST(SchedulerTest, PendingEventsAccurateUnderHeavyCancellation) {
+  Scheduler sched;
+  EXPECT_EQ(sched.pending_events(), 0u);
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(sched.ScheduleAt(SimTime::Micros(1 + i % 3), [] {}));
+  }
+  EXPECT_EQ(sched.pending_events(), 1000u);
+  for (size_t i = 0; i < ids.size(); i += 2) {
+    sched.Cancel(ids[i]);
+  }
+  EXPECT_EQ(sched.pending_events(), 500u);
+  for (size_t i = 0; i < ids.size(); i += 2) {
+    sched.Cancel(ids[i]);  // double-cancel must not double-count
+  }
+  EXPECT_EQ(sched.pending_events(), 500u);
+  sched.RunUntil(SimTime::Micros(1));
+  EXPECT_EQ(sched.pending_events(), 500u - sched.events_executed());
+  sched.Run();
+  EXPECT_EQ(sched.pending_events(), 0u);
+  EXPECT_EQ(sched.events_executed(), 500u);
+}
+
+TEST(SchedulerTest, MoveOnlyAndOversizedClosures) {
+  Scheduler sched;
+  // Move-only capture (std::function could not hold this).
+  auto owned = std::make_unique<int>(41);
+  int got = 0;
+  sched.ScheduleIn(SimTime::Micros(1),
+                   [p = std::move(owned), &got] { got = *p + 1; });
+  // Oversized capture: falls back to EventFn's heap path.
+  struct Big {
+    char bytes[200] = {0};
+  } big;
+  big.bytes[199] = 7;
+  bool big_ok = false;
+  sched.ScheduleIn(SimTime::Micros(2),
+                   [big, &big_ok] { big_ok = big.bytes[199] == 7; });
+  sched.Run();
+  EXPECT_EQ(got, 42);
+  EXPECT_TRUE(big_ok);
+}
+
+// --- EventFn ------------------------------------------------------------------
+
+TEST(EventFnTest, InlineVsHeapStorage) {
+  int x = 0;
+  EventFn small([&x] { ++x; });
+  EXPECT_TRUE(small.is_inline());
+  struct Big {
+    char bytes[EventFn::kInlineBytes + 1];
+  };
+  EventFn large([big = Big{}, &x] { ++x; });
+  EXPECT_FALSE(large.is_inline());
+  small();
+  large();
+  EXPECT_EQ(x, 2);
+}
+
+TEST(EventFnTest, MovePreservesCallableAndEmptiesSource) {
+  int calls = 0;
+  EventFn a([&calls] { ++calls; });
+  EventFn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(EventFnTest, InvokeAndResetDestroysOnce) {
+  // Destruction count via a shared_ptr capture: InvokeAndReset must destroy
+  // the closure exactly once, and the EventFn must end up empty.
+  auto token = std::make_shared<int>(5);
+  std::weak_ptr<int> watch = token;
+  int got = 0;
+  EventFn fn([t = std::move(token), &got] { got = *t; });
+  EXPECT_EQ(watch.use_count(), 1);
+  fn.InvokeAndReset();
+  EXPECT_EQ(got, 5);
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_TRUE(watch.expired());
 }
 
 // --- Random -------------------------------------------------------------------

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs the perf-tracking benches and records the results:
+#   BENCH_micro.json   google-benchmark JSON from bench_micro (hot-path
+#                      microbenchmarks: scheduler, ROHC, MD5, serialisation)
+#   BENCH_fig10.txt    bench_fig10_goodput output + wall-clock, the
+#                      end-to-end "how fast does a full experiment run" probe
+#
+# Usage: tools/run_bench.sh [build_dir] [out_dir]
+#   build_dir  defaults to ./build (must be configured with -DHACKSIM_BENCH=ON)
+#   out_dir    defaults to the repo root
+# Honours HACKSIM_QUICK=1 for a fast smoke pass (CI).
+#
+# docs/perf.md describes how to read BENCH_micro.json and which entries the
+# perf trajectory tracks across PRs.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_dir="${2:-$repo_root}"
+
+if [[ ! -x "$build_dir/bench_micro" ]]; then
+  echo "error: $build_dir/bench_micro not found." >&2
+  echo "Configure with: cmake -B build -S . -DHACKSIM_BENCH=ON && cmake --build build -j" >&2
+  exit 1
+fi
+
+repetitions="${BENCH_REPETITIONS:-5}"
+if [[ "${HACKSIM_QUICK:-0}" == "1" ]]; then
+  repetitions=1
+fi
+
+echo "== bench_micro (repetitions=$repetitions) =="
+"$build_dir/bench_micro" \
+  --benchmark_repetitions="$repetitions" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json \
+  --benchmark_out="$out_dir/BENCH_micro.json" \
+  --benchmark_out_format=json
+
+echo
+echo "== bench_fig10_goodput =="
+start_ns=$(date +%s%N)
+"$build_dir/bench_fig10_goodput" | tee "$out_dir/BENCH_fig10.txt"
+end_ns=$(date +%s%N)
+wall_ms=$(( (end_ns - start_ns) / 1000000 ))
+echo "wall_clock_ms=$wall_ms" | tee -a "$out_dir/BENCH_fig10.txt"
+
+echo
+echo "wrote $out_dir/BENCH_micro.json and $out_dir/BENCH_fig10.txt"
