@@ -1,0 +1,171 @@
+// Dense-cell scaling sweep: station count x transport x HACK, on the
+// batched-delivery + StationTable path. Locks in the ROADMAP's
+// "millions of users" direction by measuring how cost-per-simulated-second
+// and per-PPDU scheduler event count behave as the cell grows 10 -> 100 ->
+// 1000 stations, and fails (exit 1) if the dense-cell path stops
+// delivering — so CI's 100-station quick pass gates scaling regressions.
+//
+// Columns:
+//   goodput    aggregate over the run, Mbps
+//   events     scheduler events executed
+//   ev/ppdu    events per PPDU on the air — the batched-delivery win keeps
+//              the *channel's* share flat; what remains and grows is DCF /
+//              MAC / transport work, i.e. the next optimisation target
+//   wall       host milliseconds
+//   ev/s       events per wall-clock second (engine throughput)
+//
+// Usage: bench_scale [--json PATH]
+// Honours HACKSIM_QUICK=1 (CI): 10/100 stations only, shorter runs.
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace hacksim;
+
+namespace {
+
+struct ScaleRow {
+  int stations;
+  const char* proto;
+  const char* hack;
+  double goodput_mbps;
+  uint64_t bytes;
+  uint64_t events;
+  uint64_t ppdus;
+  double events_per_ppdu;
+  double wall_ms;
+  double sim_seconds;
+};
+
+ScaleRow RunOne(int stations, TransportProto proto, HackVariant hack) {
+  ScenarioConfig c;
+  c.standard = WifiStandard::k80211n;
+  c.data_rate_mbps = 150.0;
+  c.n_clients = stations;
+  c.proto = proto;
+  c.hack = hack;
+  // Scale sim time down with station count so the full sweep stays
+  // tractable; the quantities of interest (events/ppdu, ev/s) are rates.
+  int64_t millis = QuickMode() ? 250 : (stations >= 1000 ? 500 : 2000);
+  c.duration = SimTime::Millis(millis);
+  // The default 250 ms stagger assumes a handful of clients; pack starts
+  // into the first fifth of the run instead.
+  c.start_stagger = SimTime::Nanos(millis * 1'000'000 / (5 * stations));
+  c.seed = 1;
+
+  auto t0 = std::chrono::steady_clock::now();
+  ScenarioResult r = RunScenario(c);
+  auto t1 = std::chrono::steady_clock::now();
+
+  ScaleRow row;
+  row.stations = stations;
+  row.proto = proto == TransportProto::kUdp ? "udp" : "tcp";
+  row.hack = hack == HackVariant::kOff ? "off" : "moredata";
+  row.goodput_mbps = r.aggregate_goodput_mbps;
+  row.bytes = 0;
+  for (const ClientResult& cr : r.clients) {
+    row.bytes += cr.bytes_delivered;
+  }
+  row.events = r.events_executed;
+  row.ppdus = r.airtime.ppdus;
+  row.events_per_ppdu =
+      r.airtime.ppdus > 0
+          ? static_cast<double>(r.events_executed) /
+                static_cast<double>(r.airtime.ppdus)
+          : 0.0;
+  row.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  row.sim_seconds = c.duration.ToSecondsF();
+
+  if (r.crc_failures != 0) {
+    std::fprintf(stderr, "FAIL: %d-station %s/%s run had %llu CRC failures\n",
+                 stations, row.proto, row.hack,
+                 static_cast<unsigned long long>(r.crc_failures));
+    std::exit(1);
+  }
+  if (row.bytes == 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d-station %s/%s run delivered zero bytes\n",
+                 stations, row.proto, row.hack);
+    std::exit(1);
+  }
+  return row;
+}
+
+void WriteJson(const std::string& path, const std::vector<ScaleRow>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"bench_scale\",\n  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ScaleRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"stations\": %d, \"proto\": \"%s\", \"hack\": \"%s\", "
+        "\"goodput_mbps\": %.3f, \"bytes\": %llu, \"events\": %llu, "
+        "\"ppdus\": %llu, \"events_per_ppdu\": %.2f, \"wall_ms\": %.1f, "
+        "\"sim_seconds\": %.3f}%s\n",
+        r.stations, r.proto, r.hack, r.goodput_mbps,
+        static_cast<unsigned long long>(r.bytes),
+        static_cast<unsigned long long>(r.events),
+        static_cast<unsigned long long>(r.ppdus), r.events_per_ppdu,
+        r.wall_ms, r.sim_seconds, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+
+  PrintHeader("bench_scale",
+              "dense-cell scaling (ROADMAP north star, not a paper figure)");
+  std::vector<int> station_counts = QuickMode()
+                                        ? std::vector<int>{10, 100}
+                                        : std::vector<int>{10, 100, 1000};
+  struct Workload {
+    TransportProto proto;
+    HackVariant hack;
+  };
+  const Workload workloads[] = {
+      {TransportProto::kUdp, HackVariant::kOff},
+      {TransportProto::kTcp, HackVariant::kOff},
+      {TransportProto::kTcp, HackVariant::kMoreData},
+  };
+
+  std::printf("%-9s %-6s %-9s %9s %12s %9s %9s %10s %10s\n", "stations",
+              "proto", "hack", "goodput", "events", "ppdus", "ev/ppdu",
+              "wall_ms", "ev/s");
+  std::vector<ScaleRow> rows;
+  for (int n : station_counts) {
+    for (const Workload& w : workloads) {
+      ScaleRow r = RunOne(n, w.proto, w.hack);
+      double evps = r.wall_ms > 0 ? r.events / (r.wall_ms / 1000.0) : 0;
+      std::printf("%-9d %-6s %-9s %9.1f %12llu %9llu %9.1f %10.1f %9.2fM\n",
+                  r.stations, r.proto, r.hack, r.goodput_mbps,
+                  static_cast<unsigned long long>(r.events),
+                  static_cast<unsigned long long>(r.ppdus),
+                  r.events_per_ppdu, r.wall_ms, evps / 1e6);
+      rows.push_back(r);
+    }
+  }
+  if (!json_path.empty()) {
+    WriteJson(json_path, rows);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  std::printf("\nbatched delivery keeps the channel's event share flat per "
+              "PPDU; residual ev/ppdu growth is DCF/MAC/transport work\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "src/mac80211/station_table.h"
+
+#include <bit>
+
+#include "src/util/logging.h"
+
+namespace hacksim {
+
+StationId StationTable::Intern(MacAddress address) {
+  auto [it, inserted] =
+      index_.try_emplace(address.value(),
+                         static_cast<StationId>(addresses_.size()));
+  if (inserted) {
+    addresses_.push_back(address);
+  }
+  return it->second;
+}
+
+StationId StationTable::Find(MacAddress address) const {
+  auto it = index_.find(address.value());
+  return it == index_.end() ? kInvalidStationId : it->second;
+}
+
+size_t ActiveSlotRing::AddSlot() {
+  size_t slot = size_++;
+  if ((slot >> 6) >= words_.size()) {
+    words_.push_back(0);
+    if (((words_.size() - 1) >> 6) >= summary_.size()) {
+      summary_.push_back(0);
+    }
+  }
+  return slot;
+}
+
+void ActiveSlotRing::Set(size_t slot, bool active) {
+  CHECK_LT(slot, size_);
+  size_t w = slot >> 6;
+  uint64_t bit = uint64_t{1} << (slot & 63);
+  bool was = (words_[w] & bit) != 0;
+  if (was == active) {
+    return;
+  }
+  if (active) {
+    words_[w] |= bit;
+    ++active_;
+  } else {
+    words_[w] &= ~bit;
+    --active_;
+  }
+  uint64_t sbit = uint64_t{1} << (w & 63);
+  if (words_[w] != 0) {
+    summary_[w >> 6] |= sbit;
+  } else {
+    summary_[w >> 6] &= ~sbit;
+  }
+}
+
+size_t ActiveSlotRing::FirstActiveAtOrAfter(size_t from) const {
+  if (from >= size_) {
+    return size_;
+  }
+  size_t w = from >> 6;
+  // Partial first word: only bits at/after `from`.
+  uint64_t masked = words_[w] & (~uint64_t{0} << (from & 63));
+  if (masked != 0) {
+    return (w << 6) + static_cast<size_t>(std::countr_zero(masked));
+  }
+  // Climb to the summary level for the remaining words.
+  size_t next_w = w + 1;
+  size_t sw = next_w >> 6;
+  if (sw >= summary_.size()) {
+    return size_;
+  }
+  uint64_t s = summary_[sw] & (~uint64_t{0} << (next_w & 63));
+  while (s == 0) {
+    if (++sw >= summary_.size()) {
+      return size_;
+    }
+    s = summary_[sw];
+  }
+  size_t word = (sw << 6) + static_cast<size_t>(std::countr_zero(s));
+  size_t slot =
+      (word << 6) + static_cast<size_t>(std::countr_zero(words_[word]));
+  return slot < size_ ? slot : size_;
+}
+
+bool ActiveSlotRing::PickNext(size_t* slot_out) {
+  if (active_ == 0) {
+    return false;
+  }
+  size_t slot = FirstActiveAtOrAfter(cursor_);
+  if (slot == size_) {
+    slot = FirstActiveAtOrAfter(0);
+    CHECK_LT(slot, size_);
+  }
+  *slot_out = slot;
+  cursor_ = (slot + 1) % size_;
+  return true;
+}
+
+}  // namespace hacksim

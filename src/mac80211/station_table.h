@@ -1,0 +1,87 @@
+// Dense station addressing for the MAC hot path.
+//
+// StationTable interns MacAddress -> StationId (small, dense, assigned in
+// first-contact order), so per-station MAC state can live in flat vectors
+// instead of std::map<MacAddress, ...>. In the paper's cells a handful of
+// stations made map lookups invisible; at the ROADMAP's dense-cell scale
+// (1000+ stations) the log-n probes and the O(n) round-robin scan in
+// WifiMac::PickNextDest dominated — both are O(1) against this table.
+//
+// ActiveSlotRing is the companion scheduler structure: a cyclic cursor over
+// "service slots" (assigned in first-enqueue order, exactly the legacy
+// round_robin_ vector positions) backed by a two-level bitmap, so "first
+// station with pending work at/after the cursor" is a couple of word scans
+// instead of a linear walk. Pick semantics are bit-for-bit the legacy scan:
+// same slot chosen, same cursor advance, which is what keeps same-seed runs
+// identical across the refactor.
+#ifndef SRC_MAC80211_STATION_TABLE_H_
+#define SRC_MAC80211_STATION_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/net/address.h"
+
+namespace hacksim {
+
+using StationId = uint32_t;
+inline constexpr StationId kInvalidStationId = 0xFFFFFFFFu;
+
+class StationTable {
+ public:
+  // Returns the station's id, interning the address on first contact.
+  // Ids are dense: 0, 1, 2, ... in interning order.
+  StationId Intern(MacAddress address);
+
+  // Lookup without interning; kInvalidStationId if never seen.
+  StationId Find(MacAddress address) const;
+
+  MacAddress AddressOf(StationId id) const { return addresses_[id]; }
+  size_t size() const { return addresses_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, StationId> index_;
+  std::vector<MacAddress> addresses_;
+};
+
+// Cyclic "who gets served next" ring over dense slots with O(1) expected
+// pick. Slots are appended once (AddSlot) and toggled active/inactive as the
+// station gains/loses pending work. PickNext returns the first active slot
+// at or after the cursor in cyclic slot order and advances the cursor past
+// it — the exact semantics of scanning a vector round-robin and skipping
+// idle entries, minus the scan.
+class ActiveSlotRing {
+ public:
+  // Appends an inactive slot; returns its index (dense, append-only).
+  size_t AddSlot();
+
+  void Set(size_t slot, bool active);
+  bool Test(size_t slot) const {
+    return (words_[slot >> 6] >> (slot & 63)) & 1;
+  }
+
+  bool Empty() const { return active_ == 0; }
+  size_t active_count() const { return active_; }
+  size_t size() const { return size_; }
+  size_t cursor() const { return cursor_; }
+
+  // Picks the next active slot in cyclic order from the cursor; false when
+  // no slot is active (cursor untouched, matching the legacy failed scan).
+  bool PickNext(size_t* slot_out);
+
+ private:
+  // First active slot in [from, size_), or size_ if none.
+  size_t FirstActiveAtOrAfter(size_t from) const;
+
+  std::vector<uint64_t> words_;    // bit s of words_[s/64]: slot s active
+  std::vector<uint64_t> summary_;  // bit w of summary_[w/64]: words_[w] != 0
+  size_t size_ = 0;
+  size_t active_ = 0;
+  size_t cursor_ = 0;
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_MAC80211_STATION_TABLE_H_

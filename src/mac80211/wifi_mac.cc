@@ -1,6 +1,7 @@
 #include "src/mac80211/wifi_mac.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "src/util/logging.h"
 
@@ -33,6 +34,47 @@ SimTime PayloadAirtime(const Ppdu& ppdu) {
 
 }  // namespace
 
+// --- TxState outstanding ring -------------------------------------------------
+
+WifiMac::OutstandingMpdu* WifiMac::TxState::FindOutstanding(uint16_t seq) {
+  if (outstanding.empty()) {
+    return nullptr;
+  }
+  std::optional<OutstandingMpdu>& slot = outstanding[seq % kMaxAmpduMpdus];
+  if (!slot.has_value() || slot->frame.seq != seq) {
+    return nullptr;
+  }
+  return &*slot;
+}
+
+WifiMac::OutstandingMpdu& WifiMac::TxState::AddOutstanding(
+    uint16_t seq, OutstandingMpdu mpdu) {
+  if (outstanding.empty()) {
+    outstanding.resize(kMaxAmpduMpdus);
+  }
+  std::optional<OutstandingMpdu>& slot = outstanding[seq % kMaxAmpduMpdus];
+  CHECK(!slot.has_value()) << "outstanding seq " << seq << " already present";
+  slot.emplace(std::move(mpdu));
+  ++outstanding_count;
+  return *slot;
+}
+
+void WifiMac::TxState::EraseOutstanding(uint16_t seq) {
+  std::optional<OutstandingMpdu>& slot = outstanding[seq % kMaxAmpduMpdus];
+  CHECK(slot.has_value());
+  slot.reset();
+  --outstanding_count;
+}
+
+void WifiMac::TxState::ClearOutstanding() {
+  for (std::optional<OutstandingMpdu>& slot : outstanding) {
+    slot.reset();
+  }
+  outstanding_count = 0;
+}
+
+// ------------------------------------------------------------------------------
+
 WifiMac::WifiMac(Scheduler* scheduler, WifiPhy* phy, MacAddress address,
                  WifiMacConfig config, Random rng)
     : scheduler_(scheduler),
@@ -55,51 +97,67 @@ WifiMac::WifiMac(Scheduler* scheduler, WifiPhy* phy, MacAddress address,
 
 // --- upper-layer interface ----------------------------------------------------
 
-void WifiMac::Enqueue(Packet&& packet, MacAddress dest) {
-  TxState& st = tx_[dest];
-  if (std::find(round_robin_.begin(), round_robin_.end(), dest) ==
-      round_robin_.end()) {
-    round_robin_.push_back(dest);
+void WifiMac::Associate(MacAddress peer) {
+  StationId sid = stations_.Intern(peer);
+  TxFor(sid);
+  RxFor(sid);
+}
+
+void WifiMac::EnsureServiceSlot(StationId sid, TxState& st) {
+  if (st.service_slot != TxState::kNoServiceSlot) {
+    return;
   }
+  st.service_slot = static_cast<uint32_t>(service_ring_.AddSlot());
+  service_slot_station_.push_back(sid);
+}
+
+void WifiMac::UpdateServiceRing(TxState& st) {
+  if (st.service_slot == TxState::kNoServiceSlot) {
+    return;  // never enqueued to: cannot have work
+  }
+  service_ring_.Set(st.service_slot, st.HasWork());
+}
+
+void WifiMac::Enqueue(Packet&& packet, MacAddress dest) {
+  StationId sid = stations_.Intern(dest);
+  TxState& st = TxFor(sid);
+  EnsureServiceSlot(sid, st);
   if (st.queue.size() >= config_.per_dest_queue_limit) {
     // Drop-tail: TCP's congestion control depends on this signal.
     ++stats_.queue_drops;
     return;
   }
   st.queue.push_back(std::move(packet));
+  UpdateServiceRing(st);
   MaybeRequestAccess();
 }
 
 size_t WifiMac::QueueDepth(MacAddress dest) const {
-  auto it = tx_.find(dest);
-  return it == tx_.end() ? 0 : it->second.queue.size();
+  StationId sid = stations_.Find(dest);
+  if (sid == kInvalidStationId || sid >= tx_.size()) {
+    return 0;
+  }
+  return tx_[sid].queue.size();
 }
 
 size_t WifiMac::RemoveQueued(MacAddress dest,
                              const std::function<bool(const Packet&)>& pred) {
-  auto it = tx_.find(dest);
-  if (it == tx_.end()) {
+  StationId sid = stations_.Find(dest);
+  if (sid == kInvalidStationId || sid >= tx_.size()) {
     return 0;
   }
-  std::deque<Packet>& q = it->second.queue;
+  TxState& st = tx_[sid];
+  std::deque<Packet>& q = st.queue;
   size_t before = q.size();
   q.erase(std::remove_if(q.begin(), q.end(), pred), q.end());
+  UpdateServiceRing(st);
   return before - q.size();
 }
 
 // --- originator pipeline --------------------------------------------------------
 
-bool WifiMac::HasWork() const {
-  for (const auto& [dest, st] : tx_) {
-    if (st.HasWork()) {
-      return true;
-    }
-  }
-  return false;
-}
-
 void WifiMac::MaybeRequestAccess() {
-  if (phase_ != TxPhase::kIdle || !HasWork()) {
+  if (phase_ != TxPhase::kIdle || service_ring_.Empty()) {
     return;
   }
   if (!dcf_.access_pending()) {
@@ -108,31 +166,24 @@ void WifiMac::MaybeRequestAccess() {
   }
 }
 
-WifiMac::TxState* WifiMac::PickNextDest(MacAddress* dest_out) {
-  if (round_robin_.empty()) {
+WifiMac::TxState* WifiMac::PickNextDest(StationId* sid_out) {
+  size_t slot;
+  if (!service_ring_.PickNext(&slot)) {
     return nullptr;
   }
-  for (size_t i = 0; i < round_robin_.size(); ++i) {
-    size_t idx = (round_robin_next_ + i) % round_robin_.size();
-    MacAddress dest = round_robin_[idx];
-    TxState& st = tx_[dest];
-    if (st.HasWork()) {
-      round_robin_next_ = (idx + 1) % round_robin_.size();
-      *dest_out = dest;
-      return &st;
-    }
-  }
-  return nullptr;
+  StationId sid = service_slot_station_[slot];
+  *sid_out = sid;
+  return &tx_[sid];
 }
 
 void WifiMac::OnAccessGranted() {
   CHECK(phase_ == TxPhase::kIdle);
-  MacAddress dest;
-  TxState* st = PickNextDest(&dest);
+  StationId sid = kInvalidStationId;
+  TxState* st = PickNextDest(&sid);
   if (st == nullptr) {
     return;  // work disappeared (e.g. opportunistic HACK removed ACKs)
   }
-  StartExchange(dest, *st);
+  StartExchange(sid, *st);
 }
 
 SimTime WifiMac::ResponseTimeoutDelay(bool block_ack_expected) const {
@@ -143,8 +194,9 @@ SimTime WifiMac::ResponseTimeoutDelay(bool block_ack_expected) const {
          timings_.ack_timeout + config_.extra_ack_timeout;
 }
 
-void WifiMac::StartExchange(MacAddress dest, TxState& st) {
-  current_dest_ = dest;
+void WifiMac::StartExchange(StationId sid, TxState& st) {
+  current_dest_ = stations_.AddressOf(sid);
+  current_dest_sid_ = sid;
   current_batch_seqs_.clear();
   current_all_tcp_acks_ = false;
 
@@ -155,7 +207,7 @@ void WifiMac::StartExchange(MacAddress dest, TxState& st) {
     WifiFrame bar;
     bar.type = WifiFrameType::kBlockAckReq;
     bar.ta = address_;
-    bar.ra = dest;
+    bar.ra = current_dest_;
     bar.bar_start_seq = st.win_start;
     WifiMode bar_mode = ControlResponseMode(config_.data_mode);
     bar.duration_field =
@@ -166,11 +218,13 @@ void WifiMac::StartExchange(MacAddress dest, TxState& st) {
     ++stats_.bars_sent;
   } else {
     current_is_bar_ = false;
-    ppdu = BuildDataPpdu(dest, st);
+    ppdu = BuildDataPpdu(current_dest_, st);
     if (ppdu.mpdus.empty()) {
+      UpdateServiceRing(st);
       return;  // nothing sendable (window exhausted)
     }
   }
+  UpdateServiceRing(st);
 
   phase_ = TxPhase::kTransmitting;
   ++stats_.ppdus_sent;
@@ -262,21 +316,18 @@ Ppdu WifiMac::BuildDataPpdu(MacAddress dest, TxState& st) {
     ppdu.mpdus.push_back(std::move(frame));
   };
 
-  // Retransmissions in window order from win_start.
-  std::vector<uint16_t> retx;
-  retx.reserve(st.outstanding.size());
-  for (const auto& [seq, out] : st.outstanding) {
-    retx.push_back(seq);
-  }
-  std::sort(retx.begin(), retx.end(), [&](uint16_t a, uint16_t b) {
-    return SeqDistance(st.win_start, a) < SeqDistance(st.win_start, b);
-  });
-  for (uint16_t seq : retx) {
-    OutstandingMpdu& out = st.outstanding[seq];
-    if (!fits_bytes(out.frame.SizeBytes())) {
+  // Retransmissions in window order from win_start (the ring is naturally
+  // sorted by SeqDistance(win_start, seq)).
+  for (uint16_t i = 0;
+       i < kMaxAmpduMpdus && st.outstanding_count > 0; ++i) {
+    OutstandingMpdu* out = st.FindOutstanding(SeqAdd(st.win_start, i));
+    if (out == nullptr) {
+      continue;
+    }
+    if (!fits_bytes(out->frame.SizeBytes())) {
       break;
     }
-    WifiFrame frame = out.frame;  // retention copy: kept for further retx
+    WifiFrame frame = out->frame;  // retention copy: kept for further retx
     frame.retry = true;
     add(std::move(frame));
   }
@@ -299,10 +350,9 @@ Ppdu WifiMac::BuildDataPpdu(MacAddress dest, TxState& st) {
     frame.packet = std::move(st.queue.front());
     st.queue.pop_front();
     st.next_seq = SeqAdd(st.next_seq, 1);
-    auto [it, inserted] =
-        st.outstanding.emplace(frame.seq, OutstandingMpdu{std::move(frame), 0});
-    CHECK(inserted);
-    add(WifiFrame(it->second.frame));
+    OutstandingMpdu& stored =
+        st.AddOutstanding(frame.seq, OutstandingMpdu{std::move(frame), 0});
+    add(WifiFrame(stored.frame));
   }
 
   if (ppdu.mpdus.empty()) {
@@ -312,7 +362,7 @@ Ppdu WifiMac::BuildDataPpdu(MacAddress dest, TxState& st) {
   // MORE DATA: more traffic for this destination is already queued (or held
   // back by the window) beyond this batch (§3.2).
   bool more = !st.queue.empty() ||
-              st.outstanding.size() > ppdu.mpdus.size();
+              st.outstanding_count > ppdu.mpdus.size();
   bool sync = st.sync_pending;
   if (sync) {
     ++stats_.batches_sent_with_sync;
@@ -366,7 +416,7 @@ void WifiMac::HandleBlockAck(const WifiFrame& frame) {
   scheduler_->Cancel(response_timeout_event_);
   response_timeout_event_ = kInvalidEventId;
 
-  TxState& st = tx_[current_dest_];
+  TxState& st = tx_[current_dest_sid_];
   st.bar_retries = 0;
   st.bar_pending = false;
   st.sync_pending = false;
@@ -382,40 +432,44 @@ void WifiMac::HandleBlockAck(const WifiFrame& frame) {
     return SeqDistance(seq, ba.start_seq) < kSeqModulo / 2;
   };
 
-  for (auto it = st.outstanding.begin(); it != st.outstanding.end();) {
-    if (acked(it->first)) {
-      ReleaseDelivered(st, it->second);
-      it = st.outstanding.erase(it);
-    } else {
-      ++it;
+  // Release acked MPDUs in window order. (on_mpdu_delivered consumers are
+  // order-insensitive across seqs; holding `st` across the callback is safe
+  // because nothing on that path enqueues — see tx_ growth note in the
+  // header.)
+  for (uint16_t i = 0;
+       i < kMaxAmpduMpdus && st.outstanding_count > 0; ++i) {
+    uint16_t seq = SeqAdd(st.win_start, i);
+    OutstandingMpdu* out = st.FindOutstanding(seq);
+    if (out == nullptr || !acked(seq)) {
+      continue;
     }
+    ReleaseDelivered(st, *out);
+    st.EraseOutstanding(seq);
   }
   // Un-acked MPDUs that were transmitted in this batch count a retry.
   for (uint16_t seq : current_batch_seqs_) {
-    auto it = st.outstanding.find(seq);
-    if (it == st.outstanding.end()) {
+    OutstandingMpdu* out = st.FindOutstanding(seq);
+    if (out == nullptr) {
       continue;
     }
-    if (++it->second.retries > config_.mpdu_retry_limit) {
+    if (++out->retries > config_.mpdu_retry_limit) {
       ++stats_.mpdus_dropped_retry_limit;
-      st.outstanding.erase(it);
+      st.EraseOutstanding(seq);
     }
   }
   // Advance the originator window to the oldest un-acked MPDU.
-  if (st.outstanding.empty()) {
+  if (st.outstanding_count == 0) {
     st.win_start = st.next_seq;
   } else {
-    uint16_t best = st.outstanding.begin()->first;
-    uint16_t best_dist = SeqDistance(st.win_start, best);
-    for (const auto& [seq, out] : st.outstanding) {
-      uint16_t d = SeqDistance(st.win_start, seq);
-      if (d < best_dist) {
-        best = seq;
-        best_dist = d;
+    for (uint16_t i = 0; i < kMaxAmpduMpdus; ++i) {
+      uint16_t seq = SeqAdd(st.win_start, i);
+      if (st.FindOutstanding(seq) != nullptr) {
+        st.win_start = seq;
+        break;
       }
     }
-    st.win_start = best;
   }
+  UpdateServiceRing(st);
 
   if (current_all_tcp_acks_) {
     stats_.tcp_ack_ll_ack_overhead_ns +=
@@ -432,12 +486,13 @@ void WifiMac::HandleAck(const WifiFrame& frame) {
   scheduler_->Cancel(response_timeout_event_);
   response_timeout_event_ = kInvalidEventId;
 
-  TxState& st = tx_[current_dest_];
+  TxState& st = tx_[current_dest_sid_];
   if (st.single_inflight.has_value()) {
     ReleaseDelivered(st, *st.single_inflight);
     st.single_inflight.reset();
   }
   st.sync_pending = false;
+  UpdateServiceRing(st);
   if (current_all_tcp_acks_) {
     stats_.tcp_ack_ll_ack_overhead_ns +=
         (scheduler_->Now() - tx_end_time_).ns();
@@ -451,7 +506,7 @@ void WifiMac::HandleResponseTimeout() {
   ++stats_.response_timeouts;
   dcf_.NotifyTxFailure();
 
-  TxState& st = tx_[current_dest_];
+  TxState& st = tx_[current_dest_sid_];
   if (current_is_bar_) {
     if (++st.bar_retries > config_.bar_retry_limit) {
       GiveUpBlockAck(st);
@@ -467,14 +522,15 @@ void WifiMac::HandleResponseTimeout() {
       st.single_inflight.reset();
     }
   }
+  UpdateServiceRing(st);
   phase_ = TxPhase::kIdle;
   MaybeRequestAccess();
 }
 
 void WifiMac::GiveUpBlockAck(TxState& st) {
   ++stats_.ba_agreement_give_ups;
-  stats_.mpdus_dropped_retry_limit += st.outstanding.size();
-  st.outstanding.clear();
+  stats_.mpdus_dropped_retry_limit += st.outstanding_count;
+  st.ClearOutstanding();
   st.win_start = st.next_seq;
   st.bar_pending = false;
   st.bar_retries = 0;
@@ -534,7 +590,7 @@ void WifiMac::OnPpduReceived(const Ppdu& ppdu,
 void WifiMac::HandleDataPpdu(const Ppdu& ppdu,
                              const std::vector<bool>& mpdu_ok) {
   MacAddress from = ppdu.transmitter();
-  RxState& rx = rx_[from];
+  RxState& rx = RxFor(stations_.Intern(from));
   const WifiMode& eliciting_mode = ppdu.mode;
 
   if (!ppdu.aggregated) {
@@ -591,10 +647,16 @@ void WifiMac::HandleDataPpdu(const Ppdu& ppdu,
         continue;
       }
     }
-    if (rx.received.insert(seq).second) {
+    size_t slot = seq % kMaxAmpduMpdus;
+    uint64_t bit = uint64_t{1} << slot;
+    if ((rx.received_bits & bit) == 0) {
+      rx.received_bits |= bit;
       any_new = true;
       if (mpdu.packet.has_value()) {
-        rx.reorder.emplace(seq, *mpdu.packet);
+        if (rx.reorder.empty()) {
+          rx.reorder.resize(kMaxAmpduMpdus);
+        }
+        rx.reorder[slot] = *mpdu.packet;
       }
     } else {
       ++stats_.duplicate_mpdus_discarded;
@@ -622,7 +684,7 @@ void WifiMac::HandleDataPpdu(const Ppdu& ppdu,
 }
 
 void WifiMac::HandleBar(const WifiFrame& frame) {
-  RxState& rx = rx_[frame.ta];
+  RxState& rx = RxFor(stations_.Intern(frame.ta));
   uint16_t dist = SeqDistance(rx.win_start, frame.bar_start_seq);
   if (dist != 0 && dist < kSeqModulo / 2) {
     AdvanceRxWindow(rx, frame.ta, frame.bar_start_seq);
@@ -638,42 +700,44 @@ void WifiMac::HandleBar(const WifiFrame& frame) {
 }
 
 uint64_t WifiMac::BuildBitmap(const RxState& rx) const {
-  uint64_t bitmap = 0;
-  for (uint16_t seq : rx.received) {
-    uint16_t dist = SeqDistance(rx.win_start, seq);
-    if (dist < 64) {
-      bitmap |= uint64_t{1} << dist;
-    }
-  }
-  return bitmap;
+  // Scoreboard bit i is seq (win_start + i); the stored bitmap keys bits by
+  // seq % 64, so the Block ACK view is a rotation.
+  return std::rotr(rx.received_bits,
+                   static_cast<int>(rx.win_start % kMaxAmpduMpdus));
 }
 
 void WifiMac::AdvanceRxWindow(RxState& rx, MacAddress from,
                               uint16_t new_start) {
-  while (rx.win_start != new_start) {
-    auto buffered = rx.reorder.find(rx.win_start);
-    if (buffered != rx.reorder.end()) {
+  // Slide towards new_start, delivering anything buffered that the window
+  // passes (seq order). After 64 steps every slot has been visited, so
+  // larger slides finish by jumping.
+  uint16_t steps = SeqDistance(rx.win_start, new_start);
+  uint16_t limit = std::min<uint16_t>(steps, kMaxAmpduMpdus);
+  for (uint16_t i = 0; i < limit; ++i) {
+    uint16_t seq = SeqAdd(rx.win_start, i);
+    size_t slot = seq % kMaxAmpduMpdus;
+    if (!rx.reorder.empty() && rx.reorder[slot].has_value()) {
       if (on_rx_packet) {
-        on_rx_packet(std::move(buffered->second), from);
+        on_rx_packet(std::move(*rx.reorder[slot]), from);
       }
-      rx.reorder.erase(buffered);
+      rx.reorder[slot].reset();
     }
-    rx.received.erase(rx.win_start);
-    rx.win_start = SeqAdd(rx.win_start, 1);
+    rx.received_bits &= ~(uint64_t{1} << slot);
   }
+  rx.win_start = new_start;
   DeliverContiguous(rx, from);
 }
 
 void WifiMac::DeliverContiguous(RxState& rx, MacAddress from) {
-  while (rx.received.count(rx.win_start) != 0) {
-    auto buffered = rx.reorder.find(rx.win_start);
-    if (buffered != rx.reorder.end()) {
+  while ((rx.received_bits >> (rx.win_start % kMaxAmpduMpdus)) & 1) {
+    size_t slot = rx.win_start % kMaxAmpduMpdus;
+    if (!rx.reorder.empty() && rx.reorder[slot].has_value()) {
       if (on_rx_packet) {
-        on_rx_packet(std::move(buffered->second), from);
+        on_rx_packet(std::move(*rx.reorder[slot]), from);
       }
-      rx.reorder.erase(buffered);
+      rx.reorder[slot].reset();
     }
-    rx.received.erase(rx.win_start);
+    rx.received_bits &= ~(uint64_t{1} << slot);
     rx.win_start = SeqAdd(rx.win_start, 1);
   }
 }

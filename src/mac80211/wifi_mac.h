@@ -6,18 +6,25 @@
 // The MAC is symmetric: an AP is simply a station with several destination
 // queues. HACK integration is confined to the three HackHooks touch points;
 // with hooks unset this is a faithful "stock" 802.11 MAC.
+//
+// Station addressing is dense: peers are interned into a StationTable at
+// first contact (or ahead of time via Associate), and all per-peer TX/RX
+// state lives in flat vectors indexed by StationId. Destination scheduling
+// is an O(1) cursor over an ActiveSlotRing of stations with pending work,
+// and the per-MPDU outstanding/reorder state is kept in 64-entry rings
+// sized to the Block ACK window — no per-packet map walks anywhere, which
+// is what lets one MAC serve 1000+ stations (see docs/perf.md).
 #ifndef SRC_MAC80211_WIFI_MAC_H_
 #define SRC_MAC80211_WIFI_MAC_H_
 
 #include <deque>
 #include <functional>
-#include <map>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "src/mac80211/dcf.h"
 #include "src/mac80211/hack_hooks.h"
+#include "src/mac80211/station_table.h"
 #include "src/phy80211/wifi_phy.h"
 #include "src/stats/mac_stats.h"
 
@@ -45,6 +52,13 @@ class WifiMac final : public WifiPhyListener {
  public:
   WifiMac(Scheduler* scheduler, WifiPhy* phy, MacAddress address,
           WifiMacConfig config, Random rng);
+
+  // Interns `peer` into the station table and pre-sizes its TX/RX state, so
+  // scenario builders can hand out StationIds in a deterministic order
+  // before traffic flows. Purely an optimisation hint: unknown peers are
+  // interned lazily on first contact.
+  void Associate(MacAddress peer);
+  size_t station_count() const { return stations_.size(); }
 
   // Upper-layer interface. Takes ownership: the packet is moved into the
   // per-destination queue (or dropped), never copied.
@@ -85,40 +99,72 @@ class WifiMac final : public WifiPhyListener {
     int retries = 0;
   };
 
-  // Originator-side state, per destination.
+  // Originator-side state, per destination (indexed by StationId).
+  //
+  // Outstanding MPDUs live in a 64-slot ring keyed by seq % 64: every live
+  // seq is inside [win_start, win_start + 64) (the Block ACK window), so
+  // slots are collision-free and "iterate in window order" is a 64-step
+  // walk from win_start.
   struct TxState {
+    static constexpr uint32_t kNoServiceSlot = 0xFFFFFFFFu;
+
     std::deque<Packet> queue;
     uint16_t next_seq = 0;
     uint16_t win_start = 0;
-    std::map<uint16_t, OutstandingMpdu> outstanding;
+    std::vector<std::optional<OutstandingMpdu>> outstanding;  // lazy, 64 slots
+    size_t outstanding_count = 0;
     bool bar_pending = false;
     int bar_retries = 0;
     bool sync_pending = false;
     std::optional<OutstandingMpdu> single_inflight;  // 802.11a stop-and-wait
+    uint32_t service_slot = kNoServiceSlot;  // position in the service ring
 
     bool HasWork() const {
-      return bar_pending || !queue.empty() || !outstanding.empty() ||
+      return bar_pending || !queue.empty() || outstanding_count > 0 ||
              single_inflight.has_value();
     }
+    OutstandingMpdu* FindOutstanding(uint16_t seq);
+    OutstandingMpdu& AddOutstanding(uint16_t seq, OutstandingMpdu mpdu);
+    void EraseOutstanding(uint16_t seq);
+    void ClearOutstanding();
   };
 
-  // Recipient-side state, per transmitter.
+  // Recipient-side state, per transmitter (indexed by StationId). The
+  // scoreboard is a 64-bit bitmap (bit = seq % 64) plus a matching 64-slot
+  // reorder ring — the former std::set / std::map pair, windowed.
   struct RxState {
     uint16_t win_start = 0;
-    std::set<uint16_t> received;             // >= win_start only
-    std::map<uint16_t, Packet> reorder;
+    uint64_t received_bits = 0;
+    std::vector<std::optional<Packet>> reorder;  // lazy, 64 slots
     uint16_t last_single_seq = 0;
     bool has_last_single = false;
   };
 
   enum class TxPhase { kIdle, kTransmitting, kAwaitingResponse };
 
+  // --- station table ---------------------------------------------------------
+  TxState& TxFor(StationId sid) {
+    if (tx_.size() <= sid) {
+      tx_.resize(sid + 1);
+    }
+    return tx_[sid];
+  }
+  RxState& RxFor(StationId sid) {
+    if (rx_.size() <= sid) {
+      rx_.resize(sid + 1);
+    }
+    return rx_[sid];
+  }
+  void EnsureServiceSlot(StationId sid, TxState& st);
+  // Re-syncs the station's service-ring bit with TxState::HasWork(); call
+  // after any mutation that can change it.
+  void UpdateServiceRing(TxState& st);
+
   // --- originator pipeline ---------------------------------------------------
   void MaybeRequestAccess();
-  bool HasWork() const;
   void OnAccessGranted();
-  TxState* PickNextDest(MacAddress* dest_out);
-  void StartExchange(MacAddress dest, TxState& st);
+  TxState* PickNextDest(StationId* sid_out);
+  void StartExchange(StationId sid, TxState& st);
   Ppdu BuildDataPpdu(MacAddress dest, TxState& st);
   void HandleResponseTimeout();
   void HandleBlockAck(const WifiFrame& frame);
@@ -149,13 +195,21 @@ class WifiMac final : public WifiPhyListener {
   HackHooks* hack_hooks_ = nullptr;
   MacStats stats_;
 
-  std::map<MacAddress, TxState> tx_;
-  std::map<MacAddress, RxState> rx_;
-  std::vector<MacAddress> round_robin_;
-  size_t round_robin_next_ = 0;
+  StationTable stations_;
+  // Flat per-station state. tx_ grows only at transmit-side entry points
+  // (Enqueue/Associate) and rx_ only at receive-side ones, so references
+  // held across upper-layer callbacks (which may intern new stations by
+  // enqueueing) never dangle.
+  std::vector<TxState> tx_;
+  std::vector<RxState> rx_;
+  // Service ring: slot index -> station, assigned in first-enqueue order
+  // (the legacy round_robin_ vector order), picked via an O(1) cursor.
+  ActiveSlotRing service_ring_;
+  std::vector<StationId> service_slot_station_;
 
   TxPhase phase_ = TxPhase::kIdle;
   MacAddress current_dest_;
+  StationId current_dest_sid_ = kInvalidStationId;
   bool current_is_bar_ = false;
   bool current_aggregated_ = false;
   bool current_all_tcp_acks_ = false;

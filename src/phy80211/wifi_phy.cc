@@ -1,5 +1,6 @@
 #include "src/phy80211/wifi_phy.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/util/logging.h"
@@ -9,6 +10,14 @@ namespace hacksim {
 namespace {
 // Speed of light, metres per nanosecond.
 constexpr double kMetersPerNs = 0.299792458;
+
+// Propagation delay, clamped to >= 1 ns so same-slot transmit decisions at
+// two stations are both made against pre-transmission channel state (the
+// slotted collision model).
+SimTime PropagationDelay(double distance_m) {
+  auto prop_ns = static_cast<int64_t>(distance_m / kMetersPerNs);
+  return SimTime::Nanos(std::max<int64_t>(prop_ns, 1));
+}
 }  // namespace
 
 double DistanceMeters(Position a, Position b) {
@@ -53,9 +62,9 @@ void WifiPhy::OnOwnTxEnd(const Ppdu& ppdu) {
   }
 }
 
-void WifiPhy::OnArrivalStart(uint64_t arrival_id, const Ppdu& ppdu,
-                             SimTime end, double distance_m) {
-  Arrival arrival{ppdu, end, distance_m, /*corrupted=*/false};
+void WifiPhy::OnArrivalStart(uint64_t arrival_id, PpduRef ppdu, SimTime end,
+                             double distance_m) {
+  Arrival arrival{std::move(ppdu), end, distance_m, /*corrupted=*/false};
   if (transmitting_) {
     arrival.corrupted = true;
   }
@@ -66,12 +75,15 @@ void WifiPhy::OnArrivalStart(uint64_t arrival_id, const Ppdu& ppdu,
       other.corrupted = true;
     }
   }
-  arrivals_.emplace(arrival_id, std::move(arrival));
+  arrivals_.emplace_back(arrival_id, std::move(arrival));
   UpdateCca();
 }
 
 void WifiPhy::OnArrivalEnd(uint64_t arrival_id) {
-  auto it = arrivals_.find(arrival_id);
+  auto it = std::find_if(arrivals_.begin(), arrivals_.end(),
+                         [arrival_id](const auto& entry) {
+                           return entry.first == arrival_id;
+                         });
   CHECK(it != arrivals_.end());
   Arrival arrival = std::move(it->second);
   arrivals_.erase(it);
@@ -85,11 +97,12 @@ void WifiPhy::OnArrivalEnd(uint64_t arrival_id) {
   }
   // Channel-noise loss per MPDU. For A-MPDUs each subframe has its own FCS
   // and fails independently; for single MPDUs there is just one draw.
-  std::vector<bool> mpdu_ok(arrival.ppdu.mpdus.size());
+  const Ppdu& ppdu = *arrival.ppdu;
+  std::vector<bool> mpdu_ok(ppdu.mpdus.size());
   bool any_ok = false;
-  for (size_t i = 0; i < arrival.ppdu.mpdus.size(); ++i) {
-    size_t bytes = arrival.ppdu.mpdus[i].SizeBytes();
-    bool corrupt = loss_model_->ShouldCorrupt(arrival.ppdu.mode, bytes,
+  for (size_t i = 0; i < ppdu.mpdus.size(); ++i) {
+    size_t bytes = ppdu.mpdus[i].SizeBytes();
+    bool corrupt = loss_model_->ShouldCorrupt(ppdu.mode, bytes,
                                               arrival.distance_m, rng_);
     mpdu_ok[i] = !corrupt;
     any_ok = any_ok || !corrupt;
@@ -98,7 +111,7 @@ void WifiPhy::OnArrivalEnd(uint64_t arrival_id) {
     listener_->OnRxCorrupted();
     return;
   }
-  listener_->OnPpduReceived(arrival.ppdu, mpdu_ok);
+  listener_->OnPpduReceived(ppdu, mpdu_ok);
 }
 
 void WifiPhy::UpdateCca() {
@@ -117,7 +130,11 @@ void WifiPhy::UpdateCca() {
   }
 }
 
-void WirelessChannel::Attach(WifiPhy* phy) { phys_.push_back(phy); }
+void WirelessChannel::Attach(WifiPhy* phy) {
+  CHECK(std::find(phys_.begin(), phys_.end(), phy) == phys_.end())
+      << "PHY attached twice: every PPDU would be delivered to it twice";
+  phys_.push_back(phy);
+}
 
 void WirelessChannel::Transmit(WifiPhy* sender, Ppdu ppdu) {
   ppdu.ppdu_id = next_ppdu_id_++;
@@ -152,29 +169,98 @@ void WirelessChannel::Transmit(WifiPhy* sender, Ppdu ppdu) {
       airtime_.collision_ns += (scheduler_->Now() - overlap_started_).ns();
     }
   });
+
+  // One shared copy of the payload for all receivers and the sender's
+  // tx-end callback.
+  PpduRef shared = std::make_shared<const Ppdu>(std::move(ppdu));
+  if (mode_ == ChannelDeliveryMode::kBatched) {
+    TransmitBatched(sender, shared, now, duration);
+  } else {
+    TransmitPerPhy(sender, shared, now, duration);
+  }
+  scheduler_->ScheduleAt(now + duration, [sender, shared]() {
+    sender->OnOwnTxEnd(*shared);
+  });
+}
+
+// Reference semantics: two events per attached PHY, scheduled in attach
+// order. The batched path below must stay observably identical to this.
+void WirelessChannel::TransmitPerPhy(WifiPhy* sender, PpduRef ppdu,
+                                     SimTime now, SimTime duration) {
   for (WifiPhy* phy : phys_) {
     if (phy == sender) {
       continue;
     }
     double distance = DistanceMeters(sender->position(), phy->position());
-    // Clamp to >= 1 ns so same-slot transmit decisions at two stations are
-    // both made against pre-transmission channel state (the slotted
-    // collision model).
-    auto prop_ns = static_cast<int64_t>(distance / kMetersPerNs);
-    SimTime prop = SimTime::Nanos(std::max<int64_t>(prop_ns, 1));
+    SimTime prop = PropagationDelay(distance);
     uint64_t arrival_id = next_arrival_id_++;
-    scheduler_->ScheduleAt(now + prop,
-                           [phy, arrival_id, ppdu, end = now + prop + duration,
-                            distance]() {
-                             phy->OnArrivalStart(arrival_id, ppdu, end,
-                                                 distance);
-                           });
+    scheduler_->ScheduleAt(
+        now + prop, [phy, arrival_id, ppdu, end = now + prop + duration,
+                     distance]() {
+          phy->OnArrivalStart(arrival_id, ppdu, end, distance);
+        });
     scheduler_->ScheduleAt(now + prop + duration, [phy, arrival_id]() {
       phy->OnArrivalEnd(arrival_id);
     });
   }
-  scheduler_->ScheduleAt(now + duration,
-                         [sender, ppdu]() { sender->OnOwnTxEnd(ppdu); });
+}
+
+// Batched delivery: group every arrival edge (start or end) by its exact
+// nanosecond and schedule one event per group, all up-front at transmit
+// time. Three properties make this bit-identical to TransmitPerPhy:
+//   1. Edge times are computed with the same per-pair formula, so nothing
+//      moves in time.
+//   2. Within a group, edges run in attach order — the order the per-PHY
+//      events would have been popped (per-PHY scheduling assigns seqs in
+//      attach order, and a PHY's start/end never share a nanosecond because
+//      propagation delays are far shorter than frame durations).
+//   3. Groups are scheduled now, between the airtime event and the sender's
+//      tx-end event, so same-nanosecond FIFO ordering against *other* PPDUs'
+//      events (and the sender's own) is unchanged.
+void WirelessChannel::TransmitBatched(WifiPhy* sender, PpduRef ppdu,
+                                      SimTime now, SimTime duration) {
+  std::vector<DeliveryEdge> edges;
+  edges.reserve(2 * phys_.size());
+  for (size_t idx = 0; idx < phys_.size(); ++idx) {
+    WifiPhy* phy = phys_[idx];
+    if (phy == sender) {
+      continue;
+    }
+    double distance = DistanceMeters(sender->position(), phy->position());
+    SimTime prop = PropagationDelay(distance);
+    SimTime start = now + prop;
+    SimTime end = start + duration;
+    uint64_t arrival_id = next_arrival_id_++;
+    edges.push_back(DeliveryEdge{start, idx, phy, arrival_id, end, distance,
+                                 /*is_start=*/true});
+    edges.push_back(DeliveryEdge{end, idx, phy, arrival_id, end, distance,
+                                 /*is_start=*/false});
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const DeliveryEdge& a, const DeliveryEdge& b) {
+              if (a.at != b.at) {
+                return a.at < b.at;
+              }
+              return a.attach_idx < b.attach_idx;
+            });
+  for (size_t lo = 0; lo < edges.size();) {
+    size_t hi = lo + 1;
+    while (hi < edges.size() && edges[hi].at == edges[lo].at) {
+      ++hi;
+    }
+    std::vector<DeliveryEdge> group(edges.begin() + lo, edges.begin() + hi);
+    scheduler_->ScheduleAt(
+        edges[lo].at, [ppdu, group = std::move(group)]() {
+          for (const DeliveryEdge& e : group) {
+            if (e.is_start) {
+              e.phy->OnArrivalStart(e.arrival_id, ppdu, e.end, e.distance_m);
+            } else {
+              e.phy->OnArrivalEnd(e.arrival_id);
+            }
+          }
+        });
+    lo = hi;
+  }
 }
 
 }  // namespace hacksim

@@ -7,12 +7,22 @@
 // produces the TCP-ACK-vs-data collisions the paper measures in Table 1.
 //
 // Carrier sense (CCA) reports energy from any arrival, decodable or not.
+//
+// Delivery scheduling: the channel batches all arrival edges that land on
+// the same nanosecond into one scheduler event (ChannelDeliveryMode::
+// kBatched, the default), so per-PPDU event count is bounded by the number
+// of distinct propagation delays — the cell's diameter in light-ns — rather
+// than by the attached-PHY count. Arrival times, callback order, and
+// corruption semantics are bit-identical to the historical one-event-per-PHY
+// scheduling, which remains available (kPerPhyEvent) as the reference
+// semantics for the equivalence tests.
 #ifndef SRC_PHY80211_WIFI_PHY_H_
 #define SRC_PHY80211_WIFI_PHY_H_
 
 #include <cstdint>
-#include <map>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "src/phy80211/frame.h"
 #include "src/phy80211/loss_model.h"
@@ -22,6 +32,12 @@
 namespace hacksim {
 
 class WirelessChannel;
+
+// One transmission's payload, shared by every receiver: the channel makes a
+// single heap copy per PPDU and all arrivals reference it, instead of the
+// historical per-receiver Ppdu copy (O(n) A-MPDU copies per transmission in
+// a dense cell).
+using PpduRef = std::shared_ptr<const Ppdu>;
 
 struct Position {
   double x = 0.0;
@@ -69,7 +85,7 @@ class WifiPhy {
 
   // --- channel-facing interface -------------------------------------------
   void AttachTo(WirelessChannel* channel);
-  void OnArrivalStart(uint64_t arrival_id, const Ppdu& ppdu, SimTime end,
+  void OnArrivalStart(uint64_t arrival_id, PpduRef ppdu, SimTime end,
                       double distance_m);
   void OnArrivalEnd(uint64_t arrival_id);
   void OnOwnTxEnd(const Ppdu& ppdu);
@@ -78,7 +94,7 @@ class WifiPhy {
 
  private:
   struct Arrival {
-    Ppdu ppdu;
+    PpduRef ppdu;
     SimTime end;
     double distance_m;
     bool corrupted = false;
@@ -93,7 +109,9 @@ class WifiPhy {
   std::unique_ptr<LossModel> loss_model_;
   Position position_;
 
-  std::map<uint64_t, Arrival> arrivals_;
+  // In-flight arrivals, insertion (= id) order. Rarely more than two deep;
+  // a flat vector beats the former std::map on every touch.
+  std::vector<std::pair<uint64_t, Arrival>> arrivals_;
   bool transmitting_ = false;
   bool cca_busy_reported_ = false;
   uint64_t tx_dropped_busy_ = 0;
@@ -110,13 +128,35 @@ struct ChannelAirtime {
   uint64_t collisions = 0;    // transmissions that began during another
 
   int64_t TotalBusyNs() const { return data_ns + ack_ns + bar_ns; }
+
+  friend bool operator==(const ChannelAirtime&,
+                         const ChannelAirtime&) = default;
+};
+
+enum class ChannelDeliveryMode {
+  // One scheduler event per distinct arrival-edge nanosecond per PPDU; edge
+  // callbacks fan out inside the event in attach order. O(cell diameter)
+  // events per PPDU, independent of attached-PHY count.
+  kBatched,
+  // Historical reference semantics: two scheduler events (arrival start and
+  // end) per attached PHY per PPDU. O(n) events per PPDU.
+  kPerPhyEvent,
 };
 
 class WirelessChannel {
  public:
-  explicit WirelessChannel(Scheduler* scheduler) : scheduler_(scheduler) {}
+  explicit WirelessChannel(
+      Scheduler* scheduler,
+      ChannelDeliveryMode mode = ChannelDeliveryMode::kBatched)
+      : scheduler_(scheduler), mode_(mode) {}
 
+  // Attaching the same PHY twice would double-deliver every PPDU; it is a
+  // programming error and aborts.
   void Attach(WifiPhy* phy);
+  size_t attached_count() const { return phys_.size(); }
+
+  void set_delivery_mode(ChannelDeliveryMode mode) { mode_ = mode; }
+  ChannelDeliveryMode delivery_mode() const { return mode_; }
 
   // Propagates `ppdu` from `sender` to every other attached PHY with
   // per-pair propagation delay (distance / c).
@@ -125,7 +165,26 @@ class WirelessChannel {
   const ChannelAirtime& airtime() const { return airtime_; }
 
  private:
+  // One receiver's arrival start or end edge inside a batched delivery
+  // event. `attach_idx` preserves the historical callback order for edges
+  // sharing a nanosecond.
+  struct DeliveryEdge {
+    SimTime at;
+    size_t attach_idx;
+    WifiPhy* phy;
+    uint64_t arrival_id;
+    SimTime end;        // arrival end time (start edges only)
+    double distance_m;  // start edges only
+    bool is_start;
+  };
+
+  void TransmitBatched(WifiPhy* sender, PpduRef ppdu, SimTime now,
+                       SimTime duration);
+  void TransmitPerPhy(WifiPhy* sender, PpduRef ppdu, SimTime now,
+                      SimTime duration);
+
   Scheduler* scheduler_;
+  ChannelDeliveryMode mode_;
   std::vector<WifiPhy*> phys_;
   uint64_t next_ppdu_id_ = 1;
   uint64_t next_arrival_id_ = 1;

@@ -48,7 +48,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   };
 
   // --- channel / wired link ----------------------------------------------------
-  WirelessChannel channel(&scheduler);
+  WirelessChannel channel(&scheduler, config.channel_delivery);
   PointToPointLink::Config wired_cfg;
   wired_cfg.rate_bps = config.wired_rate_bps;
   wired_cfg.delay = config.wired_delay;
@@ -132,6 +132,11 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
 
     // AP routes to this client over the WLAN.
     ap_node->AddRoute(client_ip(i), Node::Egress::kWifi, client_mac_addr(i));
+
+    // Associate both ways so StationIds are dense and deterministic (client
+    // i is station i at the AP) before any traffic flows.
+    ap_device->mac().Associate(client_mac_addr(i));
+    ep.device->mac().Associate(ap_mac_addr);
   }
 
   // If the AP uses the SNR model for receptions from clients, attach it too
@@ -249,6 +254,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   ScenarioResult result;
   result.sim_end = end;
   result.airtime = channel.airtime();
+  result.events_executed = scheduler.events_executed();
   result.ap_mac = ap_device->mac().stats();
   if (ap_device->hack() != nullptr) {
     result.ap_hack = ap_device->hack()->stats();

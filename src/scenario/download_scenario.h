@@ -71,6 +71,11 @@ struct ScenarioConfig {
 
   HackAgentConfig hack_config;  // variant is overwritten from `hack`
   uint64_t seed = 1;
+
+  // Channel arrival scheduling. kBatched (one event per distinct arrival
+  // nanosecond per PPDU) is the production path; kPerPhyEvent keeps the
+  // historical one-event-per-PHY semantics for equivalence testing.
+  ChannelDeliveryMode channel_delivery = ChannelDeliveryMode::kBatched;
 };
 
 struct ClientResult {
@@ -82,6 +87,9 @@ struct ClientResult {
   TcpReceiverStats tcp_rx;
   TcpSenderStats tcp_tx;
   SimTime completion_time;  // file transfers only
+
+  // Exact comparison backs the batched-delivery equivalence tests.
+  friend bool operator==(const ClientResult&, const ClientResult&) = default;
 };
 
 struct ScenarioResult {
@@ -94,6 +102,22 @@ struct ScenarioResult {
   SimTime sim_end;
   uint64_t crc_failures = 0;  // decompression CRC failures (must be 0)
   uint64_t tcp_timeouts = 0;  // summed over senders
+  // Scheduler events fired over the whole run — the scale benches divide
+  // this by airtime.ppdus to watch per-PPDU event cost.
+  uint64_t events_executed = 0;
+
+  // Exact comparison backs the batched-delivery equivalence tests.
+  // (events_executed intentionally participates *not* here: the two
+  // delivery modes produce identical behaviour from fewer events.)
+  bool BehaviourEquals(const ScenarioResult& other) const {
+    return clients == other.clients && ap_mac == other.ap_mac &&
+           ap_hack == other.ap_hack && airtime == other.airtime &&
+           aggregate_goodput_mbps == other.aggregate_goodput_mbps &&
+           steady_aggregate_goodput_mbps ==
+               other.steady_aggregate_goodput_mbps &&
+           sim_end == other.sim_end && crc_failures == other.crc_failures &&
+           tcp_timeouts == other.tcp_timeouts;
+  }
 };
 
 ScenarioResult RunScenario(const ScenarioConfig& config);

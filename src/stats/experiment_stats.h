@@ -56,6 +56,9 @@ struct HackStats {
   uint64_t stale_context_drops = 0;
   uint64_t ready_race_fallbacks = 0;     // Fig 3-4 NIC-not-ready events
 
+  // Exact comparison backs the batched-delivery equivalence tests.
+  friend bool operator==(const HackStats&, const HackStats&) = default;
+
   double CompressionRatio() const {
     if (unique_compressed_acks == 0 || unique_compressed_bytes == 0) {
       return 1.0;

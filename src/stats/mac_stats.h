@@ -56,6 +56,9 @@ struct MacStats {
   uint64_t acks_sent = 0;
   uint64_t block_acks_sent = 0;
 
+  // Exact comparison backs the batched-delivery equivalence tests.
+  friend bool operator==(const MacStats&, const MacStats&) = default;
+
   double FirstTryFraction() const {
     uint64_t delivered = mpdus_delivered_first_try + mpdus_delivered_retried;
     if (delivered == 0) {

@@ -23,6 +23,9 @@ struct TcpReceiverStats {
   uint64_t dupacks_sent = 0;
   uint64_t out_of_order_segments = 0;
   uint64_t delack_timer_fires = 0;
+
+  friend bool operator==(const TcpReceiverStats&,
+                         const TcpReceiverStats&) = default;
 };
 
 class TcpReceiver {

@@ -26,6 +26,9 @@ struct TcpSenderStats {
   uint64_t timeouts = 0;
   uint64_t dupacks_received = 0;
   uint64_t acks_received = 0;
+
+  friend bool operator==(const TcpSenderStats&,
+                         const TcpSenderStats&) = default;
 };
 
 class TcpSender {

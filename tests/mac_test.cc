@@ -325,6 +325,54 @@ TEST(MacTest, TcpAckStatsAccounting) {
   EXPECT_GT(s.tcp_ack_ll_ack_overhead_ns, 0);
 }
 
+TEST(MacTest, SequenceWrapWithSteadyFeedCrossesModulo) {
+  // Steady feed below the queue limit so nothing drops: > 4096 MPDUs flow
+  // through one TX state, forcing win_start/next_seq across the 12-bit
+  // sequence modulo — the outstanding/reorder rings and received bitmap
+  // must keep delivering exactly once, in order, across the wrap.
+  MacPair pair(WifiStandard::k80211n, 150);
+  constexpr uint32_t kPackets = 4300;
+  uint32_t fed = 0;
+  // Feed 40 packets per millisecond — below the drain rate at 150 Mbps for
+  // 200-byte payloads, so the per-dest queue never overflows.
+  std::function<void()> feed = [&]() {
+    for (uint32_t i = 0; i < 40 && fed < kPackets; ++i, ++fed) {
+      pair.mac_a->Enqueue(MakeUdpPacket(200), MacAddress::ForStation(1));
+    }
+    if (fed < kPackets) {
+      pair.sched.ScheduleIn(SimTime::Millis(1), feed);
+    }
+  };
+  feed();
+  pair.sched.RunUntil(SimTime::Seconds(2));
+  EXPECT_EQ(pair.mac_a->stats().queue_drops, 0u);
+  EXPECT_EQ(pair.received_at_b.size(), kPackets);
+}
+
+TEST(MacTest, UnknownDestinationQueriesAreNoOps) {
+  MacPair pair(WifiStandard::k80211n, 150);
+  MacAddress stranger = MacAddress::ForStation(42);
+  EXPECT_EQ(pair.mac_a->QueueDepth(stranger), 0u);
+  EXPECT_EQ(pair.mac_a->RemoveQueued(stranger,
+                                     [](const Packet&) { return true; }),
+            0u);
+}
+
+TEST(MacTest, AssociatePreInternsWithoutCreatingWork) {
+  MacPair pair(WifiStandard::k80211n, 150);
+  pair.mac_a->Associate(MacAddress::ForStation(1));
+  pair.mac_a->Associate(MacAddress::ForStation(9));
+  EXPECT_EQ(pair.mac_a->station_count(), 2u);
+  // Association alone must not schedule transmissions.
+  pair.sched.RunUntil(SimTime::Millis(5));
+  EXPECT_EQ(pair.mac_a->stats().ppdus_sent, 0u);
+  // Traffic to an associated peer still flows.
+  pair.mac_a->Enqueue(MakeUdpPacket(123), MacAddress::ForStation(1));
+  pair.sched.RunUntil(SimTime::Millis(20));
+  ASSERT_EQ(pair.received_at_b.size(), 1u);
+  EXPECT_EQ(pair.mac_a->station_count(), 2u);
+}
+
 TEST(MacTest, ContendersEventuallyCollideAndRecover) {
   // Both stations saturated: backoff collisions must occur, but everything
   // is eventually delivered exactly once.

@@ -2,6 +2,10 @@
 // frame sizes, loss models, and the collision semantics of the shared medium.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <tuple>
+#include <vector>
+
 #include "src/phy80211/frame.h"
 #include "src/phy80211/loss_model.h"
 #include "src/phy80211/wifi_mode.h"
@@ -363,6 +367,113 @@ TEST(WifiPhyTest, AirtimeLedgerAccountsByFrameType) {
   EXPECT_EQ(at.ppdus, 2u);
   EXPECT_EQ(at.collisions, 0u);
   EXPECT_EQ(at.collision_ns, 0);
+}
+
+TEST(WifiPhyTest, DoubleAttachAborts) {
+  Scheduler sched;
+  WirelessChannel channel{&sched};
+  WifiPhy phy{&sched, Random(1)};
+  channel.Attach(&phy);
+  EXPECT_EQ(channel.attached_count(), 1u);
+  EXPECT_DEATH(channel.Attach(&phy), "attached twice");
+}
+
+TEST(WifiPhyTest, PartialOverlapCorruptsBothFrames) {
+  // B starts while A's frame is still in the air at C: neither decodes,
+  // even though A's frame began cleanly — overlap corrupts *both*.
+  MediumFixture f;
+  ASSERT_TRUE(f.phy_a.Send(
+      MakeTestPpdu(MacAddress::ForStation(0), MacAddress::ForStation(2))));
+  Ppdu probe = MakeTestPpdu(MacAddress::ForStation(0),
+                            MacAddress::ForStation(2));
+  SimTime half = SimTime::Nanos(probe.Duration().ns() / 2);
+  f.sched.ScheduleAt(half, [&f]() {
+    ASSERT_TRUE(f.phy_b.Send(
+        MakeTestPpdu(MacAddress::ForStation(1), MacAddress::ForStation(2))));
+  });
+  f.sched.Run();
+  EXPECT_EQ(f.lc.received, 0);
+  EXPECT_EQ(f.lc.corrupted, 2);  // one OnRxCorrupted per corrupted arrival
+}
+
+// Per-PPDU scheduler event count must not grow with the attached-PHY count
+// under batched delivery — the tentpole property of the dense-cell refactor.
+// All receivers sit at one distance so the cell has a single arrival edge
+// pair; co-located receivers is exactly the dense-cell worst case for the
+// old one-event-per-PHY scheduling.
+TEST(WifiPhyTest, BatchedDeliveryEventCountIndependentOfPhyCount) {
+  auto events_for = [](size_t n_receivers, ChannelDeliveryMode mode) {
+    Scheduler sched;
+    WirelessChannel channel{&sched, mode};
+    WifiPhy sender{&sched, Random(1)};
+    sender.AttachTo(&channel);
+    sender.set_position({0, 0});
+    std::vector<std::unique_ptr<WifiPhy>> receivers;
+    for (size_t i = 0; i < n_receivers; ++i) {
+      auto phy = std::make_unique<WifiPhy>(&sched, Random(100 + i));
+      phy->AttachTo(&channel);
+      phy->set_position({5, 0});
+      receivers.push_back(std::move(phy));
+    }
+    EXPECT_TRUE(sender.Send(
+        MakeTestPpdu(MacAddress::ForStation(0), MacAddress::ForStation(1))));
+    sched.Run();
+    return sched.events_executed();
+  };
+
+  uint64_t batched_small = events_for(4, ChannelDeliveryMode::kBatched);
+  uint64_t batched_large = events_for(256, ChannelDeliveryMode::kBatched);
+  EXPECT_EQ(batched_small, batched_large)
+      << "batched per-PPDU event count must not scale with PHY count";
+  // airtime bookkeeping + start edge batch + end edge batch + own tx end.
+  EXPECT_EQ(batched_small, 4u);
+
+  uint64_t per_phy_small = events_for(4, ChannelDeliveryMode::kPerPhyEvent);
+  uint64_t per_phy_large = events_for(256, ChannelDeliveryMode::kPerPhyEvent);
+  EXPECT_EQ(per_phy_small, 2u + 2u * 4u);
+  EXPECT_EQ(per_phy_large, 2u + 2u * 256u);
+}
+
+// The two delivery modes must report identical medium behaviour, including
+// under collisions, at the channel layer.
+TEST(WifiPhyTest, BatchedAndPerPhyDeliveryAgreeUnderCollision) {
+  auto run = [](ChannelDeliveryMode mode) {
+    Scheduler sched;
+    WirelessChannel channel{&sched, mode};
+    WifiPhy a{&sched, Random(1)}, b{&sched, Random(2)}, c{&sched, Random(3)};
+    RecordingListener la, lb, lc;
+    a.AttachTo(&channel);
+    b.AttachTo(&channel);
+    c.AttachTo(&channel);
+    a.set_listener(&la);
+    b.set_listener(&lb);
+    c.set_listener(&lc);
+    a.set_position({0, 0});
+    b.set_position({5, 0});
+    c.set_position({0, 7});
+    EXPECT_TRUE(a.Send(
+        MakeTestPpdu(MacAddress::ForStation(0), MacAddress::ForStation(2))));
+    EXPECT_TRUE(b.Send(
+        MakeTestPpdu(MacAddress::ForStation(1), MacAddress::ForStation(2))));
+    sched.Run();
+    EXPECT_TRUE(c.Send(
+        MakeTestPpdu(MacAddress::ForStation(2), MacAddress::ForStation(0))));
+    sched.Run();
+    return std::tuple{la.received,   la.corrupted, lb.received,
+                      lb.corrupted,  lc.received,  lc.corrupted,
+                      channel.airtime()};
+  };
+  auto [bar, bac, bbr, bbc, bcr, bcc, bat] =
+      run(ChannelDeliveryMode::kBatched);
+  auto [par, pac, pbr, pbc, pcr, pcc, pat] =
+      run(ChannelDeliveryMode::kPerPhyEvent);
+  EXPECT_EQ(bar, par);
+  EXPECT_EQ(bac, pac);
+  EXPECT_EQ(bbr, pbr);
+  EXPECT_EQ(bbc, pbc);
+  EXPECT_EQ(bcr, pcr);
+  EXPECT_EQ(bcc, pcc);
+  EXPECT_EQ(bat, pat);
 }
 
 TEST(WifiPhyTest, AirtimeLedgerCountsCollisionOverlap) {

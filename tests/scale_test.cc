@@ -1,0 +1,108 @@
+// Dense-cell scaling tests.
+//
+// 1. Equivalence: the batched channel delivery (one scheduler event per
+//    distinct arrival nanosecond per PPDU) must produce bit-identical
+//    experiment statistics to the historical per-PHY-event scheduling for
+//    full scenarios at 1/3/10 clients — while executing fewer events.
+// 2. Event-count independence: at the channel layer, the number of
+//    scheduler events per PPDU must not grow with the attached-PHY count.
+// 3. A 100-station scenario smoke, so the dense-cell path is exercised by
+//    the default test suite and not just the opt-in bench.
+#include <gtest/gtest.h>
+
+#include "src/scenario/download_scenario.h"
+
+namespace hacksim {
+namespace {
+
+ScenarioConfig BaseConfig(int n_clients, TransportProto proto,
+                          HackVariant hack) {
+  ScenarioConfig c;
+  c.standard = WifiStandard::k80211n;
+  c.data_rate_mbps = 150.0;
+  c.n_clients = n_clients;
+  c.proto = proto;
+  c.hack = hack;
+  c.duration = SimTime::Millis(800);
+  c.start_stagger = SimTime::Millis(50);
+  c.seed = 7;
+  return c;
+}
+
+void ExpectModesEquivalent(ScenarioConfig config) {
+  config.channel_delivery = ChannelDeliveryMode::kPerPhyEvent;
+  ScenarioResult per_phy = RunScenario(config);
+  config.channel_delivery = ChannelDeliveryMode::kBatched;
+  ScenarioResult batched = RunScenario(config);
+
+  EXPECT_TRUE(batched.BehaviourEquals(per_phy))
+      << "batched delivery diverged: goodput " << batched.aggregate_goodput_mbps
+      << " vs " << per_phy.aggregate_goodput_mbps << ", airtime ppdus "
+      << batched.airtime.ppdus << " vs " << per_phy.airtime.ppdus;
+  ASSERT_EQ(batched.clients.size(), per_phy.clients.size());
+  for (size_t i = 0; i < batched.clients.size(); ++i) {
+    EXPECT_EQ(batched.clients[i], per_phy.clients[i]) << "client " << i;
+  }
+  // Identical behaviour from strictly fewer scheduler events (2+ clients
+  // means 3+ attached PHYs, so per-PHY scheduling is strictly costlier).
+  if (config.n_clients > 1) {
+    EXPECT_LT(batched.events_executed, per_phy.events_executed);
+  } else {
+    EXPECT_LE(batched.events_executed, per_phy.events_executed);
+  }
+}
+
+TEST(BatchedDeliveryEquivalenceTest, TcpHackOneClient) {
+  ExpectModesEquivalent(
+      BaseConfig(1, TransportProto::kTcp, HackVariant::kMoreData));
+}
+
+TEST(BatchedDeliveryEquivalenceTest, TcpHackThreeClients) {
+  ExpectModesEquivalent(
+      BaseConfig(3, TransportProto::kTcp, HackVariant::kMoreData));
+}
+
+TEST(BatchedDeliveryEquivalenceTest, TcpStockTenClients) {
+  ExpectModesEquivalent(
+      BaseConfig(10, TransportProto::kTcp, HackVariant::kOff));
+}
+
+TEST(BatchedDeliveryEquivalenceTest, TcpHackTenClients) {
+  ExpectModesEquivalent(
+      BaseConfig(10, TransportProto::kTcp, HackVariant::kMoreData));
+}
+
+TEST(BatchedDeliveryEquivalenceTest, UdpTenClients) {
+  ExpectModesEquivalent(
+      BaseConfig(10, TransportProto::kUdp, HackVariant::kOff));
+}
+
+TEST(BatchedDeliveryEquivalenceTest, LossyUploadThreeClients) {
+  // Upload reverses the compressing role; loss exercises the BAR/retry and
+  // rx-window machinery on both sides.
+  ScenarioConfig c = BaseConfig(3, TransportProto::kTcp,
+                                HackVariant::kMoreData);
+  c.upload = true;
+  c.clients.resize(3);
+  for (auto& spec : c.clients) {
+    spec.bernoulli_data_loss = 0.05;
+  }
+  ExpectModesEquivalent(c);
+}
+
+TEST(ScaleSmokeTest, HundredStationCellDeliversUdp) {
+  ScenarioConfig c = BaseConfig(100, TransportProto::kUdp, HackVariant::kOff);
+  c.duration = SimTime::Millis(200);
+  c.start_stagger = SimTime::Millis(1);
+  ScenarioResult r = RunScenario(c);
+  EXPECT_EQ(r.crc_failures, 0u);
+  EXPECT_GT(r.aggregate_goodput_mbps, 0.0);
+  uint64_t delivered = 0;
+  for (const ClientResult& cr : r.clients) {
+    delivered += cr.bytes_delivered;
+  }
+  EXPECT_GT(delivered, 0u);
+}
+
+}  // namespace
+}  // namespace hacksim

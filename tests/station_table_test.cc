@@ -1,0 +1,178 @@
+// Unit tests for the dense station addressing structures: MacAddress
+// interning and the ActiveSlotRing service cursor, including a randomized
+// equivalence check against the legacy round-robin vector scan the ring
+// replaced (same picks, same cursor motion — the property the MAC's
+// bit-identical-behaviour guarantee rests on).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "src/mac80211/station_table.h"
+#include "src/sim/random.h"
+
+namespace hacksim {
+namespace {
+
+TEST(StationTableTest, InternAssignsDenseIdsInFirstContactOrder) {
+  StationTable table;
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.Intern(MacAddress::ForStation(7)), 0u);
+  EXPECT_EQ(table.Intern(MacAddress::ForStation(3)), 1u);
+  EXPECT_EQ(table.Intern(MacAddress::ForStation(9)), 2u);
+  // Re-interning is idempotent.
+  EXPECT_EQ(table.Intern(MacAddress::ForStation(3)), 1u);
+  EXPECT_EQ(table.size(), 3u);
+}
+
+TEST(StationTableTest, FindDoesNotIntern) {
+  StationTable table;
+  EXPECT_EQ(table.Find(MacAddress::ForStation(1)), kInvalidStationId);
+  EXPECT_EQ(table.size(), 0u);
+  StationId id = table.Intern(MacAddress::ForStation(1));
+  EXPECT_EQ(table.Find(MacAddress::ForStation(1)), id);
+}
+
+TEST(StationTableTest, AddressOfRoundTrips) {
+  StationTable table;
+  for (uint32_t i = 0; i < 300; ++i) {
+    StationId id = table.Intern(MacAddress::ForStation(i * 17));
+    EXPECT_EQ(table.AddressOf(id), MacAddress::ForStation(i * 17));
+  }
+}
+
+TEST(ActiveSlotRingTest, EmptyRingNeverPicks) {
+  ActiveSlotRing ring;
+  size_t slot = 99;
+  EXPECT_FALSE(ring.PickNext(&slot));
+  ring.AddSlot();
+  EXPECT_FALSE(ring.PickNext(&slot));
+  EXPECT_TRUE(ring.Empty());
+}
+
+TEST(ActiveSlotRingTest, PicksCycleThroughActiveSlots) {
+  ActiveSlotRing ring;
+  for (int i = 0; i < 5; ++i) {
+    ring.AddSlot();
+  }
+  ring.Set(1, true);
+  ring.Set(3, true);
+  size_t slot;
+  ASSERT_TRUE(ring.PickNext(&slot));
+  EXPECT_EQ(slot, 1u);
+  ASSERT_TRUE(ring.PickNext(&slot));
+  EXPECT_EQ(slot, 3u);
+  ASSERT_TRUE(ring.PickNext(&slot));  // wraps
+  EXPECT_EQ(slot, 1u);
+  ring.Set(1, false);
+  ASSERT_TRUE(ring.PickNext(&slot));
+  EXPECT_EQ(slot, 3u);
+}
+
+TEST(ActiveSlotRingTest, CursorSkipsIdleSlotsLikeTheLegacyScan) {
+  ActiveSlotRing ring;
+  for (int i = 0; i < 4; ++i) {
+    ring.AddSlot();
+  }
+  // Legacy: pick 0, cursor -> 1; slots 1,2 idle, 3 active: pick 3,
+  // cursor -> 0.
+  ring.Set(0, true);
+  ring.Set(3, true);
+  size_t slot;
+  ASSERT_TRUE(ring.PickNext(&slot));
+  EXPECT_EQ(slot, 0u);
+  ASSERT_TRUE(ring.PickNext(&slot));
+  EXPECT_EQ(slot, 3u);
+  EXPECT_EQ(ring.cursor(), 0u);  // (3 + 1) % 4
+}
+
+TEST(ActiveSlotRingTest, WorksAcrossWordAndSummaryBoundaries) {
+  ActiveSlotRing ring;
+  for (int i = 0; i < 5000; ++i) {
+    ring.AddSlot();
+  }
+  ring.Set(63, true);
+  ring.Set(64, true);    // word boundary
+  ring.Set(4095, true);  // summary-word boundary
+  ring.Set(4096, true);
+  size_t slot;
+  ASSERT_TRUE(ring.PickNext(&slot));
+  EXPECT_EQ(slot, 63u);
+  ASSERT_TRUE(ring.PickNext(&slot));
+  EXPECT_EQ(slot, 64u);
+  ASSERT_TRUE(ring.PickNext(&slot));
+  EXPECT_EQ(slot, 4095u);
+  ASSERT_TRUE(ring.PickNext(&slot));
+  EXPECT_EQ(slot, 4096u);
+  ASSERT_TRUE(ring.PickNext(&slot));  // wraps to the first active
+  EXPECT_EQ(slot, 63u);
+  EXPECT_EQ(ring.active_count(), 4u);
+}
+
+// Reference model: the legacy WifiMac::PickNextDest scan over a vector of
+// destinations with a wrap-around cursor.
+class LegacyRoundRobin {
+ public:
+  void AddSlot() { active_.push_back(false); }
+  void Set(size_t slot, bool active) { active_[slot] = active; }
+  std::optional<size_t> PickNext() {
+    if (active_.empty()) {
+      return std::nullopt;
+    }
+    for (size_t i = 0; i < active_.size(); ++i) {
+      size_t idx = (next_ + i) % active_.size();
+      if (active_[idx]) {
+        next_ = (idx + 1) % active_.size();
+        return idx;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::vector<bool> active_;
+  size_t next_ = 0;
+};
+
+TEST(ActiveSlotRingTest, RandomizedEquivalenceWithLegacyScan) {
+  ActiveSlotRing ring;
+  LegacyRoundRobin legacy;
+  Random rng(1234);
+  size_t slots = 0;
+  for (int step = 0; step < 20000; ++step) {
+    switch (rng.NextBounded(4)) {
+      case 0:
+        ring.AddSlot();
+        legacy.AddSlot();
+        ++slots;
+        break;
+      case 1:
+        if (slots > 0) {
+          size_t s = rng.NextBounded(static_cast<uint32_t>(slots));
+          ring.Set(s, true);
+          legacy.Set(s, true);
+        }
+        break;
+      case 2:
+        if (slots > 0) {
+          size_t s = rng.NextBounded(static_cast<uint32_t>(slots));
+          ring.Set(s, false);
+          legacy.Set(s, false);
+        }
+        break;
+      default: {
+        size_t got = 0;
+        bool ok = ring.PickNext(&got);
+        std::optional<size_t> want = legacy.PickNext();
+        ASSERT_EQ(ok, want.has_value()) << "step " << step;
+        if (ok) {
+          ASSERT_EQ(got, *want) << "step " << step;
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hacksim

@@ -4,6 +4,10 @@
 #                      microbenchmarks: scheduler, ROHC, MD5, serialisation)
 #   BENCH_fig10.txt    bench_fig10_goodput output + wall-clock, the
 #                      end-to-end "how fast does a full experiment run" probe
+#   BENCH_scale.json   bench_scale dense-cell sweep (stations x proto x
+#                      HACK): goodput, events/PPDU, wall clock. Exits
+#                      nonzero if a dense cell stops delivering, so this
+#                      doubles as the CI scaling-regression gate.
 #
 # Usage: tools/run_bench.sh [build_dir] [out_dir]
 #   build_dir  defaults to ./build (must be configured with -DHACKSIM_BENCH=ON)
@@ -46,4 +50,8 @@ wall_ms=$(( (end_ns - start_ns) / 1000000 ))
 echo "wall_clock_ms=$wall_ms" | tee -a "$out_dir/BENCH_fig10.txt"
 
 echo
-echo "wrote $out_dir/BENCH_micro.json and $out_dir/BENCH_fig10.txt"
+echo "== bench_scale =="
+"$build_dir/bench_scale" --json "$out_dir/BENCH_scale.json"
+
+echo
+echo "wrote $out_dir/BENCH_micro.json, $out_dir/BENCH_fig10.txt and $out_dir/BENCH_scale.json"
