@@ -16,7 +16,8 @@ UdpCbrSource::UdpCbrSource(Scheduler* scheduler, Config config,
 }
 
 void UdpCbrSource::Start() {
-  scheduler_->ScheduleAt(config_.start, [this]() { EmitNext(); });
+  scheduler_->ScheduleAt(config_.start, [this]() { EmitNext(); },
+                         EventClass::kTransportTimer);
 }
 
 void UdpCbrSource::EmitNext() {
@@ -28,7 +29,8 @@ void UdpCbrSource::EmitNext() {
   p.set_created_at(scheduler_->Now());
   send_(std::move(p));
   ++packets_sent_;
-  scheduler_->ScheduleIn(interval_, [this]() { EmitNext(); });
+  scheduler_->ScheduleIn(interval_, [this]() { EmitNext(); },
+                         EventClass::kTransportTimer);
 }
 
 void UdpSink::OnPacket(const Packet& packet) {

@@ -193,12 +193,14 @@ void HackAgent::ArmFlushTimer(MacAddress dest, PeerState& ps) {
   if (ps.flush_timer != kInvalidEventId) {
     return;
   }
-  ps.flush_timer =
-      scheduler_->ScheduleIn(config_.explicit_timer, [this, dest]() {
+  ps.flush_timer = scheduler_->ScheduleIn(
+      config_.explicit_timer,
+      [this, dest]() {
         PeerState& state = peers_[dest];
         state.flush_timer = kInvalidEventId;
         FlushAllToVanilla(dest, state);
-      });
+      },
+      EventClass::kTransportTimer);
 }
 
 void HackAgent::OnMpduDelivered(const Packet& packet, MacAddress dest) {
@@ -247,12 +249,15 @@ void HackAgent::OnDataPpdu(MacAddress from, bool aggregated,
     // (payload cap, ready race) has no further ride and must fall back to
     // normal transmission (Fig 4's "re-enqueue for normal transmission").
     // Give the LL ACK a moment to take what fits, then demote the rest.
-    scheduler_->ScheduleIn(SimTime::Millis(1), [this, from]() {
-      PeerState& state = peers_[from];
-      if (!state.more_data_latched && !state.staged.empty()) {
-        FlushAllToVanilla(from, state);
-      }
-    });
+    scheduler_->ScheduleIn(
+        SimTime::Millis(1),
+        [this, from]() {
+          PeerState& state = peers_[from];
+          if (!state.more_data_latched && !state.staged.empty()) {
+            FlushAllToVanilla(from, state);
+          }
+        },
+        EventClass::kTransportTimer);
   }
 
   if (sync) {

@@ -29,6 +29,9 @@ void DcfEngine::ConsumeElapsedSlots(SimTime until) {
   if (backoff_slots_ <= 0) {
     return;
   }
+  // With a future-dated idle_since_ the countdown has not started, so a
+  // busy edge arriving before it consumes nothing — exactly the eager
+  // engine's behaviour, where the idle edge had not yet been delivered.
   SimTime countdown_start =
       std::max(idle_since_ + EffectiveAifs(), backoff_valid_from_);
   if (until <= countdown_start) {
@@ -52,13 +55,21 @@ void DcfEngine::NotifyMediumBusy() {
   }
 }
 
-void DcfEngine::NotifyMediumIdle() {
-  if (!medium_busy_) {
+void DcfEngine::NotifyMediumIdleFrom(SimTime t) {
+  if (medium_busy_) {
+    medium_busy_ = false;
+    idle_since_ = t;
+    Evaluate();
     return;
   }
-  medium_busy_ = false;
-  idle_since_ = scheduler_->Now();
-  Evaluate();
+  // Already announced: only a later idle start (NAV extension without an
+  // intervening physical busy edge) changes anything. Idle time that
+  // actually elapsed still counts toward the countdown first.
+  if (t > idle_since_) {
+    ConsumeElapsedSlots(scheduler_->Now());
+    idle_since_ = t;
+    Evaluate();
+  }
 }
 
 void DcfEngine::RequestAccess() {
@@ -66,11 +77,17 @@ void DcfEngine::RequestAccess() {
     return;
   }
   pending_ = true;
-  if (medium_busy_) {
+  if (medium_busy()) {
+    // Busy — physically or by reservation: no immediate access; a backoff
+    // is owed.
     if (backoff_slots_ < 0) {
       backoff_slots_ = DrawBackoff();
     }
-    return;  // Evaluate() runs on the next idle edge
+    if (medium_busy_) {
+      return;  // Evaluate() runs when the idle announcement arrives
+    }
+    // Reserved (NAV): the idle start is already known; arm the grant for
+    // the post-reservation timeline now.
   }
   Evaluate();
 }
@@ -100,22 +117,33 @@ void DcfEngine::Evaluate() {
     // frame may go as soon as AIFS has been satisfied.
     grant_time = std::max(now, countdown_start);
   }
-  grant_event_ = scheduler_->ScheduleAt(grant_time, [this]() {
-    grant_event_ = kInvalidEventId;
-    pending_ = false;
-    backoff_slots_ = -1;
-    CHECK(on_grant != nullptr);
-    on_grant();
-  });
+  grant_event_ = scheduler_->ScheduleAt(
+      grant_time,
+      [this]() {
+        grant_event_ = kInvalidEventId;
+        pending_ = false;
+        backoff_slots_ = -1;
+        CHECK(on_grant != nullptr);
+        on_grant();
+      },
+      EventClass::kDcfTimer);
 }
 
 void DcfEngine::NotifyTxFailure() {
   cw_ = std::min(cw_ * 2 + 1, config_.cw_max);
   backoff_slots_ = DrawBackoff();
+  // In the MAC's flow no grant is armed here (the failed exchange consumed
+  // the pending access), but keep the engine self-consistent for any call
+  // order: a grant armed against a future idle start must track the new
+  // draw, as the eager path's later evaluation would have.
+  ReevaluateDeferredIdle();
 }
 
 void DcfEngine::NotifyTxSuccess() { cw_ = config_.cw_min; }
 
-void DcfEngine::DrawPostTxBackoff() { backoff_slots_ = DrawBackoff(); }
+void DcfEngine::DrawPostTxBackoff() {
+  backoff_slots_ = DrawBackoff();
+  ReevaluateDeferredIdle();
+}
 
 }  // namespace hacksim

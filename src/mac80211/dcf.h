@@ -4,6 +4,19 @@
 //
 // The engine consumes *combined* medium state (physical CCA OR NAV); the
 // owning MAC computes that combination and feeds transitions in.
+//
+// Idle edges may be future-dated: NotifyMediumIdleFrom(t) announces at the
+// moment the physical carrier drops that the medium counts as busy until
+// `t` (the NAV reservation) and idle afterwards. The engine arms its grant
+// timer for the post-`t` timeline immediately — the owning MAC never has to
+// schedule a NAV-expiry event, which is what kept every overhearing station
+// burning one executed timer per PPDU in dense cells (see docs/perf.md).
+// Backoff freezing is explicit state (`backoff_slots_`,
+// `backoff_valid_from_`, `idle_since_`), not timer churn: a busy edge
+// consumes elapsed slots and cancels the single armed grant timer (O(1) in
+// the scheduler's timing wheel), and the grant is re-armed once per idle
+// announcement, lazily re-dated if the EIFS flag changes while the idle
+// start is still in the future.
 #ifndef SRC_MAC80211_DCF_H_
 #define SRC_MAC80211_DCF_H_
 
@@ -30,14 +43,33 @@ class DcfEngine {
   // Invoked exactly once per grant; the requester transmits immediately.
   std::function<void()> on_grant;
 
-  // --- medium state (combined CCA+NAV), edges only --------------------------
+  // --- medium state (combined CCA+NAV) ---------------------------------------
+  // Physical busy edge, effective immediately.
   void NotifyMediumBusy();
-  void NotifyMediumIdle();
-  bool medium_busy() const { return medium_busy_; }
+  // The physical carrier is down; the medium counts as idle from `t`
+  // onward (t >= Now(); t > Now() encodes a NAV reservation). Announcing a
+  // later `t` again without an intervening busy edge extends the deferral.
+  void NotifyMediumIdleFrom(SimTime t);
+  // Immediate idle edge — the eager-notification form.
+  void NotifyMediumIdle() { NotifyMediumIdleFrom(scheduler_->Now()); }
+  // True while busy, physically or by an unexpired idle-from reservation.
+  bool medium_busy() const {
+    return medium_busy_ || scheduler_->Now() < idle_since_;
+  }
 
   // --- EIFS ------------------------------------------------------------------
-  void NotifyRxFailed() { last_rx_failed_ = true; }
-  void NotifyRxOk() { last_rx_failed_ = false; }
+  void NotifyRxFailed() {
+    if (!last_rx_failed_) {
+      last_rx_failed_ = true;
+      ReevaluateDeferredIdle();
+    }
+  }
+  void NotifyRxOk() {
+    if (last_rx_failed_) {
+      last_rx_failed_ = false;
+      ReevaluateDeferredIdle();
+    }
+  }
 
   // --- access ----------------------------------------------------------------
   void RequestAccess();
@@ -57,8 +89,17 @@ class DcfEngine {
 
  private:
   SimTime EffectiveAifs() const;
-  // (Re)schedules the grant if pending and the medium is idle.
+  // (Re)schedules the grant if pending and the medium is physically idle.
   void Evaluate();
+  // A grant armed against a still-future idle start was computed with the
+  // EIFS flag of the announcement moment; a flag flip before the idle start
+  // re-dates it (the eager path would have evaluated at the idle edge, with
+  // the flipped flag).
+  void ReevaluateDeferredIdle() {
+    if (!medium_busy_ && pending_ && scheduler_->Now() < idle_since_) {
+      Evaluate();
+    }
+  }
   void CancelGrantEvent();
   int DrawBackoff() {
     backoff_valid_from_ = scheduler_->Now();
@@ -71,7 +112,9 @@ class DcfEngine {
   Random rng_;
   Config config_;
 
+  // Physical busy flag; NAV deferrals live in idle_since_ instead.
   bool medium_busy_ = false;
+  // Start of the current (or announced future) idle period.
   SimTime idle_since_;
   bool last_rx_failed_ = false;
   bool pending_ = false;

@@ -391,10 +391,12 @@ void WifiMac::OnTxEnd(const Ppdu& ppdu) {
   tx_end_time_ = scheduler_->Now();
   bool expect_ba = current_aggregated_ || current_is_bar_;
   response_timeout_event_ = scheduler_->ScheduleIn(
-      ResponseTimeoutDelay(expect_ba), [this]() {
+      ResponseTimeoutDelay(expect_ba),
+      [this]() {
         response_timeout_event_ = kInvalidEventId;
         HandleResponseTimeout();
-      });
+      },
+      EventClass::kMacTimer);
 }
 
 void WifiMac::ReleaseDelivered(TxState& st, const OutstandingMpdu& mpdu) {
@@ -748,39 +750,41 @@ void WifiMac::ScheduleResponse(WifiFrame response,
   SimTime delay = timings_.sifs + config_.extra_ack_delay;
   ++responses_pending_;
   UpdateMediumState();
-  scheduler_->ScheduleIn(delay, [this, response = std::move(response),
-                                 resp_mode]() mutable {
-    --responses_pending_;
-    if (hack_hooks_ != nullptr) {
-      std::vector<uint8_t> payload =
-          hack_hooks_->BuildAckPayload(response.ra);
-      if (!payload.empty()) {
-        size_t base_bytes = response.SizeBytes();
-        response.hack_payload = std::move(payload);
-        SimTime extra = FrameDuration(resp_mode, response.SizeBytes()) -
-                        FrameDuration(resp_mode, base_bytes);
-        ++stats_.hack_payloads_sent;
-        stats_.hack_payload_bytes_sent += response.hack_payload.size();
-        stats_.rohc_payload_airtime_ns += extra.ns();
-        if (extra <= timings_.difs) {
-          ++stats_.hack_payloads_fit_in_aifs;
+  scheduler_->ScheduleIn(
+      delay,
+      [this, response = std::move(response), resp_mode]() mutable {
+        --responses_pending_;
+        if (hack_hooks_ != nullptr) {
+          std::vector<uint8_t> payload =
+              hack_hooks_->BuildAckPayload(response.ra);
+          if (!payload.empty()) {
+            size_t base_bytes = response.SizeBytes();
+            response.hack_payload = std::move(payload);
+            SimTime extra = FrameDuration(resp_mode, response.SizeBytes()) -
+                            FrameDuration(resp_mode, base_bytes);
+            ++stats_.hack_payloads_sent;
+            stats_.hack_payload_bytes_sent += response.hack_payload.size();
+            stats_.rohc_payload_airtime_ns += extra.ns();
+            if (extra <= timings_.difs) {
+              ++stats_.hack_payloads_fit_in_aifs;
+            }
+          }
         }
-      }
-    }
-    if (response.type == WifiFrameType::kAck) {
-      ++stats_.acks_sent;
-    } else {
-      ++stats_.block_acks_sent;
-    }
-    Ppdu ppdu;
-    ppdu.aggregated = false;
-    ppdu.mode = resp_mode;
-    ppdu.mpdus.push_back(std::move(response));
-    if (!phy_->Send(std::move(ppdu))) {
-      ++stats_.tx_dropped_phy_busy;
-    }
-    UpdateMediumState();
-  });
+        if (response.type == WifiFrameType::kAck) {
+          ++stats_.acks_sent;
+        } else {
+          ++stats_.block_acks_sent;
+        }
+        Ppdu ppdu;
+        ppdu.aggregated = false;
+        ppdu.mode = resp_mode;
+        ppdu.mpdus.push_back(std::move(response));
+        if (!phy_->Send(std::move(ppdu))) {
+          ++stats_.tx_dropped_phy_busy;
+        }
+        UpdateMediumState();
+      },
+      EventClass::kMacTimer);
 }
 
 // --- medium state -----------------------------------------------------------------
@@ -805,27 +809,39 @@ void WifiMac::SetNav(SimTime until) {
     return;
   }
   nav_until_ = until;
-  if (nav_event_ != kInvalidEventId) {
-    scheduler_->Cancel(nav_event_);
-  }
-  nav_event_ = scheduler_->ScheduleAt(until, [this]() {
-    nav_event_ = kInvalidEventId;
-    UpdateMediumState();
-  });
   UpdateMediumState();
 }
 
+// Medium-state reporting, lazy-NAV form. The DCF engine sees the same busy
+// edges, at the same times, as the historical eager path — that keeps its
+// backoff-draw points (and therefore the RNG stream) identical — but idle
+// is announced as "idle from T" at the moment the carrier drops, where T is
+// the NAV horizon. No NAV-expiry event is ever scheduled: in a dense cell
+// that event used to fire once per station per overheard PPDU and was the
+// dominant ev/PPDU term (see docs/perf.md).
 void WifiMac::UpdateMediumState() {
-  bool busy = phy_busy_ || responses_pending_ > 0 ||
-              scheduler_->Now() < nav_until_;
-  if (busy == medium_busy_reported_) {
+  SimTime now = scheduler_->Now();
+  if (phy_busy_ || responses_pending_ > 0) {
+    if (!medium_busy_reported_) {
+      medium_busy_reported_ = true;
+      dcf_.NotifyMediumBusy();
+    }
     return;
   }
-  medium_busy_reported_ = busy;
-  if (busy) {
+  bool nav_busy = now < nav_until_;
+  SimTime idle_from = nav_busy ? nav_until_ : now;
+  if (!medium_busy_reported_ && nav_busy &&
+      idle_from > reported_idle_from_) {
+    // NAV extended past the previously announced idle start without a CCA
+    // edge in between (SetNav right after a delivery): the eager path
+    // produced a busy edge here, and it is a backoff-draw point — keep it.
+    medium_busy_reported_ = true;
     dcf_.NotifyMediumBusy();
-  } else {
-    dcf_.NotifyMediumIdle();
+  }
+  if (medium_busy_reported_) {
+    medium_busy_reported_ = false;
+    reported_idle_from_ = idle_from;
+    dcf_.NotifyMediumIdleFrom(idle_from);
   }
 }
 

@@ -220,8 +220,11 @@ class WifiMac final : public WifiPhyListener {
 
   bool phy_busy_ = false;
   SimTime nav_until_;
-  EventId nav_event_ = kInvalidEventId;
   bool medium_busy_reported_ = false;
+  // Idle start last announced to the DCF engine (Now() or a future
+  // nav_until_). NAV expiry is never a scheduled event: the engine arms its
+  // grant against the announced idle start directly (see UpdateMediumState).
+  SimTime reported_idle_from_;
   // SIFS responses scheduled but not yet on the air. While non-zero the MAC
   // must not start its own exchanges: a real NIC's response logic runs
   // below the contention engine, and with delayed responses (the SoRa

@@ -7,12 +7,16 @@
 #ifndef SRC_NET_TCP_HEADER_H_
 #define SRC_NET_TCP_HEADER_H_
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
+#include <initializer_list>
 #include <optional>
 #include <vector>
 
 #include "src/net/address.h"
 #include "src/util/bitio.h"
+#include "src/util/logging.h"
 
 namespace hacksim {
 
@@ -26,6 +30,49 @@ struct SackBlock {
   uint32_t start = 0;  // left edge (inclusive)
   uint32_t end = 0;    // right edge (exclusive)
   friend bool operator==(const SackBlock&, const SackBlock&) = default;
+};
+
+// Fixed-capacity SACK block list with inline storage: building or copying a
+// TCP header never allocates (the former std::vector was the one heap
+// allocation on the MakeTcp path). Capacity covers both limits in play —
+// a real header fits at most 4 blocks in its 40-byte option space (3 with
+// timestamps), and a ROHC refresh record carries at most
+// kMaxSackBlocksInRefresh = 7.
+class SackList {
+ public:
+  static constexpr size_t kCapacity = 7;
+
+  SackList() = default;
+  SackList(std::initializer_list<SackBlock> blocks) {
+    for (const SackBlock& b : blocks) {
+      push_back(b);
+    }
+  }
+
+  void push_back(const SackBlock& b) {
+    CHECK_LT(size_, kCapacity) << "SACK list overflow";
+    blocks_[size_++] = b;
+  }
+  void clear() { size_ = 0; }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const SackBlock* data() const { return blocks_.data(); }
+  SackBlock* data() { return blocks_.data(); }
+  const SackBlock* begin() const { return blocks_.data(); }
+  const SackBlock* end() const { return blocks_.data() + size_; }
+  SackBlock* begin() { return blocks_.data(); }
+  SackBlock* end() { return blocks_.data() + size_; }
+  const SackBlock& operator[](size_t i) const { return blocks_[i]; }
+  SackBlock& operator[](size_t i) { return blocks_[i]; }
+
+  friend bool operator==(const SackList& a, const SackList& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  std::array<SackBlock, kCapacity> blocks_{};
+  uint8_t size_ = 0;
 };
 
 struct TcpHeader {
@@ -46,7 +93,7 @@ struct TcpHeader {
   std::optional<uint8_t> window_scale;
   bool sack_permitted = false;
   std::optional<TcpTimestamps> timestamps;
-  std::vector<SackBlock> sack_blocks;  // at most 3 when timestamps present
+  SackList sack_blocks;  // at most 3 when timestamps present
 
   // 20 bytes + options, padded to a multiple of 4 (data offset units).
   size_t HeaderBytes() const;

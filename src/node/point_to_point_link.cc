@@ -30,19 +30,24 @@ void PointToPointLink::StartTransmission(int direction) {
   SimTime serialization = SimTime::FromSecondsF(bits / config_.rate_bps);
   SimTime arrival = serialization + config_.delay;
   scheduler_->ScheduleIn(
-      arrival, [this, direction, packet = std::move(packet)]() mutable {
+      arrival,
+      [this, direction, packet = std::move(packet)]() mutable {
         auto& deliver = direction == 0 ? deliver_to_1 : deliver_to_0;
         if (deliver) {
           deliver(std::move(packet));
         }
-      });
-  scheduler_->ScheduleIn(serialization, [this, direction]() {
-    Direction& d = dir_[direction];
-    d.busy = false;
-    if (!d.queue.empty()) {
-      StartTransmission(direction);
-    }
-  });
+      },
+      EventClass::kChannel);
+  scheduler_->ScheduleIn(
+      serialization,
+      [this, direction]() {
+        Direction& d = dir_[direction];
+        d.busy = false;
+        if (!d.queue.empty()) {
+          StartTransmission(direction);
+        }
+      },
+      EventClass::kChannel);
 }
 
 }  // namespace hacksim

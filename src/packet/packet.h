@@ -5,9 +5,15 @@
 // Packets are value types stored by value in queues and safe to retain for
 // link-layer retransmission — but the hot path never copies them: every
 // queue handoff (device -> HACK agent -> MAC queue -> frame) moves, which
-// transfers the header storage (including any SACK-block allocation)
-// pointer-for-pointer. Copies are reserved for deliberate retention (MAC
-// retransmission buffers, the opportunistic HACK race).
+// transfers the header storage pointer-for-pointer. Copies are reserved for
+// deliberate retention (MAC retransmission buffers, the opportunistic HACK
+// race).
+//
+// Header storage is arena-pooled: the three header structs live in a
+// HeaderBlock drawn from a process-lifetime free-list slab, so MakeTcp /
+// MakeUdp are allocation-free in steady state (SACK blocks are inline in
+// the TCP header — see SackList — so a block has no secondary
+// allocations). A Packet itself is four words; moves swap one pointer.
 #ifndef SRC_PACKET_PACKET_H_
 #define SRC_PACKET_PACKET_H_
 
@@ -26,11 +32,34 @@ namespace hacksim {
 class Packet {
  public:
   Packet() = default;
-  Packet(const Packet&) = default;
-  Packet& operator=(const Packet&) = default;
+  Packet(const Packet& other) { CopyFrom(other); }
+  Packet& operator=(const Packet& other) {
+    if (this != &other) {
+      ReleaseBlock();
+      CopyFrom(other);
+    }
+    return *this;
+  }
   // Moves must stay noexcept so containers relocate rather than copy.
-  Packet(Packet&&) noexcept = default;
-  Packet& operator=(Packet&&) noexcept = default;
+  Packet(Packet&& other) noexcept
+      : uid_(other.uid_),
+        created_at_(other.created_at_),
+        block_(other.block_),
+        payload_bytes_(other.payload_bytes_) {
+    other.block_ = nullptr;
+  }
+  Packet& operator=(Packet&& other) noexcept {
+    if (this != &other) {
+      ReleaseBlock();
+      uid_ = other.uid_;
+      created_at_ = other.created_at_;
+      block_ = other.block_;
+      payload_bytes_ = other.payload_bytes_;
+      other.block_ = nullptr;
+    }
+    return *this;
+  }
+  ~Packet() { ReleaseBlock(); }
 
   // --- builders -----------------------------------------------------------
   static Packet MakeTcp(Ipv4Address src, Ipv4Address dst, TcpHeader tcp,
@@ -39,14 +68,18 @@ class Packet {
                         uint16_t dst_port, uint32_t payload_bytes);
 
   // --- header access ------------------------------------------------------
-  bool has_ip() const { return ip_.has_value(); }
-  bool has_tcp() const { return tcp_.has_value(); }
-  bool has_udp() const { return udp_.has_value(); }
-  const Ipv4Header& ip() const { return *ip_; }
-  Ipv4Header& mutable_ip() { return *ip_; }
-  const TcpHeader& tcp() const { return *tcp_; }
-  TcpHeader& mutable_tcp() { return *tcp_; }
-  const UdpHeader& udp() const { return *udp_; }
+  bool has_ip() const { return block_ != nullptr && block_->ip.has_value(); }
+  bool has_tcp() const {
+    return block_ != nullptr && block_->tcp.has_value();
+  }
+  bool has_udp() const {
+    return block_ != nullptr && block_->udp.has_value();
+  }
+  const Ipv4Header& ip() const { return *block_->ip; }
+  Ipv4Header& mutable_ip() { return *block_->ip; }
+  const TcpHeader& tcp() const { return *block_->tcp; }
+  TcpHeader& mutable_tcp() { return *block_->tcp; }
+  const UdpHeader& udp() const { return *block_->udp; }
 
   uint32_t payload_bytes() const { return payload_bytes_; }
 
@@ -56,7 +89,7 @@ class Packet {
   // True for a TCP segment with no payload and plain ACK semantics — the
   // packets HACK is allowed to compress into link-layer ACKs.
   bool IsPureTcpAck() const {
-    return has_tcp() && payload_bytes_ == 0 && tcp_->IsPureAckShape();
+    return has_tcp() && payload_bytes_ == 0 && block_->tcp->IsPureAckShape();
   }
 
   // Flow key in the direction this packet travels.
@@ -70,18 +103,57 @@ class Packet {
   std::string ToString() const;
 
  private:
+  // Pooled header storage. Blocks come from slabs that are reachable via
+  // the free list for the whole process lifetime (deliberately never
+  // deallocated), so static-destruction order can never invalidate a live
+  // Packet. Plain (non-atomic) free list because the simulator is
+  // single-threaded by design; see docs/perf.md before adding threads.
+  struct HeaderBlock {
+    std::optional<Ipv4Header> ip;
+    std::optional<TcpHeader> tcp;
+    std::optional<UdpHeader> udp;
+    HeaderBlock* next_free = nullptr;
+  };
+
+  static HeaderBlock* AllocBlock();
+  static constinit HeaderBlock* free_blocks_;
+
+  void ReleaseBlock() {
+    if (block_ != nullptr) {
+      // All three header types are trivially destructible (SACK storage is
+      // inline), so a reset is a flag store and the block is immediately
+      // reusable.
+      block_->ip.reset();
+      block_->tcp.reset();
+      block_->udp.reset();
+      block_->next_free = free_blocks_;
+      free_blocks_ = block_;
+      block_ = nullptr;
+    }
+  }
+  void CopyFrom(const Packet& other) {
+    uid_ = other.uid_;
+    created_at_ = other.created_at_;
+    payload_bytes_ = other.payload_bytes_;
+    if (other.block_ != nullptr) {
+      block_ = AllocBlock();
+      block_->ip = other.block_->ip;
+      block_->tcp = other.block_->tcp;
+      block_->udp = other.block_->udp;
+    } else {
+      block_ = nullptr;
+    }
+  }
+
   // Monotonic uid source for the builders. `constinit` proves constant
   // initialisation — no static-initialisation-order hazard even when a
   // Packet is built from another translation unit's static initialiser.
-  // Plain (non-atomic) because the simulator is single-threaded by design;
-  // see docs/perf.md before adding threads.
+  // Plain (non-atomic) because the simulator is single-threaded by design.
   static constinit uint64_t next_uid_;
 
   uint64_t uid_ = 0;
   SimTime created_at_;
-  std::optional<Ipv4Header> ip_;
-  std::optional<TcpHeader> tcp_;
-  std::optional<UdpHeader> udp_;
+  HeaderBlock* block_ = nullptr;
   uint32_t payload_bytes_ = 0;
 };
 

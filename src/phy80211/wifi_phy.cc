@@ -162,13 +162,16 @@ void WirelessChannel::Transmit(WifiPhy* sender, Ppdu ppdu) {
     }
   }
   ++active_transmissions_;
-  scheduler_->ScheduleAt(now + duration, [this]() {
-    --active_transmissions_;
-    if (active_transmissions_ == 1) {
-      // Overlap period ends when concurrency drops back to one.
-      airtime_.collision_ns += (scheduler_->Now() - overlap_started_).ns();
-    }
-  });
+  scheduler_->ScheduleAt(
+      now + duration,
+      [this]() {
+        --active_transmissions_;
+        if (active_transmissions_ == 1) {
+          // Overlap period ends when concurrency drops back to one.
+          airtime_.collision_ns += (scheduler_->Now() - overlap_started_).ns();
+        }
+      },
+      EventClass::kChannel);
 
   // One shared copy of the payload for all receivers and the sender's
   // tx-end callback.
@@ -178,9 +181,9 @@ void WirelessChannel::Transmit(WifiPhy* sender, Ppdu ppdu) {
   } else {
     TransmitPerPhy(sender, shared, now, duration);
   }
-  scheduler_->ScheduleAt(now + duration, [sender, shared]() {
-    sender->OnOwnTxEnd(*shared);
-  });
+  scheduler_->ScheduleAt(
+      now + duration, [sender, shared]() { sender->OnOwnTxEnd(*shared); },
+      EventClass::kChannel);
 }
 
 // Reference semantics: two events per attached PHY, scheduled in attach
@@ -195,13 +198,15 @@ void WirelessChannel::TransmitPerPhy(WifiPhy* sender, PpduRef ppdu,
     SimTime prop = PropagationDelay(distance);
     uint64_t arrival_id = next_arrival_id_++;
     scheduler_->ScheduleAt(
-        now + prop, [phy, arrival_id, ppdu, end = now + prop + duration,
-                     distance]() {
+        now + prop,
+        [phy, arrival_id, ppdu, end = now + prop + duration, distance]() {
           phy->OnArrivalStart(arrival_id, ppdu, end, distance);
-        });
-    scheduler_->ScheduleAt(now + prop + duration, [phy, arrival_id]() {
-      phy->OnArrivalEnd(arrival_id);
-    });
+        },
+        EventClass::kChannel);
+    scheduler_->ScheduleAt(
+        now + prop + duration,
+        [phy, arrival_id]() { phy->OnArrivalEnd(arrival_id); },
+        EventClass::kChannel);
   }
 }
 
@@ -250,7 +255,8 @@ void WirelessChannel::TransmitBatched(WifiPhy* sender, PpduRef ppdu,
     }
     std::vector<DeliveryEdge> group(edges.begin() + lo, edges.begin() + hi);
     scheduler_->ScheduleAt(
-        edges[lo].at, [ppdu, group = std::move(group)]() {
+        edges[lo].at,
+        [ppdu, group = std::move(group)]() {
           for (const DeliveryEdge& e : group) {
             if (e.is_start) {
               e.phy->OnArrivalStart(e.arrival_id, ppdu, e.end, e.distance_m);
@@ -258,7 +264,8 @@ void WirelessChannel::TransmitBatched(WifiPhy* sender, PpduRef ppdu,
               e.phy->OnArrivalEnd(e.arrival_id);
             }
           }
-        });
+        },
+        EventClass::kChannel);
     lo = hi;
   }
 }

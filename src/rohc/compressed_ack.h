@@ -76,7 +76,7 @@ struct CompressedAckRecord {
   uint32_t ack = 0;
   uint32_t tsval = 0;
   uint32_t tsecr = 0;
-  std::vector<SackBlock> sack_blocks;
+  SackList sack_blocks;
 
   void Serialize(ByteWriter& writer) const;
   static std::optional<CompressedAckRecord> Deserialize(ByteReader& reader);

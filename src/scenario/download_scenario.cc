@@ -255,6 +255,10 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   result.sim_end = end;
   result.airtime = channel.airtime();
   result.events_executed = scheduler.events_executed();
+  for (size_t i = 0; i < kEventClassCount; ++i) {
+    result.events_by_class[i] =
+        scheduler.executed_in_class(static_cast<EventClass>(i));
+  }
   result.ap_mac = ap_device->mac().stats();
   if (ap_device->hack() != nullptr) {
     result.ap_hack = ap_device->hack()->stats();

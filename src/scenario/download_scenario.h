@@ -10,6 +10,7 @@
 #ifndef SRC_SCENARIO_DOWNLOAD_SCENARIO_H_
 #define SRC_SCENARIO_DOWNLOAD_SCENARIO_H_
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -105,6 +106,9 @@ struct ScenarioResult {
   // Scheduler events fired over the whole run — the scale benches divide
   // this by airtime.ppdus to watch per-PPDU event cost.
   uint64_t events_executed = 0;
+  // Same total, split by EventClass (indexed by static_cast<size_t>), so
+  // ev/PPDU movement can be attributed to a subsystem without re-profiling.
+  std::array<uint64_t, kEventClassCount> events_by_class{};
 
   // Exact comparison backs the batched-delivery equivalence tests.
   // (events_executed intentionally participates *not* here: the two

@@ -85,7 +85,9 @@ class EventFn {
 
   void Reset() {
     if (ops_ != nullptr) {
-      ops_->destroy(storage_);
+      if (ops_->destroy != nullptr) {
+        ops_->destroy(storage_);
+      }
       ops_ = nullptr;
     }
   }
@@ -101,8 +103,14 @@ class EventFn {
     // Move-construct into `dst` from `src`, then destroy `src`. Null when a
     // plain memcpy of the storage buffer relocates correctly.
     void (*relocate)(void* dst, void* src);
+    // Null when destruction is a no-op (trivially-destructible inline
+    // callables — the overwhelmingly common case), so Reset() skips the
+    // indirect call entirely.
     void (*destroy)(void* storage);
     bool inline_stored;
+    // True when the callable fits in 16 bytes: relocation copies one
+    // payload-sized block instead of the whole inline buffer.
+    bool small_copy;
   };
 
   template <typename D>
@@ -132,8 +140,11 @@ class EventFn {
               ::new (dst) D(std::move(*from));
               from->~D();
             },
-      [](void* s) { Stored<D>(s)->~D(); },
+      std::is_trivially_destructible_v<D>
+          ? nullptr
+          : +[](void* s) { Stored<D>(s)->~D(); },
       /*inline_stored=*/true,
+      /*small_copy=*/sizeof(D) <= 16,
   };
 
   template <typename D>
@@ -150,6 +161,7 @@ class EventFn {
       nullptr,  // pointer payload: memcpy relocates
       [](void* s) { delete StoredHeap<D>(s); },
       /*inline_stored=*/false,
+      /*small_copy=*/true,  // the payload is one pointer
   };
 
   template <typename F, typename D = std::decay_t<F>>
@@ -169,7 +181,11 @@ class EventFn {
     ops_ = other.ops_;
     if (ops_ != nullptr) {
       if (ops_->relocate == nullptr) {
-        std::memcpy(storage_, other.storage_, kInlineBytes);
+        if (ops_->small_copy) {
+          std::memcpy(storage_, other.storage_, 16);
+        } else {
+          std::memcpy(storage_, other.storage_, kInlineBytes);
+        }
       } else {
         ops_->relocate(storage_, other.storage_);
       }

@@ -8,15 +8,31 @@
 // index) into 64 bits. Cancel()/IsPending() are O(1) array probes — no hash
 // tables anywhere. The slot's generation is bumped whenever the event fires
 // or is cancelled, so stale handles (including ids whose slot has since been
-// reused) mismatch and are harmless no-ops. Cancellation is lazy: a
-// cancelled id stays in the heap until popped, where the generation check
-// skips it.
+// reused) mismatch and are harmless no-ops.
 //
-// The priority queue is a binary min-heap of 32-byte (key, id) entries whose
-// ordering key packs (time, seq) into one 128-bit unsigned compare — a
-// single predictable branch per comparison, which matters because bursts of
-// same-time events (SIFS responses, slot boundaries) would otherwise take
-// the time-equal/seq-compare double branch on every sift step.
+// The queue itself is two-tiered (see docs/perf.md):
+//
+//  * A hierarchical timing wheel (Varghese & Lauck) absorbs near-horizon
+//    events: three levels of 256 buckets with a 1.024 us base tick cover
+//    deltas up to ~17.2 s. Arming appends a 24-byte (time, seq, id) entry
+//    to the bucket's contiguous array (O(1)); cancelling just retires the
+//    arena slot — the stale entry is filtered out by its generation when
+//    the bucket is eventually walked, so a cancelled wheel event never
+//    touches the heap and never costs a list unlink. That is the common
+//    fate of MAC response timeouts, DCF grants and TCP RTOs.
+//  * A binary min-heap of 32-byte (key, id) entries carries far events
+//    (beyond the wheel horizon). Wheel events that survive cascade down
+//    level by level until their L0 bucket is due, at which point the bucket
+//    drains into a sorted *ready run* consumed sequentially — surviving
+//    wheel events never pay a heap push or pop at all. The ordering key
+//    packs (time, seq) into one 128-bit unsigned compare; the dispatcher
+//    always takes the smaller of (ready head, heap top), and every event
+//    still in the wheel is provably later than both (its tick is >= the
+//    cursor), so the global fire order is exactly the (time, insertion seq)
+//    FIFO order a heap-only scheduler would produce, bit for bit.
+//
+// Heap and ready-run entries for cancelled events are dropped lazily at the
+// head (the generation check in SettleNext), as before.
 //
 // Closures are scheduled by perfect forwarding straight into the slot's
 // EventFn (see Emplace), so the common capture — `this` plus a few words —
@@ -28,8 +44,10 @@
 #define SRC_SIM_SCHEDULER_H_
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -44,6 +62,19 @@ namespace hacksim {
 using EventId = uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
+// Coarse taxonomy for the per-class executed-event counters. bench_scale
+// divides these by PPDU count so ev/PPDU regressions can be attributed to a
+// subsystem without re-profiling (see docs/perf.md).
+enum class EventClass : uint8_t {
+  kOther = 0,       // scenario plumbing, tests, anything untagged
+  kChannel,         // PPDU propagation edges, airtime ledger, tx-end
+  kDcfTimer,        // DCF grant timers
+  kNavTimer,        // NAV expiry (near-zero since lazy NAV)
+  kMacTimer,        // response timeouts + SIFS response transmissions
+  kTransportTimer,  // TCP RTO / delayed ACK, HACK timers, app pacing
+};
+inline constexpr size_t kEventClassCount = 6;
+
 class Scheduler {
  public:
   Scheduler() = default;
@@ -56,7 +87,8 @@ class Scheduler {
   template <typename F,
             typename = std::enable_if_t<
                 std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  EventId ScheduleAt(SimTime t, F&& fn) {
+  EventId ScheduleAt(SimTime t, F&& fn,
+                     EventClass cls = EventClass::kOther) {
     CHECK_GE(t, now_) << "scheduling into the past";
     // Catch null function pointers / empty std::functions at the schedule
     // site, not at dispatch (lambdas are not bool-convertible and skip
@@ -65,30 +97,48 @@ class Scheduler {
       CHECK(static_cast<bool>(fn)) << "scheduling a null callable";
     }
     uint32_t slot = AllocSlot();
-    slots_[slot].fn.Emplace(std::forward<F>(fn));
-    EventId id =
-        (static_cast<EventId>(slots_[slot].generation) << 32) | slot;
-    Push(HeapEntry{PackKey(t, next_seq_++), id});
-    ++live_;
+    Slot& s = slots_[slot];
+    // Emplace (not assuming-empty): a recycled slot may still hold a
+    // cancelled event's closure, destroyed here, lazily.
+    s.fn.Emplace(std::forward<F>(fn));
+    s.cls = cls;
+    s.key_seq = next_seq_++;
+    EventId id = (static_cast<EventId>(s.generation) << 32) | slot;
+    Arm(WheelEntry{static_cast<uint64_t>(t.ns()), id});
     return id;
   }
 
-  // Schedules `fn` after `delay` (must be >= 0).
+  // Schedules `fn` after `delay` (must be >= 0; a negative delay lands in
+  // the past and trips ScheduleAt's check).
   template <typename F,
             typename = std::enable_if_t<
                 std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  EventId ScheduleIn(SimTime delay, F&& fn) {
-    CHECK_GE(delay, SimTime::Zero());
-    return ScheduleAt(now_ + delay, std::forward<F>(fn));
+  EventId ScheduleIn(SimTime delay, F&& fn,
+                     EventClass cls = EventClass::kOther) {
+    return ScheduleAt(now_ + delay, std::forward<F>(fn), cls);
   }
 
   // Cancels a pending event. Cancelling an already-fired or invalid id is a
-  // harmless no-op, so callers can keep stale handles safely.
-  void Cancel(EventId id);
+  // harmless no-op, so callers can keep stale handles safely. O(1): only
+  // the arena slot is touched — the generation bump strands whatever
+  // wheel/heap/ready entry still carries the id, and the walk that reaches
+  // it drops it. Inline: cancel-before-fire is the dominant fate of MAC/TCP
+  // timers, making this as hot as ScheduleAt.
+  void Cancel(EventId id) {
+    if (!IsPending(id)) {
+      return;  // already fired, cancelled, or never existed
+    }
+    // The closure is NOT destroyed here: destruction is deferred to the
+    // slot's next Emplace (or scheduler teardown), so Cancel touches only
+    // the slot's metadata line. Closure destructors therefore must not
+    // have scheduling side effects — in this codebase they only release
+    // memory (Packets, shared_ptrs).
+    RetireSlot(SlotOf(id));
+  }
 
   bool IsPending(EventId id) const {
     uint32_t slot = SlotOf(id);
-    return slot < slots_.size() && slots_[slot].generation == GenerationOf(id);
+    return slot < slot_count_ && slots_[slot].generation == GenerationOf(id);
   }
 
   // Runs until the event queue drains or `limit` events have fired.
@@ -98,27 +148,60 @@ class Scheduler {
   // Runs events with time <= t, then advances Now() to exactly t.
   uint64_t RunUntil(SimTime t);
 
-  size_t pending_events() const { return live_; }
+  // Every event is eventually retired exactly once (fire or cancel), so the
+  // pending count is a difference of two monotones — no per-event counter.
+  size_t pending_events() const {
+    return static_cast<size_t>(next_seq_ - retired_);
+  }
   uint64_t events_executed() const { return executed_; }
+  uint64_t executed_in_class(EventClass cls) const {
+    return executed_by_class_[static_cast<size_t>(cls)];
+  }
 
  private:
   static constexpr uint32_t kNilSlot = UINT32_MAX;
 
-  struct Slot {
-    EventFn fn;
+  // --- timing-wheel geometry -------------------------------------------------
+  // Base tick 2^10 ns; 2^8 buckets per level; 3 levels. Level horizons (as
+  // deltas from the wheel cursor): 262 us, 67 ms, 17.2 s. Further-out events
+  // bypass the wheel and live in the heap from the start.
+  static constexpr uint32_t kTickBits = 10;
+  static constexpr uint32_t kBucketBits = 8;
+  static constexpr uint32_t kBucketsPerLevel = 1u << kBucketBits;  // 256
+  static constexpr uint32_t kBucketMask = kBucketsPerLevel - 1;
+  static constexpr uint32_t kLevels = 3;
+  static constexpr uint64_t kNoTick = UINT64_MAX;
+
+  // Hot metadata first so cancel/fire touch the generation before the
+  // (64-byte) EventFn; cache-line alignment keeps every slot on exactly two
+  // lines. The insertion seq lives here (not in the wheel entry): the
+  // drain walk loads this line for the generation check anyway, and it
+  // keeps the per-bucket entries at 16 bytes.
+  struct alignas(64) Slot {
     // Matches the generation packed into outstanding ids while the slot is
     // armed; already bumped past them while free. 0 only after wrap, which
-    // permanently retires the slot (see Retire).
+    // permanently retires the slot (see RetireSlot).
     uint32_t generation = 1;
     uint32_t next_free = kNilSlot;
+    uint64_t key_seq = 0;
+    EventClass cls = EventClass::kOther;
+    EventFn fn;
+  };
+
+  // One armed event in a wheel bucket. Buckets are plain arrays in arm
+  // order; a cancelled event's entry simply goes stale (generation
+  // mismatch) and is dropped when the bucket is walked.
+  struct WheelEntry {
+    uint64_t key_time;  // ns
+    EventId id;
   };
 
   // 128-bit key: time in the high 64 bits, insertion seq in the low 64, so
   // (time, FIFO) ordering is a single unsigned compare. Times are never
   // negative (Now() starts at zero and only advances).
   using HeapKey = unsigned __int128;
-  static HeapKey PackKey(SimTime t, uint64_t seq) {
-    return (static_cast<HeapKey>(static_cast<uint64_t>(t.ns())) << 64) | seq;
+  static HeapKey PackKey(uint64_t time_ns, uint64_t seq) {
+    return (static_cast<HeapKey>(time_ns) << 64) | seq;
   }
   static SimTime KeyTime(HeapKey key) {
     return SimTime::Nanos(static_cast<int64_t>(key >> 64));
@@ -137,16 +220,16 @@ class Scheduler {
   static constexpr uint32_t GenerationOf(EventId id) {
     return static_cast<uint32_t>(id >> 32);
   }
-
   uint32_t AllocSlot() {
     if (free_head_ != kNilSlot) {
       uint32_t slot = free_head_;
       free_head_ = slots_[slot].next_free;
       return slot;
     }
-    uint32_t slot = static_cast<uint32_t>(slots_.size());
+    uint32_t slot = slot_count_;
     CHECK_LT(slot, kNilSlot) << "slot arena exhausted";
     slots_.emplace_back();
+    ++slot_count_;
     return slot;
   }
 
@@ -160,28 +243,135 @@ class Scheduler {
     heap_.pop_back();
   }
 
-  // Drops dead heap entries until the top is live; false if heap empties.
-  bool SettleTop() {
-    while (!heap_.empty()) {
-      if (IsPending(heap_.front().id)) {
-        return true;
-      }
-      PopTop();  // cancelled: drop the dead entry
-    }
-    return false;
+  // --- wheel internals -------------------------------------------------------
+  // Force-inlined: with several ScheduleAt instantiations in one TU the
+  // inliner otherwise outlines this chain, and an out-of-line call per
+  // schedule measurably drags the cancel-heavy pattern.
+#if defined(__GNUC__)
+#define HACKSIM_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define HACKSIM_ALWAYS_INLINE inline
+#endif
+  HACKSIM_ALWAYS_INLINE void AppendToBucket(uint32_t level, uint32_t idx,
+                                            WheelEntry entry) {
+    uint32_t bucket = (level << kBucketBits) | idx;
+    // Unconditional: cheaper than loading the bucket to test emptiness.
+    occupancy_[level][idx >> 6] |= uint64_t{1} << (idx & 63);
+    buckets_[bucket].push_back(entry);
+    ++wheel_entries_;
   }
 
-  // Retires the armed slot behind `id`: bumps the generation (invalidating
-  // outstanding handles) and returns the slot to the free list.
-  EventFn Retire(EventId id);
+  // Places an armed entry into a wheel bucket or, when its delta exceeds
+  // the wheel horizon (or its tick has already been drained), into the
+  // heap. Inline: ScheduleAt is the hottest entry point in the simulator.
+  HACKSIM_ALWAYS_INLINE void Arm(WheelEntry entry) {
+    uint64_t tick0 = entry.key_time >> kTickBits;
+    if (tick0 >= wheel_pos_) {
+      // Level 0: per-tick buckets. delta < 256 guarantees alias-free
+      // placement in the cyclic window [wheel_pos_, wheel_pos_ + 256).
+      if (tick0 - wheel_pos_ < kBucketsPerLevel) {
+        AppendToBucket(0, tick0 & kBucketMask, entry);
+        wheel_next_hint_ = std::min(wheel_next_hint_, tick0);
+        return;
+      }
+      ArmOuter(entry, tick0);
+      return;
+    }
+    // Inside an already-drained tick: the heap carries it with its exact
+    // key.
+    Push(HeapEntry{PackKey(entry.key_time, slots_[SlotOf(entry.id)].key_seq),
+                   entry.id});
+  }
+  // Levels 1/2 and the heap bypass — off the inline fast path.
+  void ArmOuter(WheelEntry entry, uint64_t tick0);
+  // Re-distributes every live event in a bucket one level down (or into
+  // the heap) via Arm(); stale entries are dropped.
+  void CascadeBucket(uint32_t level, uint32_t idx);
+  // Moves every live event in an L0 bucket into the ready run (sorted);
+  // returns the live count (stale entries are dropped).
+  size_t DrainBucket(uint32_t idx);
+  void GrowReady(size_t need);
+  // Advances the wheel cursor, cascading and draining, until every wheel
+  // event with L0 tick <= tick_limit sits in the ready run (or, with
+  // stop_on_drain, until at least one event has been drained). Returns the
+  // number of events drained.
+  size_t AdvanceWheel(uint64_t tick_limit, bool stop_on_drain);
+  // Distance in [0, 256) from bucket `start` to the next occupied bucket of
+  // `level` (cyclic), or -1 when the level is empty.
+  int NextOccupiedDistance(uint32_t level, uint32_t start) const;
+
+  // Drops dead heap/ready heads and drains due wheel buckets until the
+  // earliest pending event is identified, then removes and returns it in
+  // `*out` (unless it is later than `horizon`, in which case it is left in
+  // place and false is returned). False also when nothing is pending.
+  bool TakeNext(HeapEntry* out, uint64_t horizon_ns);
+
+  // Shared Run/RunUntil core; kBounded compiles the horizon test in.
+  template <bool kBounded>
+  uint64_t RunLoop(uint64_t limit, uint64_t horizon_ns);
+
+  // Like IsPending, minus the bounds check: heap/ready entries always name
+  // slots the arena has allocated.
+  bool IsPendingKnownSlot(EventId id) const {
+    return slots_[SlotOf(id)].generation == GenerationOf(id);
+  }
+
+  // Retires an armed slot: bumps the generation (invalidating outstanding
+  // handles) and returns the slot to the free list. The caller disposes of
+  // the EventFn (destroy in place on cancel, move out + invoke on fire).
+  //
+  // If the 32-bit generation wraps (2^32 retires of this one slot; the LIFO
+  // free list does concentrate reuse on hot slots), the slot is retired
+  // permanently instead of recycled: generation 0 matches no id ever issued
+  // (ids pack generation >= 1), so the ABA alias a wrap could otherwise
+  // create is impossible. The arena grows by one slot per ~4 billion
+  // reuses — negligible leak, bought determinism.
+  void RetireSlot(uint32_t slot) {
+    Slot& s = slots_[slot];
+    if (++s.generation != 0) {
+      s.next_free = free_head_;
+      free_head_ = slot;
+    }
+    ++retired_;
+  }
 
   SimTime now_;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
-  size_t live_ = 0;
+  uint64_t retired_ = 0;
+  std::array<uint64_t, kEventClassCount> executed_by_class_{};
   std::vector<HeapEntry> heap_;
+  // Drained wheel events, globally sorted by key, consumed from ready_pos_.
+  // Sortedness across drains holds because buckets drain in tick order and
+  // every event still in the wheel has a strictly later tick. A raw buffer
+  // rather than std::vector so the drain loop appends through a
+  // register-held pointer (capacity is ensured once per drain from the
+  // bucket size) instead of a per-entry end-pointer round trip.
+  std::unique_ptr<HeapEntry[]> ready_;
+  size_t ready_cap_ = 0;
+  size_t ready_size_ = 0;
+  size_t ready_pos_ = 0;
   std::vector<Slot> slots_;
+  // Mirror of slots_.size(): one scalar load on the IsPending fast path
+  // instead of the vector's begin/end arithmetic.
+  uint32_t slot_count_ = 0;
   uint32_t free_head_ = kNilSlot;
+
+  // Wheel cursor: index of the next L0 tick not yet drained. Events whose
+  // tick precedes it go straight to the heap.
+  uint64_t wheel_pos_ = 0;
+  // Entries currently in wheel buckets, *including* stale (cancelled)
+  // ones — a conservative emptiness test; walks reconcile it.
+  size_t wheel_entries_ = 0;
+  // Conservative lower bound (in L0 ticks) on the earliest wheel event;
+  // lets TakeNext skip the occupancy scan when the candidate is sooner.
+  uint64_t wheel_next_hint_ = kNoTick;
+  // Bucket entry arrays, [level][index] flattened, in arm order; capacity
+  // persists across drains, so steady state does no allocation.
+  std::array<std::vector<WheelEntry>, kLevels * kBucketsPerLevel> buckets_;
+  // One occupancy bit per non-empty bucket, four words per level.
+  std::array<std::array<uint64_t, kBucketsPerLevel / 64>, kLevels>
+      occupancy_{};
 };
 
 }  // namespace hacksim

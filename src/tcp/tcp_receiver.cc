@@ -139,8 +139,9 @@ void TcpReceiver::MaybeSendAck(bool force_immediate) {
     return;
   }
   if (delack_event_ == kInvalidEventId) {
-    delack_event_ = scheduler_->ScheduleIn(config_.delayed_ack_timeout,
-                                           [this]() { OnDelackTimer(); });
+    delack_event_ = scheduler_->ScheduleIn(
+        config_.delayed_ack_timeout, [this]() { OnDelackTimer(); },
+        EventClass::kTransportTimer);
   }
 }
 
@@ -161,8 +162,8 @@ uint16_t TcpReceiver::AdvertisedWindowField() const {
   return static_cast<uint16_t>(std::min<uint32_t>(field, 65535));
 }
 
-std::vector<SackBlock> TcpReceiver::BuildSackBlocks() const {
-  std::vector<SackBlock> blocks;
+SackList TcpReceiver::BuildSackBlocks() const {
+  SackList blocks;
   if (!peer_sack_ok_ || ooo_.empty()) {
     return blocks;
   }
@@ -178,7 +179,7 @@ std::vector<SackBlock> TcpReceiver::BuildSackBlocks() const {
     if (blocks.size() >= 3) {
       break;
     }
-    if (!blocks.empty() && blocks.front().start == start) {
+    if (!blocks.empty() && blocks[0].start == start) {
       continue;
     }
     blocks.push_back(SackBlock{start, end});

@@ -57,7 +57,7 @@ class TcpReceiver {
   void SendAck();
   void OnDelackTimer();
   uint16_t AdvertisedWindowField() const;
-  std::vector<SackBlock> BuildSackBlocks() const;
+  SackList BuildSackBlocks() const;
 
   Scheduler* scheduler_;
   TcpConfig config_;

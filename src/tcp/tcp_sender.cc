@@ -435,8 +435,8 @@ void TcpSender::RestartRtoTimer() {
       break;
     }
   }
-  rto_event_ =
-      scheduler_->ScheduleIn(rto, [this]() { HandleRtoExpiry(); });
+  rto_event_ = scheduler_->ScheduleIn(
+      rto, [this]() { HandleRtoExpiry(); }, EventClass::kTransportTimer);
 }
 
 void TcpSender::StopRtoTimer() {

@@ -2,6 +2,9 @@
 // freezing/resumption, immediate access, CW doubling, EIFS.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "src/mac80211/dcf.h"
 #include "src/phy80211/wifi_mode.h"
 
@@ -155,6 +158,113 @@ TEST_F(DcfFixture, GrantTimesAreSlotAligned) {
     EXPECT_GE(offset_ns, 0);
     EXPECT_EQ(offset_ns % 9'000, 0) << "grant not slot-aligned";
     EXPECT_LE(offset_ns / 9'000, 15);
+  }
+}
+
+// Lazy re-arm equivalence: announcing "idle from T" at the moment the
+// carrier drops must produce the same grants, at the same times, as the
+// eager path that waits until T and delivers a plain idle edge — pick for
+// pick across randomized busy/request/EIFS scripts. Both engines share a
+// seed, so any divergence in draw *points* would desynchronise the grant
+// times immediately.
+TEST(DcfLazyRearmTest, IdleFromMatchesEagerIdleEdgePickForPick) {
+  PhyTimings timings = TimingsFor(WifiStandard::k80211a);
+  DcfEngine::Config cfg{timings.slot, timings.difs, timings.cw_min,
+                        timings.cw_max, SimTime::Micros(44)};
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Scheduler sched_eager;
+    Scheduler sched_lazy;
+    DcfEngine eager(&sched_eager, Random(seed), cfg);
+    DcfEngine lazy(&sched_lazy, Random(seed), cfg);
+    std::vector<int64_t> grants_eager;
+    std::vector<int64_t> grants_lazy;
+    eager.on_grant = [&]() { grants_eager.push_back(sched_eager.Now().ns()); };
+    lazy.on_grant = [&]() { grants_lazy.push_back(sched_lazy.Now().ns()); };
+
+    Random script(seed * 104729);
+    int64_t t = 0;
+    for (int step = 0; step < 80; ++step) {
+      // Idle gap, then a busy period [busy_start, busy_end) — the lazy
+      // engine learns busy_end at busy_start (a NAV-style reservation),
+      // the eager engine gets the idle edge only when time reaches it.
+      int64_t gap = static_cast<int64_t>(script.NextBounded(300)) * 1000;
+      int64_t busy_start = t + gap;
+      int64_t busy_ns =
+          1000 + static_cast<int64_t>(script.NextBounded(2000)) * 1000;
+      int64_t busy_end = busy_start + busy_ns;
+
+      bool request_before = script.NextBounded(3) == 0;
+      bool request_during = script.NextBounded(3) == 0;
+      bool rx_failed = script.NextBounded(4) == 0;
+      bool tx_result = script.NextBounded(2) == 0;
+
+      if (request_before) {
+        int64_t rt = t + static_cast<int64_t>(
+                             script.NextBounded(gap > 0 ? gap : 1));
+        sched_eager.RunUntil(SimTime::Nanos(rt));
+        sched_lazy.RunUntil(SimTime::Nanos(rt));
+        if (!eager.access_pending()) {
+          eager.RequestAccess();
+        }
+        if (!lazy.access_pending()) {
+          lazy.RequestAccess();
+        }
+      }
+
+      sched_eager.RunUntil(SimTime::Nanos(busy_start));
+      sched_lazy.RunUntil(SimTime::Nanos(busy_start));
+      eager.NotifyMediumBusy();
+      lazy.NotifyMediumBusy();
+      // The lazy engine is told the reservation horizon immediately.
+      lazy.NotifyMediumIdleFrom(SimTime::Nanos(busy_end));
+
+      if (request_during) {
+        int64_t rt = busy_start + static_cast<int64_t>(
+                                      script.NextBounded(busy_ns));
+        sched_eager.RunUntil(SimTime::Nanos(rt));
+        sched_lazy.RunUntil(SimTime::Nanos(rt));
+        if (!eager.access_pending()) {
+          eager.RequestAccess();
+        }
+        if (!lazy.access_pending()) {
+          lazy.RequestAccess();
+        }
+      }
+      if (rx_failed) {
+        eager.NotifyRxFailed();
+        lazy.NotifyRxFailed();
+      } else {
+        eager.NotifyRxOk();
+        lazy.NotifyRxOk();
+      }
+      if (!grants_eager.empty() && script.NextBounded(3) == 0) {
+        if (tx_result) {
+          eager.NotifyTxSuccess();
+          lazy.NotifyTxSuccess();
+          eager.DrawPostTxBackoff();
+          lazy.DrawPostTxBackoff();
+        } else {
+          eager.NotifyTxFailure();
+          lazy.NotifyTxFailure();
+        }
+      }
+
+      // Eager: a plain idle edge when time reaches busy_end. (The lazy
+      // engine needs no call at all — its grant is already armed.)
+      sched_eager.RunUntil(SimTime::Nanos(busy_end));
+      sched_lazy.RunUntil(SimTime::Nanos(busy_end));
+      eager.NotifyMediumIdle();
+
+      t = busy_end;
+      ASSERT_EQ(grants_eager, grants_lazy)
+          << "seed " << seed << " step " << step;
+      ASSERT_EQ(eager.backoff_slots(), lazy.backoff_slots())
+          << "seed " << seed << " step " << step;
+    }
+    // Drain the tail.
+    sched_eager.Run();
+    sched_lazy.Run();
+    EXPECT_EQ(grants_eager, grants_lazy) << "seed " << seed;
   }
 }
 

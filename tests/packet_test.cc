@@ -1,11 +1,40 @@
-// Unit tests: packet construction, size accounting, flow extraction, and
-// the move guarantees the zero-copy MAC hot path relies on.
+// Unit tests: packet construction, size accounting, flow extraction, the
+// move guarantees the zero-copy MAC hot path relies on, and the
+// arena-pooled header storage's allocation-free steady state.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <deque>
+#include <new>
 #include <utility>
 
 #include "src/packet/packet.h"
+
+// Global allocation counter backing the steady-state test below. Overriding
+// operator new in the test binary counts every heap allocation the packet
+// builders (and everything else) perform.
+namespace {
+size_t g_heap_allocs = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_heap_allocs;
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_heap_allocs;
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace hacksim {
 namespace {
@@ -112,6 +141,46 @@ TEST(PacketTest, QueueHandoffMovesHeaderStorageWithoutReallocation) {
   Packet copy = handed;
   EXPECT_NE(copy.tcp().sack_blocks.data(), handed.tcp().sack_blocks.data());
   EXPECT_EQ(copy.uid(), handed.uid());  // same logical packet
+}
+
+TEST(PacketTest, SteadyStateConstructionIsAllocationFree) {
+  // Header storage comes from a free-list slab and SACK blocks are inline,
+  // so once the pool is warm, MakeTcp / MakeUdp (including timestamped,
+  // SACK-carrying ACKs) and copies/destruction perform zero heap
+  // allocations.
+  auto make_sacked_ack = [] {
+    TcpHeader tcp;
+    tcp.flag_ack = true;
+    tcp.timestamps = TcpTimestamps{1, 2};
+    tcp.sack_blocks = {{100, 200}, {300, 400}, {500, 600}};
+    return Packet::MakeTcp(Ipv4Address::FromOctets(10, 0, 2, 1),
+                           Ipv4Address::FromOctets(10, 0, 0, 1), tcp, 0);
+  };
+  // Warm the pool past the working-set size used below.
+  {
+    std::deque<Packet> warm;
+    for (int i = 0; i < 64; ++i) {
+      warm.push_back(make_sacked_ack());
+      warm.push_back(Packet::MakeUdp(Ipv4Address::FromOctets(10, 0, 0, 1),
+                                     Ipv4Address::FromOctets(10, 0, 2, 1), 7,
+                                     9, 1472));
+    }
+  }
+
+  size_t before = g_heap_allocs;
+  for (int round = 0; round < 100; ++round) {
+    Packet a = make_sacked_ack();
+    Packet b = Packet::MakeUdp(Ipv4Address::FromOctets(10, 0, 0, 1),
+                               Ipv4Address::FromOctets(10, 0, 2, 1), 7, 9,
+                               1472);
+    Packet kept = a;             // retention copy (MAC retransmit buffer)
+    Packet moved = std::move(a); // queue handoff
+    EXPECT_EQ(moved.tcp().sack_blocks.size(), 3u);
+    EXPECT_EQ(kept.uid(), moved.uid());
+    EXPECT_EQ(b.SizeBytes(), 1500u);
+  }
+  EXPECT_EQ(g_heap_allocs, before)
+      << "steady-state packet construction hit the heap";
 }
 
 TEST(PacketTest, SackGrowsAckSize) {

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""CI perf gates over the bench artifacts.
+
+Two gates, both keyed to the committed Release references in the repo root:
+
+1. Scheduler microbench: the freshly measured BM_SchedulerCancelHeavy must
+   not regress more than --max-regress (default 25%) against the committed
+   BENCH_micro.json. This is the cancel-dominated MAC-timeout pattern the
+   timing wheel exists for.
+2. Dense-cell event cost: 1000-station rows in BENCH_scale.json must keep
+   events_per_ppdu below --ev-ppdu-ceiling (default 250, vs ~525 before the
+   lazy NAV/DCF re-arm work). The committed artifact is always checked; a
+   freshly generated scale JSON is checked too when it contains 1000-station
+   rows (CI's quick mode stops at 100 stations).
+
+Usage:
+  check_bench_gates.py --committed-micro BENCH_micro.json \
+                       --fresh-micro /tmp/out/BENCH_micro.json \
+                       --committed-scale BENCH_scale.json \
+                       [--fresh-scale /tmp/out/BENCH_scale.json]
+"""
+
+import argparse
+import json
+import sys
+
+
+def cancel_heavy_ns(path):
+    with open(path) as f:
+        data = json.load(f)
+    # Prefer the mean aggregate; fall back to a plain run.
+    best = None
+    for b in data.get("benchmarks", []):
+        name = b.get("name", "")
+        if not name.startswith("BM_SchedulerCancelHeavy"):
+            continue
+        if name.endswith("_mean") or name.endswith("_median"):
+            return float(b["real_time"])
+        if best is None:
+            best = float(b["real_time"])
+    if best is None:
+        raise SystemExit(f"FAIL: no BM_SchedulerCancelHeavy entry in {path}")
+    return best
+
+
+def scale_rows(path):
+    with open(path) as f:
+        return json.load(f)["rows"]
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--committed-micro", required=True)
+    ap.add_argument("--fresh-micro", required=True)
+    ap.add_argument("--committed-scale", required=True)
+    ap.add_argument("--fresh-scale")
+    ap.add_argument("--max-regress", type=float, default=0.25)
+    ap.add_argument("--ev-ppdu-ceiling", type=float, default=250.0)
+    args = ap.parse_args()
+
+    failed = False
+
+    ref = cancel_heavy_ns(args.committed_micro)
+    fresh = cancel_heavy_ns(args.fresh_micro)
+    limit = ref * (1.0 + args.max_regress)
+    verdict = "OK" if fresh <= limit else "FAIL"
+    print(f"[{verdict}] BM_SchedulerCancelHeavy: fresh {fresh:.0f} ns vs "
+          f"committed {ref:.0f} ns (limit {limit:.0f} ns)")
+    failed |= fresh > limit
+
+    for label, path in (("committed", args.committed_scale),
+                        ("fresh", args.fresh_scale)):
+        if not path:
+            continue
+        rows = [r for r in scale_rows(path) if r["stations"] == 1000]
+        if label == "committed" and not rows:
+            print(f"[FAIL] {path}: no 1000-station rows in committed "
+                  "BENCH_scale.json")
+            failed = True
+            continue
+        if not rows:
+            print(f"[SKIP] {path}: no 1000-station rows (quick mode)")
+            continue
+        for r in rows:
+            ev = float(r["events_per_ppdu"])
+            ok = ev <= args.ev_ppdu_ceiling
+            verdict = "OK" if ok else "FAIL"
+            print(f"[{verdict}] {label} 1000-station {r['proto']}/{r['hack']}: "
+                  f"{ev:.1f} ev/PPDU (ceiling {args.ev_ppdu_ceiling:.0f})")
+            failed |= not ok
+
+    if failed:
+        print("bench gates FAILED")
+        return 1
+    print("bench gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,27 @@ if [[ ! -x "$build_dir/bench_micro" ]]; then
   exit 1
 fi
 
+# Refuse to record numbers from a non-Release build: a Debug/Sanitize build
+# silently poisons the perf trajectory the committed artifacts track.
+# Override (for local experiments only) with HACKSIM_ALLOW_NON_RELEASE=1 —
+# the output is then loudly marked and must not be committed.
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt" 2>/dev/null || true)"
+sanitize="$(sed -n 's/^HACKSIM_SANITIZE:[^=]*=//p' "$build_dir/CMakeCache.txt" 2>/dev/null || true)"
+if [[ "$build_type" != "Release" || "$sanitize" == "ON" ]]; then
+  if [[ "${HACKSIM_ALLOW_NON_RELEASE:-0}" != "1" ]]; then
+    echo "error: build dir '$build_dir' is CMAKE_BUILD_TYPE='$build_type'" \
+         "HACKSIM_SANITIZE='${sanitize:-OFF}' — benchmarks must come from a" \
+         "Release, sanitizer-free build." >&2
+    echo "Reconfigure with: cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DHACKSIM_BENCH=ON" >&2
+    echo "(or set HACKSIM_ALLOW_NON_RELEASE=1 to run anyway, loudly marked)" >&2
+    exit 1
+  fi
+  echo "#############################################################" >&2
+  echo "## WARNING: NON-RELEASE BUILD ($build_type sanitize=${sanitize:-OFF})" >&2
+  echo "## These numbers are NOT comparable; do not commit them." >&2
+  echo "#############################################################" >&2
+fi
+
 repetitions="${BENCH_REPETITIONS:-5}"
 if [[ "${HACKSIM_QUICK:-0}" == "1" ]]; then
   repetitions=1
@@ -40,6 +61,13 @@ echo "== bench_micro (repetitions=$repetitions) =="
   --benchmark_format=json \
   --benchmark_out="$out_dir/BENCH_micro.json" \
   --benchmark_out_format=json
+
+if grep -q '"library_build_type": "debug"' "$out_dir/BENCH_micro.json"; then
+  echo "WARNING: the google-benchmark *library* on this machine is a debug" >&2
+  echo "build (see library_build_type in BENCH_micro.json). The project code" >&2
+  echo "is Release, but compare BM_* numbers only against artifacts from the" >&2
+  echo "same library build." >&2
+fi
 
 echo
 echo "== bench_fig10_goodput =="
