@@ -1,5 +1,6 @@
 #include "src/mac80211/station_table.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "src/util/logging.h"
@@ -96,6 +97,107 @@ bool ActiveSlotRing::PickNext(size_t* slot_out) {
   *slot_out = slot;
   cursor_ = (slot + 1) % size_;
   return true;
+}
+
+// --- ArfRateController -------------------------------------------------------
+
+ArfRateController::ArfRateController(std::span<const WifiMode> table,
+                                     size_t initial_index,
+                                     RateAdaptConfig config)
+    : table_(table), initial_index_(initial_index), config_(config) {
+  CHECK(!table.empty());
+  CHECK_LE(table.size(), kMaxRateTableSize);
+  CHECK_LT(initial_index, table.size());
+}
+
+ArfRateController::StationState& ArfRateController::StateFor(StationId sid) {
+  if (stations_.size() <= sid) {
+    StationState fresh;
+    fresh.idx = initial_index_;
+    fresh.last_pick = initial_index_;
+    // Optimistic prior: an unsampled rate reads as fully delivering, so a
+    // probe_selector has no reason to avoid it before the first sample.
+    fresh.ewma_ok.fill(1.0);
+    stations_.resize(sid + 1, fresh);
+  }
+  return stations_[sid];
+}
+
+size_t ArfRateController::current_index(StationId sid) const {
+  return sid < stations_.size() ? stations_[sid].idx : initial_index_;
+}
+
+double ArfRateController::EwmaDeliveryRatio(StationId sid,
+                                            size_t index) const {
+  CHECK_LT(index, table_.size());
+  return sid < stations_.size() ? stations_[sid].ewma_ok[index] : 1.0;
+}
+
+size_t ArfRateController::PickModeIndex(StationId sid) {
+  StationState& st = StateFor(sid);
+  if (config_.probe_interval > 0 &&
+      ++st.since_probe >= config_.probe_interval) {
+    st.since_probe = 0;
+    size_t target = probe_selector
+                        ? probe_selector(sid, st.idx)
+                        : std::min(st.idx + 1, table_.size() - 1);
+    CHECK_LT(target, table_.size());
+    if (target != st.idx) {
+      st.last_was_probe = true;
+      st.last_pick = target;
+      return target;
+    }
+  }
+  st.last_was_probe = false;
+  st.last_pick = st.idx;
+  return st.idx;
+}
+
+void ArfRateController::AbandonPick(StationId sid) {
+  StationState& st = StateFor(sid);
+  if (st.last_was_probe) {
+    st.last_was_probe = false;
+    // Probe due again on the very next pick.
+    st.since_probe = config_.probe_interval;
+  }
+}
+
+ArfRateController::Move ArfRateController::OnTxOutcome(StationId sid,
+                                                       bool success) {
+  StationState& st = StateFor(sid);
+  double& ewma = st.ewma_ok[st.last_pick];
+  ewma = (1.0 - config_.ewma_alpha) * ewma +
+         config_.ewma_alpha * (success ? 1.0 : 0.0);
+  Move move;
+  if (st.last_was_probe) {
+    // Probes only feed the EWMA table; the ARF streaks track the operating
+    // rate alone.
+    st.last_was_probe = false;
+    return move;
+  }
+  if (success) {
+    st.fail_streak = 0;
+    st.on_trial = false;
+    if (++st.succ_streak >= config_.up_threshold) {
+      st.succ_streak = 0;
+      if (st.idx + 1 < table_.size()) {
+        ++st.idx;
+        st.on_trial = true;
+        move.up = true;
+      }
+    }
+  } else {
+    st.succ_streak = 0;
+    ++st.fail_streak;
+    if ((st.on_trial || st.fail_streak >= config_.down_threshold) &&
+        st.idx > 0) {
+      --st.idx;
+      st.fail_streak = 0;
+      move.down = true;
+    }
+    st.on_trial = false;
+  }
+  return move;
 }
 
 }  // namespace hacksim

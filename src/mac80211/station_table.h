@@ -19,10 +19,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "src/net/address.h"
+#include "src/phy80211/wifi_mode.h"
+#include "src/stats/mac_stats.h"
 
 namespace hacksim {
 
@@ -80,6 +84,92 @@ class ActiveSlotRing {
   size_t size_ = 0;
   size_t active_ = 0;
   size_t cursor_ = 0;
+};
+
+// Per-station rate adaptation: ARF with a Minstrel-lite probing hook.
+//
+// Each StationId carries an independent position in the MAC's rate table.
+// The core loop is classic ARF: `up_threshold` consecutive delivered
+// exchanges step the station one rate up (and if the first exchange at the
+// new rate fails, it falls straight back — the trial-frame rule);
+// `down_threshold` consecutive failures step it one rate down. Failures are
+// exchange-level signals: a response timeout or a CTS timeout — under
+// RTS/CTS, data losses and collision losses are therefore separated, which
+// is exactly why ARF stops collapsing to the lowest rate in dense cells.
+//
+// The Minstrel-lite part: every `probe_interval`-th data PPDU is sent at a
+// rate the controller would not otherwise pick (by default one step above
+// current; pluggable via `probe_selector`), and every outcome — probe or
+// not — feeds a per-(station, rate) EWMA delivery ratio. Probes never
+// advance the ARF streaks; they exist to keep the EWMA table warm so a
+// smarter selector has a real signal to act on.
+//
+// Determinism: no RNG anywhere — probing is counter-driven, so same-seed
+// runs stay reproducible.
+struct RateAdaptConfig {
+  int up_threshold = 10;
+  int down_threshold = 2;
+  // Every Nth data PPDU per station is a probe; 0 disables probing.
+  int probe_interval = 16;
+  // Weight of the newest outcome in the per-rate EWMA delivery ratio.
+  double ewma_alpha = 0.25;
+};
+
+class ArfRateController {
+ public:
+  // `table` must outlive the controller (the global mode tables do);
+  // `initial_index` is every station's starting rate.
+  ArfRateController(std::span<const WifiMode> table, size_t initial_index,
+                    RateAdaptConfig config);
+
+  // Rate decision for the next data PPDU to `sid`: the station's current
+  // ARF rate, or — every probe_interval-th call — a probe rate.
+  size_t PickModeIndex(StationId sid);
+
+  // Exchange outcome for the PPDU whose rate the last PickModeIndex(sid)
+  // chose. Returns whether the station's operating rate moved.
+  struct Move {
+    bool up = false;
+    bool down = false;
+  };
+  Move OnTxOutcome(StationId sid, bool success);
+
+  // The PPDU the last PickModeIndex(sid) rated never got a data-rate
+  // outcome (built empty, or the exchange died at the RTS). A consumed
+  // probe slot is re-armed — the probe is deferred, not burned — so the
+  // "every probe_interval-th data PPDU probes" contract holds under
+  // window exhaustion and CTS-timeout churn.
+  void AbandonPick(StationId sid);
+
+  const WifiMode& mode(size_t index) const { return table_[index]; }
+  size_t table_size() const { return table_.size(); }
+  size_t current_index(StationId sid) const;
+  double EwmaDeliveryRatio(StationId sid, size_t index) const;
+
+  // Minstrel-lite probe-target hook: given (station, current index),
+  // returns the index to sample. Defaults to one step above current.
+  std::function<size_t(StationId, size_t)> probe_selector;
+
+ private:
+  struct StationState {
+    size_t idx;
+    int succ_streak = 0;
+    int fail_streak = 0;
+    int since_probe = 0;
+    size_t last_pick;
+    bool last_was_probe = false;
+    // Set by an ARF up-move: the first exchange at the new rate is a trial,
+    // and a single failure falls straight back down.
+    bool on_trial = false;
+    std::array<double, kMaxRateTableSize> ewma_ok;
+  };
+
+  StationState& StateFor(StationId sid);
+
+  std::span<const WifiMode> table_;
+  size_t initial_index_;
+  RateAdaptConfig config_;
+  std::vector<StationState> stations_;
 };
 
 }  // namespace hacksim

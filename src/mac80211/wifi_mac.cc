@@ -16,7 +16,8 @@ SimTime EifsExtra(const PhyTimings& timings) {
 
 bool IsResponseFrame(const Ppdu& ppdu) {
   WifiFrameType t = ppdu.first().type;
-  return t == WifiFrameType::kAck || t == WifiFrameType::kBlockAck;
+  return t == WifiFrameType::kAck || t == WifiFrameType::kBlockAck ||
+         t == WifiFrameType::kCts;
 }
 
 // IP-datagram airtime of the MPDUs at the PPDU's rate (no preamble, no MAC
@@ -87,11 +88,27 @@ WifiMac::WifiMac(Scheduler* scheduler, WifiPhy* phy, MacAddress address,
                              TimingsFor(config.standard).difs,
                              TimingsFor(config.standard).cw_min,
                              TimingsFor(config.standard).cw_max,
-                             EifsExtra(TimingsFor(config.standard))}) {
+                             EifsExtra(TimingsFor(config.standard))}),
+      current_data_mode_(config.data_mode) {
   phy_->set_listener(this);
   dcf_.on_grant = [this]() { OnAccessGranted(); };
   if (config_.standard == WifiStandard::k80211a) {
     config_.enable_ampdu = false;
+  }
+  rate_table_ = config_.standard == WifiStandard::k80211a ? Modes80211a()
+                                                          : Modes80211n();
+  bool found = false;
+  for (size_t i = 0; i < rate_table_.size(); ++i) {
+    if (rate_table_[i] == config_.data_mode) {
+      data_mode_index_ = i;
+      found = true;
+      break;
+    }
+  }
+  current_mode_index_ = data_mode_index_;
+  if (config_.enable_rate_adaptation) {
+    CHECK(found) << "rate adaptation needs data_mode in the standard table";
+    rate_ctrl_.emplace(rate_table_, data_mode_index_, config_.rate_adapt);
   }
 }
 
@@ -187,10 +204,16 @@ void WifiMac::OnAccessGranted() {
 }
 
 SimTime WifiMac::ResponseTimeoutDelay(bool block_ack_expected) const {
-  WifiMode resp_mode = ControlResponseMode(config_.data_mode);
+  WifiMode resp_mode = ControlResponseMode(current_data_mode_);
   size_t resp_bytes = (block_ack_expected ? kBlockAckBytes : kAckBytes) +
                       config_.max_hack_payload_bytes;
   return timings_.sifs + FrameDuration(resp_mode, resp_bytes) +
+         timings_.ack_timeout + config_.extra_ack_timeout;
+}
+
+SimTime WifiMac::CtsTimeoutDelay() const {
+  WifiMode cts_mode = ControlResponseMode(current_data_mode_);
+  return timings_.sifs + FrameDuration(cts_mode, kCtsBytes) +
          timings_.ack_timeout + config_.extra_ack_timeout;
 }
 
@@ -200,10 +223,10 @@ void WifiMac::StartExchange(StationId sid, TxState& st) {
   current_batch_seqs_.clear();
   current_all_tcp_acks_ = false;
 
-  Ppdu ppdu;
   if (st.bar_pending) {
     current_is_bar_ = true;
     current_aggregated_ = false;
+    current_data_mode_ = config_.data_mode;
     WifiFrame bar;
     bar.type = WifiFrameType::kBlockAckReq;
     bar.ta = address_;
@@ -212,45 +235,100 @@ void WifiMac::StartExchange(StationId sid, TxState& st) {
     WifiMode bar_mode = ControlResponseMode(config_.data_mode);
     bar.duration_field =
         timings_.sifs + FrameDuration(bar_mode, kBlockAckBytes);
+    Ppdu ppdu;
     ppdu.mpdus.push_back(std::move(bar));
     ppdu.aggregated = false;
     ppdu.mode = bar_mode;
     ++stats_.bars_sent;
-  } else {
-    current_is_bar_ = false;
-    ppdu = BuildDataPpdu(current_dest_, st);
-    if (ppdu.mpdus.empty()) {
-      UpdateServiceRing(st);
-      return;  // nothing sendable (window exhausted)
+    UpdateServiceRing(st);
+    phase_ = TxPhase::kTransmitting;
+    ++stats_.ppdus_sent;
+    bool sent = phy_->Send(std::move(ppdu));
+    CHECK(sent) << "BAR transmission while PHY busy should be impossible";
+    return;
+  }
+
+  current_is_bar_ = false;
+  Ppdu ppdu = BuildDataPpdu(current_dest_, st);
+  if (ppdu.mpdus.empty()) {
+    if (rate_ctrl_.has_value()) {
+      rate_ctrl_->AbandonPick(sid);  // no PPDU: the pick saw no air
     }
+    UpdateServiceRing(st);
+    return;  // nothing sendable (window exhausted)
   }
   UpdateServiceRing(st);
+  current_data_mode_ = ppdu.mode;
 
+  if (config_.rts_threshold > 0 &&
+      ppdu.PsduBytes() > config_.rts_threshold) {
+    if (!st.rts_bypass_once) {
+      SendRtsFor(std::move(ppdu));
+      return;
+    }
+    // Retry limit hit last time round: one unprotected shot, then the
+    // handshake is back on.
+    st.rts_bypass_once = false;
+    ++stats_.rts_bypasses;
+  }
   phase_ = TxPhase::kTransmitting;
+  TransmitDataPpdu(std::move(ppdu));
+}
+
+void WifiMac::SendRtsFor(Ppdu data_ppdu) {
+  WifiMode rts_mode = ControlResponseMode(data_ppdu.mode);
+  WifiMode cts_mode = ControlResponseMode(rts_mode);
+  WifiMode resp_mode = ControlResponseMode(data_ppdu.mode);
+  size_t resp_bytes = data_ppdu.aggregated ? kBlockAckBytes : kAckBytes;
+
+  WifiFrame rts;
+  rts.type = WifiFrameType::kRts;
+  rts.ta = address_;
+  rts.ra = current_dest_;
+  // The RTS Duration covers everything still to come after the RTS itself:
+  // SIFS + CTS + SIFS + DATA + SIFS + response. Overhearers' NAV therefore
+  // protects the whole sequence; the CTS re-advertises the remainder.
+  rts.duration_field = timings_.sifs + FrameDuration(cts_mode, kCtsBytes) +
+                       timings_.sifs + data_ppdu.Duration() + timings_.sifs +
+                       FrameDuration(resp_mode, resp_bytes);
+
+  Ppdu rts_ppdu;
+  rts_ppdu.aggregated = false;
+  rts_ppdu.mode = rts_mode;
+  rts_ppdu.mpdus.push_back(std::move(rts));
+
+  pending_data_ppdu_ = std::move(data_ppdu);
+  phase_ = TxPhase::kTransmitting;
+  ++stats_.rts_sent;
+  bool sent = phy_->Send(std::move(rts_ppdu));
+  CHECK(sent) << "RTS transmission while PHY busy should be impossible";
+}
+
+void WifiMac::TransmitDataPpdu(Ppdu ppdu) {
+  CHECK(phase_ == TxPhase::kTransmitting);
   ++stats_.ppdus_sent;
+  ++stats_.data_ppdus_by_mode_index[current_mode_index_];
+  stats_.mpdu_tx_attempts += ppdu.mpdus.size();
 
   // Table 3 accounting for frames that carry (only) vanilla TCP ACKs.
-  if (!current_is_bar_) {
-    stats_.mpdu_tx_attempts += ppdu.mpdus.size();
-    bool all_acks = true;
+  bool all_acks = true;
+  for (const WifiFrame& mpdu : ppdu.mpdus) {
+    if (!mpdu.packet.has_value() || !mpdu.packet->IsPureTcpAck()) {
+      all_acks = false;
+      break;
+    }
+  }
+  current_all_tcp_acks_ = all_acks && !ppdu.mpdus.empty();
+  if (current_all_tcp_acks_) {
+    SimTime wait = scheduler_->Now() - access_request_time_;
+    SimTime payload_air = PayloadAirtime(ppdu);
+    stats_.tcp_ack_frames_sent += ppdu.mpdus.size();
     for (const WifiFrame& mpdu : ppdu.mpdus) {
-      if (!mpdu.packet.has_value() || !mpdu.packet->IsPureTcpAck()) {
-        all_acks = false;
-        break;
-      }
+      stats_.tcp_ack_bytes_sent += mpdu.packet->SizeBytes();
     }
-    current_all_tcp_acks_ = all_acks && !ppdu.mpdus.empty();
-    if (current_all_tcp_acks_) {
-      SimTime wait = scheduler_->Now() - access_request_time_;
-      SimTime payload_air = PayloadAirtime(ppdu);
-      stats_.tcp_ack_frames_sent += ppdu.mpdus.size();
-      for (const WifiFrame& mpdu : ppdu.mpdus) {
-        stats_.tcp_ack_bytes_sent += mpdu.packet->SizeBytes();
-      }
-      stats_.tcp_ack_payload_airtime_ns += payload_air.ns();
-      stats_.tcp_ack_channel_overhead_ns +=
-          (wait + ppdu.Duration() - payload_air).ns();
-    }
+    stats_.tcp_ack_payload_airtime_ns += payload_air.ns();
+    stats_.tcp_ack_channel_overhead_ns +=
+        (wait + ppdu.Duration() - payload_air).ns();
   }
 
   bool sent = phy_->Send(std::move(ppdu));
@@ -259,8 +337,14 @@ void WifiMac::StartExchange(StationId sid, TxState& st) {
 
 Ppdu WifiMac::BuildDataPpdu(MacAddress dest, TxState& st) {
   Ppdu ppdu;
-  ppdu.mode = config_.data_mode;
-  WifiMode resp_mode = ControlResponseMode(config_.data_mode);
+  if (rate_ctrl_.has_value()) {
+    current_mode_index_ = rate_ctrl_->PickModeIndex(current_dest_sid_);
+    ppdu.mode = rate_table_[current_mode_index_];
+  } else {
+    current_mode_index_ = data_mode_index_;
+    ppdu.mode = config_.data_mode;
+  }
+  WifiMode resp_mode = ControlResponseMode(ppdu.mode);
 
   if (!config_.enable_ampdu) {
     // Stop-and-wait single MPDU.
@@ -377,6 +461,9 @@ Ppdu WifiMac::BuildDataPpdu(MacAddress dest, TxState& st) {
   for (WifiFrame& mpdu : ppdu.mpdus) {
     mpdu.more_data = more;
     mpdu.sync = sync;
+    if (sync) {
+      mpdu.sync_start_seq = st.win_start;
+    }
     mpdu.duration_field = duration_field;
   }
   return ppdu;
@@ -387,8 +474,19 @@ void WifiMac::OnTxEnd(const Ppdu& ppdu) {
     return;  // SIFS responses do not await anything
   }
   CHECK(phase_ == TxPhase::kTransmitting);
-  phase_ = TxPhase::kAwaitingResponse;
   tx_end_time_ = scheduler_->Now();
+  if (ppdu.first().type == WifiFrameType::kRts) {
+    phase_ = TxPhase::kAwaitingCts;
+    cts_timeout_event_ = scheduler_->ScheduleIn(
+        CtsTimeoutDelay(),
+        [this]() {
+          cts_timeout_event_ = kInvalidEventId;
+          HandleCtsTimeout();
+        },
+        EventClass::kMacTimer);
+    return;
+  }
+  phase_ = TxPhase::kAwaitingResponse;
   bool expect_ba = current_aggregated_ || current_is_bar_;
   response_timeout_event_ = scheduler_->ScheduleIn(
       ResponseTimeoutDelay(expect_ba),
@@ -397,6 +495,68 @@ void WifiMac::OnTxEnd(const Ppdu& ppdu) {
         HandleResponseTimeout();
       },
       EventClass::kMacTimer);
+}
+
+void WifiMac::HandleCts(const WifiFrame& frame) {
+  if (phase_ != TxPhase::kAwaitingCts || frame.ta != current_dest_) {
+    return;  // stale/unexpected CTS
+  }
+  scheduler_->Cancel(cts_timeout_event_);
+  cts_timeout_event_ = kInvalidEventId;
+  tx_[current_dest_sid_].rts_retries = 0;
+  // The medium is ours: the parked data PPDU follows the CTS by SIFS.
+  phase_ = TxPhase::kTransmitting;
+  scheduler_->ScheduleIn(
+      timings_.sifs,
+      [this]() {
+        CHECK(pending_data_ppdu_.has_value());
+        Ppdu ppdu = std::move(*pending_data_ppdu_);
+        pending_data_ppdu_.reset();
+        TransmitDataPpdu(std::move(ppdu));
+      },
+      EventClass::kMacTimer);
+}
+
+void WifiMac::HandleCtsTimeout() {
+  CHECK(phase_ == TxPhase::kAwaitingCts);
+  ++stats_.cts_timeouts;
+  pending_data_ppdu_.reset();
+  // The exchange never left the RTS: the MPDUs stay outstanding (or
+  // single_inflight) and are rebuilt at the next grant — re-entering
+  // backoff is the ordinary CW-doubling path, which the lazy idle-edge
+  // re-arm already handles (NotifyTxFailure re-dates a deferred grant).
+  //
+  // Deliberately NO rate feedback here: the CTS outcome gates what ARF
+  // hears. A missing CTS means the basic-rate RTS collided — a contention
+  // signal, not a channel-quality signal — and the exchange never reached
+  // the data rate at all. Feeding it to ARF recreates the classic
+  // collision-triggered rate collapse RTS/CTS exists to prevent.
+  dcf_.NotifyTxFailure();
+  if (rate_ctrl_.has_value()) {
+    // No data-rate outcome either way; a consumed probe slot is re-armed.
+    rate_ctrl_->AbandonPick(current_dest_sid_);
+  }
+  TxState& st = tx_[current_dest_sid_];
+  if (++st.rts_retries > config_.rts_retry_limit) {
+    st.rts_retries = 0;
+    st.rts_bypass_once = true;
+  }
+  UpdateServiceRing(st);
+  phase_ = TxPhase::kIdle;
+  MaybeRequestAccess();
+}
+
+void WifiMac::NotifyRateOutcome(StationId sid, bool success) {
+  if (!rate_ctrl_.has_value()) {
+    return;
+  }
+  ArfRateController::Move move = rate_ctrl_->OnTxOutcome(sid, success);
+  if (move.up) {
+    ++stats_.rate_up_moves;
+  }
+  if (move.down) {
+    ++stats_.rate_down_moves;
+  }
 }
 
 void WifiMac::ReleaseDelivered(TxState& st, const OutstandingMpdu& mpdu) {
@@ -477,6 +637,9 @@ void WifiMac::HandleBlockAck(const WifiFrame& frame) {
     stats_.tcp_ack_ll_ack_overhead_ns +=
         (scheduler_->Now() - tx_end_time_).ns();
   }
+  if (!current_is_bar_) {
+    NotifyRateOutcome(current_dest_sid_, /*success=*/true);
+  }
   dcf_.NotifyTxSuccess();
   FinishExchange();
 }
@@ -499,6 +662,7 @@ void WifiMac::HandleAck(const WifiFrame& frame) {
     stats_.tcp_ack_ll_ack_overhead_ns +=
         (scheduler_->Now() - tx_end_time_).ns();
   }
+  NotifyRateOutcome(current_dest_sid_, /*success=*/true);
   dcf_.NotifyTxSuccess();
   FinishExchange();
 }
@@ -507,6 +671,12 @@ void WifiMac::HandleResponseTimeout() {
   CHECK(phase_ == TxPhase::kAwaitingResponse);
   ++stats_.response_timeouts;
   dcf_.NotifyTxFailure();
+  if (!current_is_bar_) {
+    // A lost data exchange (the response never came) is the ARF failure
+    // signal; BAR outcomes happen at a basic control rate and say nothing
+    // about the data rate.
+    NotifyRateOutcome(current_dest_sid_, /*success=*/false);
+  }
 
   TxState& st = tx_[current_dest_sid_];
   if (current_is_bar_) {
@@ -562,7 +732,14 @@ void WifiMac::OnPpduReceived(const Ppdu& ppdu,
   if (first.ra != address_) {
     // Not for us: honour the NAV reservation.
     if (!first.duration_field.IsZero()) {
-      SetNav(scheduler_->Now() + first.duration_field);
+      SimTime until = scheduler_->Now() + first.duration_field;
+      SetNav(until);
+      if (first.type == WifiFrameType::kRts) {
+        // 802.11 NAV-reset rule: an RTS reservation is provisional until
+        // the exchange actually starts. If the probe window passes in
+        // silence, the CTS never came and the reservation is dead air.
+        ArmNavResetProbe(until, ppdu.mode);
+      }
     }
     return;
   }
@@ -584,9 +761,40 @@ void WifiMac::OnPpduReceived(const Ppdu& ppdu,
       HandleAck(first);
       break;
     case WifiFrameType::kBlockAckReq:
-      HandleBar(first);
+      HandleBar(first, ppdu.mode);
+      break;
+    case WifiFrameType::kRts:
+      HandleRts(first, ppdu.mode);
+      break;
+    case WifiFrameType::kCts:
+      HandleCts(first);
       break;
   }
+}
+
+// An RTS addressed to us asks for the medium. 802.11's virtual carrier
+// sense rule: only answer if our NAV shows the medium free — a station
+// inside someone else's reservation staying silent is exactly what makes
+// the reservation mean anything. Being mid-exchange ourselves suppresses
+// the CTS for the same reason.
+void WifiMac::HandleRts(const WifiFrame& frame,
+                        const WifiMode& eliciting_mode) {
+  if (phase_ != TxPhase::kIdle || scheduler_->Now() < nav_until_) {
+    ++stats_.rts_ignored_busy;
+    return;
+  }
+  WifiMode cts_mode = ControlResponseMode(eliciting_mode);
+  SimTime consumed = timings_.sifs + FrameDuration(cts_mode, kCtsBytes);
+  WifiFrame cts;
+  cts.type = WifiFrameType::kCts;
+  cts.ta = address_;
+  cts.ra = frame.ta;
+  // The CTS re-advertises what is left of the RTS reservation, so stations
+  // that hear only the CTS still set a covering NAV.
+  cts.duration_field = frame.duration_field > consumed
+                           ? frame.duration_field - consumed
+                           : SimTime::Zero();
+  ScheduleResponse(std::move(cts), eliciting_mode);
 }
 
 void WifiMac::HandleDataPpdu(const Ppdu& ppdu,
@@ -624,6 +832,26 @@ void WifiMac::HandleDataPpdu(const Ppdu& ppdu,
     ack.ra = from;
     ScheduleResponse(std::move(ack), eliciting_mode);
     return;
+  }
+
+  // A SYNC batch announces the originator abandoned its Block ACK state
+  // (BAR retries exhausted, everything before its window start dropped).
+  // Re-sync the reorder window to the advertised start — the in-sim
+  // analogue of the standard's BAR window flush — or the stale holes would
+  // hold back delivery of every later in-window MPDU forever. The target
+  // rides every MPDU (sync_start_seq), so it survives partial decodes.
+  {
+    size_t lead = 0;
+    while (lead < mpdu_ok.size() && !mpdu_ok[lead]) {
+      ++lead;
+    }
+    const WifiFrame& first_decoded = ppdu.mpdus[lead];
+    if (first_decoded.sync) {
+      uint16_t dist = SeqDistance(rx.win_start, first_decoded.sync_start_seq);
+      if (dist != 0 && dist < kSeqModulo / 2) {
+        AdvanceRxWindow(rx, from, first_decoded.sync_start_seq);
+      }
+    }
   }
 
   // Pass 1: mark arrivals in the scoreboard (no upper-layer delivery yet).
@@ -685,7 +913,8 @@ void WifiMac::HandleDataPpdu(const Ppdu& ppdu,
   ScheduleResponse(std::move(ba), eliciting_mode);
 }
 
-void WifiMac::HandleBar(const WifiFrame& frame) {
+void WifiMac::HandleBar(const WifiFrame& frame,
+                        const WifiMode& eliciting_mode) {
   RxState& rx = RxFor(stations_.Intern(frame.ta));
   uint16_t dist = SeqDistance(rx.win_start, frame.bar_start_seq);
   if (dist != 0 && dist < kSeqModulo / 2) {
@@ -696,9 +925,12 @@ void WifiMac::HandleBar(const WifiFrame& frame) {
   ba.ta = address_;
   ba.ra = frame.ta;
   ba.ba = BlockAckInfo{rx.win_start, BuildBitmap(rx)};
-  // BARs arrive at a control rate; respond at the same.
-  WifiMode eliciting{PhyFormat::kLegacyOfdm, 24000, 96, 1};
-  ScheduleResponse(std::move(ba), eliciting);
+  // Respond at the control-response rate of the BAR as actually received.
+  // (This used to assume every BAR arrived at 24 Mbps; at data rates below
+  // 24 Mbps the BAR goes out at 12 or 6 Mbps and the old reply at 24 Mbps
+  // both violated the control-response rule and overshot the duration the
+  // BAR sender had reserved for it.)
+  ScheduleResponse(std::move(ba), eliciting_mode);
 }
 
 uint64_t WifiMac::BuildBitmap(const RxState& rx) const {
@@ -754,7 +986,9 @@ void WifiMac::ScheduleResponse(WifiFrame response,
       delay,
       [this, response = std::move(response), resp_mode]() mutable {
         --responses_pending_;
-        if (hack_hooks_ != nullptr) {
+        bool can_carry_hack = response.type == WifiFrameType::kAck ||
+                              response.type == WifiFrameType::kBlockAck;
+        if (hack_hooks_ != nullptr && can_carry_hack) {
           std::vector<uint8_t> payload =
               hack_hooks_->BuildAckPayload(response.ra);
           if (!payload.empty()) {
@@ -772,6 +1006,8 @@ void WifiMac::ScheduleResponse(WifiFrame response,
         }
         if (response.type == WifiFrameType::kAck) {
           ++stats_.acks_sent;
+        } else if (response.type == WifiFrameType::kCts) {
+          ++stats_.cts_sent;
         } else {
           ++stats_.block_acks_sent;
         }
@@ -796,6 +1032,16 @@ void WifiMac::OnRxCorrupted() {
 
 void WifiMac::OnCcaBusy() {
   phy_busy_ = true;
+  ++cca_busy_edges_;
+  if (nav_reset_probe_event_ != kInvalidEventId) {
+    // PHY activity inside the probe window: the reserved exchange is
+    // happening, the reservation stands. Cancelling here (O(1) lazy wheel
+    // retire) is what keeps the probe off the executed-event path — in a
+    // dense cell every station would otherwise fire one no-op probe per
+    // overheard RTS, the exact per-PPDU fan-out the lazy NAV work removed.
+    scheduler_->Cancel(nav_reset_probe_event_);
+    nav_reset_probe_event_ = kInvalidEventId;
+  }
   UpdateMediumState();
 }
 
@@ -810,6 +1056,52 @@ void WifiMac::SetNav(SimTime until) {
   }
   nav_until_ = until;
   UpdateMediumState();
+}
+
+void WifiMac::ArmNavResetProbe(SimTime rts_nav_until,
+                               const WifiMode& rts_mode) {
+  // Probe window per the standard: 2*SIFS + the CTS airtime (at the RTS's
+  // control-response rate) + 2 slots after the RTS reception.
+  WifiMode cts_mode = ControlResponseMode(rts_mode);
+  SimTime window = 2 * timings_.sifs + FrameDuration(cts_mode, kCtsBytes) +
+                   2 * timings_.slot;
+  if (scheduler_->Now() + window >= rts_nav_until) {
+    return;  // nothing left to reclaim by the time the probe could fire
+  }
+  if (nav_reset_probe_event_ != kInvalidEventId) {
+    scheduler_->Cancel(nav_reset_probe_event_);
+  }
+  // One armed probe per overheard decoded RTS; almost always cancelled a
+  // SIFS later by the CTS's own busy edge (O(1) lazy wheel cancel), so the
+  // executed-event cost stays near zero — see docs/perf.md on why nothing
+  // on the per-PPDU path may schedule work that routinely fires.
+  nav_reset_probe_event_ = scheduler_->ScheduleIn(
+      window,
+      [this, rts_nav_until, edges = cca_busy_edges_]() {
+        nav_reset_probe_event_ = kInvalidEventId;
+        HandleNavResetProbe(rts_nav_until, edges);
+      },
+      EventClass::kNavTimer);
+}
+
+void WifiMac::HandleNavResetProbe(SimTime armed_nav_value,
+                                  uint64_t armed_edges) {
+  if (phy_busy_ || cca_busy_edges_ != armed_edges) {
+    return;  // the exchange (or anything else) hit the air: NAV stands
+  }
+  if (nav_until_ != armed_nav_value) {
+    return;  // another frame moved the NAV since; not ours to reclaim
+  }
+  ++stats_.nav_resets;
+  nav_until_ = scheduler_->Now();
+  if (!medium_busy_reported_) {
+    // The engine was told "idle from <RTS horizon>"; re-date that to now
+    // with a zero-length busy pulse (a busy edge followed by an immediate
+    // idle edge) — the medium-state change the eager path would have seen.
+    dcf_.NotifyMediumBusy();
+    reported_idle_from_ = scheduler_->Now();
+    dcf_.NotifyMediumIdleFrom(reported_idle_from_);
+  }
 }
 
 // Medium-state reporting, lazy-NAV form. The DCF engine sees the same busy

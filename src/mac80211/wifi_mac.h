@@ -1,7 +1,10 @@
 // 802.11 MAC: DCF/EDCA access, stop-and-wait single-MPDU exchanges
 // (802.11a) and A-MPDU + Block ACK exchanges (802.11n), Block ACK Request
-// recovery, NAV, EIFS, per-destination queues, and the two header bits HACK
-// relies on: MORE DATA (standard, §3.2) and SYNC (HACK extension, §3.4).
+// recovery, RTS/CTS with NAV-based virtual carrier sensing (rts_threshold),
+// per-station ARF rate adaptation, NAV, EIFS, per-destination queues, and
+// the two header bits HACK relies on: MORE DATA (standard, §3.2) and SYNC
+// (HACK extension, §3.4). See docs/mac.md for the RTS/CTS sequencing and
+// the rate-adaptation algorithm.
 //
 // The MAC is symmetric: an AP is simply a station with several destination
 // queues. HACK integration is confined to the three HackHooks touch points;
@@ -20,6 +23,7 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "src/mac80211/dcf.h"
@@ -39,6 +43,19 @@ struct WifiMacConfig {
   SimTime txop_limit = SimTime::Millis(4);
   int mpdu_retry_limit = 7;
   int bar_retry_limit = 7;
+  // RTS/CTS virtual carrier sense: data PPDUs whose PSDU exceeds this many
+  // bytes are preceded by an RTS/CTS handshake whose Duration fields make
+  // overhearing stations reserve (NAV) the whole exchange. 0 disables —
+  // the default, and the legacy scenarios' bit-identical path.
+  size_t rts_threshold = 0;
+  // Consecutive CTS timeouts for one destination after which a single
+  // exchange is sent unprotected (forward progress past a CTS-deaf peer).
+  int rts_retry_limit = 7;
+  // Per-station ARF rate adaptation over the standard's mode table;
+  // data_mode becomes the starting rate. Off by default: every data PPDU
+  // then goes out at data_mode exactly as before.
+  bool enable_rate_adaptation = false;
+  RateAdaptConfig rate_adapt;
   // SoRa quirks (§4.1): the receiver returns LL ACKs this much later than
   // SIFS, and the sender widens its ACK timeout to compensate.
   SimTime extra_ack_delay;
@@ -116,6 +133,10 @@ class WifiMac final : public WifiPhyListener {
     bool bar_pending = false;
     int bar_retries = 0;
     bool sync_pending = false;
+    // Consecutive CTS timeouts; past the retry limit one exchange bypasses
+    // RTS protection so a CTS-deaf peer cannot stall the queue forever.
+    int rts_retries = 0;
+    bool rts_bypass_once = false;
     std::optional<OutstandingMpdu> single_inflight;  // 802.11a stop-and-wait
     uint32_t service_slot = kNoServiceSlot;  // position in the service ring
 
@@ -140,7 +161,11 @@ class WifiMac final : public WifiPhyListener {
     bool has_last_single = false;
   };
 
-  enum class TxPhase { kIdle, kTransmitting, kAwaitingResponse };
+  // kAwaitingCts sits between the RTS transmission and either the CTS (the
+  // stored data PPDU then follows SIFS later) or the CTS timeout (which
+  // re-enters backoff through the ordinary NotifyTxFailure path — no
+  // special-case interaction with the lazy idle-edge re-arm).
+  enum class TxPhase { kIdle, kTransmitting, kAwaitingCts, kAwaitingResponse };
 
   // --- station table ---------------------------------------------------------
   TxState& TxFor(StationId sid) {
@@ -166,17 +191,28 @@ class WifiMac final : public WifiPhyListener {
   TxState* PickNextDest(StationId* sid_out);
   void StartExchange(StationId sid, TxState& st);
   Ppdu BuildDataPpdu(MacAddress dest, TxState& st);
+  // Counts the data-PPDU stats and puts `ppdu` on the air (directly, or
+  // SIFS after the CTS on the protected path).
+  void TransmitDataPpdu(Ppdu ppdu);
+  // Sends an RTS reserving the whole RTS-CTS-DATA-response exchange; the
+  // data PPDU is parked in pending_data_ppdu_ until the CTS arrives.
+  void SendRtsFor(Ppdu data_ppdu);
+  void HandleCts(const WifiFrame& frame);
+  void HandleCtsTimeout();
   void HandleResponseTimeout();
   void HandleBlockAck(const WifiFrame& frame);
   void HandleAck(const WifiFrame& frame);
   void FinishExchange();
   void ReleaseDelivered(TxState& st, const OutstandingMpdu& mpdu);
   void GiveUpBlockAck(TxState& st);
+  void NotifyRateOutcome(StationId sid, bool success);
   SimTime ResponseTimeoutDelay(bool block_ack_expected) const;
+  SimTime CtsTimeoutDelay() const;
 
   // --- recipient pipeline ----------------------------------------------------
   void HandleDataPpdu(const Ppdu& ppdu, const std::vector<bool>& mpdu_ok);
-  void HandleBar(const WifiFrame& frame);
+  void HandleBar(const WifiFrame& frame, const WifiMode& eliciting_mode);
+  void HandleRts(const WifiFrame& frame, const WifiMode& eliciting_mode);
   void ScheduleResponse(WifiFrame response, const WifiMode& eliciting_mode);
   void AdvanceRxWindow(RxState& rx, MacAddress from, uint16_t new_start);
   void DeliverContiguous(RxState& rx, MacAddress from);
@@ -185,6 +221,12 @@ class WifiMac final : public WifiPhyListener {
   // --- medium state -----------------------------------------------------------
   void UpdateMediumState();
   void SetNav(SimTime until);
+  // Arms the 802.11 NAV-reset probe for an overheard RTS: if the medium
+  // shows no PHY activity for 2*SIFS + CTS airtime + 2*slot after the RTS,
+  // the reservation is dead (the CTS never came) and the NAV it set is
+  // reclaimed.
+  void ArmNavResetProbe(SimTime rts_nav_until, const WifiMode& rts_mode);
+  void HandleNavResetProbe(SimTime armed_nav_value, uint64_t armed_edges);
 
   Scheduler* scheduler_;
   WifiPhy* phy_;
@@ -207,19 +249,35 @@ class WifiMac final : public WifiPhyListener {
   ActiveSlotRing service_ring_;
   std::vector<StationId> service_slot_station_;
 
+  // Rate adaptation (engaged only when config_.enable_rate_adaptation).
+  std::span<const WifiMode> rate_table_;
+  size_t data_mode_index_ = 0;
+  std::optional<ArfRateController> rate_ctrl_;
+
   TxPhase phase_ = TxPhase::kIdle;
   MacAddress current_dest_;
   StationId current_dest_sid_ = kInvalidStationId;
   bool current_is_bar_ = false;
   bool current_aggregated_ = false;
   bool current_all_tcp_acks_ = false;
+  // TX mode of the exchange in flight (data rate, or data_mode for BARs);
+  // response durations and timeouts derive from it.
+  WifiMode current_data_mode_;
+  size_t current_mode_index_ = 0;
   std::vector<uint16_t> current_batch_seqs_;
+  // Data PPDU parked between RTS transmission and CTS reception.
+  std::optional<Ppdu> pending_data_ppdu_;
   EventId response_timeout_event_ = kInvalidEventId;
+  EventId cts_timeout_event_ = kInvalidEventId;
   SimTime access_request_time_;
   SimTime tx_end_time_;
 
   bool phy_busy_ = false;
   SimTime nav_until_;
+  // Monotone count of CCA busy edges; the NAV-reset probe uses it to ask
+  // "did any PHY activity follow the RTS?" without tracking timestamps.
+  uint64_t cca_busy_edges_ = 0;
+  EventId nav_reset_probe_event_ = kInvalidEventId;
   bool medium_busy_reported_ = false;
   // Idle start last announced to the DCF engine (Now() or a future
   // nav_until_). NAV expiry is never a scheduled event: the engine arms its

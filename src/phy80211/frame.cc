@@ -16,6 +16,10 @@ size_t WifiFrame::SizeBytes() const {
       return kBlockAckBytes + hack_payload.size();
     case WifiFrameType::kBlockAckReq:
       return kBlockAckReqBytes;
+    case WifiFrameType::kRts:
+      return kRtsBytes;
+    case WifiFrameType::kCts:
+      return kCtsBytes;
   }
   return 0;
 }

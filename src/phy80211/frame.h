@@ -5,6 +5,8 @@
 //   ACK           : 14 B (+ appended HACK payload)
 //   Block ACK     : 32 B compressed-bitmap variant (+ appended HACK payload)
 //   Block ACK Req : 24 B
+//   RTS           : 20 B
+//   CTS           : 14 B
 // A-MPDU subframes add a 4 B delimiter and pad the MPDU to a 4 B boundary;
 // with 1460 B TCP payloads this yields 1556 B per subframe and the paper's
 // 42-MPDU maximum under the 64 KB A-MPDU bound.
@@ -31,6 +33,8 @@ enum class WifiFrameType {
   kAck,
   kBlockAck,
   kBlockAckReq,
+  kRts,
+  kCts,
 };
 
 // Compressed-bitmap Block ACK content: 64 sequence numbers starting at
@@ -48,6 +52,14 @@ struct WifiFrame {
   uint16_t seq = 0;
   bool more_data = false;
   bool sync = false;
+  // Valid when `sync` is set on a data MPDU: the originator's window start
+  // at build time. The recipient flushes its reorder window to it — the
+  // in-sim stand-in for the BAR flush the standard mandates after an
+  // originator discards MPDUs. Carried on every MPDU of the batch so the
+  // flush target survives any subset of subframes decoding (inferring it
+  // from the first *decoded* MPDU would overshoot when the lead subframe
+  // is corrupted, silently acking data the receiver never delivered).
+  uint16_t sync_start_seq = 0;
   bool retry = false;
   // NAV reservation carried in the Duration field: time after this frame's
   // end that the exchange still needs (SIFS + response).
@@ -68,6 +80,8 @@ inline constexpr size_t kFcsBytes = 4;
 inline constexpr size_t kAckBytes = 14;
 inline constexpr size_t kBlockAckBytes = 32;
 inline constexpr size_t kBlockAckReqBytes = 24;
+inline constexpr size_t kRtsBytes = 20;
+inline constexpr size_t kCtsBytes = 14;
 inline constexpr size_t kAmpduDelimiterBytes = 4;
 inline constexpr size_t kMaxAmpduBytes = 65535;
 inline constexpr size_t kMaxAmpduMpdus = 64;

@@ -7,6 +7,28 @@
 
 namespace hacksim {
 
+double PerRateLossModel::FrameErrorRate(const WifiMode& mode,
+                                        size_t bytes) const {
+  if (bytes <= kControlSizeThreshold) {
+    return 0.0;
+  }
+  for (const Entry& e : table_) {
+    if (e.rate_kbps == mode.rate_kbps) {
+      double ok_ref = 1.0 - std::clamp(e.per, 0.0, 1.0);
+      double exponent = static_cast<double>(bytes) /
+                        static_cast<double>(reference_bytes_);
+      return std::clamp(1.0 - std::pow(ok_ref, exponent), 0.0, 1.0);
+    }
+  }
+  return 0.0;
+}
+
+bool PerRateLossModel::ShouldCorrupt(const WifiMode& mode, size_t bytes,
+                                     double /*distance_m*/, Random& rng) {
+  double fer = FrameErrorRate(mode, bytes);
+  return fer > 0.0 && rng.NextBool(fer);
+}
+
 double SnrLossModel::ModeSnrMidpointDb(const WifiMode& mode) {
   // Approximate 50%-FER SNR (1500 B frames) for OFDM rates; values follow
   // the usual BCC waterfall spacing: each constellation/coding step costs

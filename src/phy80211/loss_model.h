@@ -5,6 +5,9 @@
 //    used to emulate the SoRa testbed's per-client frame loss (paper §4.2).
 //  * SnrLossModel       — log-distance path loss -> SNR -> per-mode logistic
 //    frame error rate scaled by MPDU length; drives the Figure 11 SNR sweep.
+//  * PerRateLossModel   — explicit rate -> PER table, distance-independent;
+//    the controllable signal the per-station rate-adaptation loop trains
+//    against (high rates lossy, low rates robust, chosen — not derived).
 //
 // Collisions are handled by the PHY itself (overlapping receptions corrupt
 // each other); loss models add channel-noise corruption on top.
@@ -12,6 +15,7 @@
 #define SRC_PHY80211_LOSS_MODEL_H_
 
 #include <memory>
+#include <vector>
 
 #include "src/phy80211/frame.h"
 #include "src/phy80211/wifi_mode.h"
@@ -55,6 +59,38 @@ class BernoulliLossModel final : public LossModel {
  private:
   double data_loss_;
   double control_loss_;
+};
+
+// Explicit per-rate PER curve: each rate has a frame error rate for
+// reference-length data MPDUs, scaled to the actual MPDU length assuming
+// independent per-bit errors (same convention as SnrLossModel). Rates
+// absent from the table and control-size frames (<= control threshold, the
+// robust basic-rate responses) are lossless. Distance plays no part — this
+// is the model for scenarios and tests that want to *choose* the channel
+// quality seen at each rate so rate adaptation has a deterministic,
+// interpretable signal to converge on.
+class PerRateLossModel final : public LossModel {
+ public:
+  struct Entry {
+    uint32_t rate_kbps;
+    double per;  // reference-length frame error rate in [0, 1]
+  };
+
+  explicit PerRateLossModel(std::vector<Entry> table,
+                            size_t reference_bytes = 1500)
+      : table_(std::move(table)), reference_bytes_(reference_bytes) {}
+
+  bool ShouldCorrupt(const WifiMode& mode, size_t bytes, double distance_m,
+                     Random& rng) override;
+
+  // Deterministic FER for `bytes` at `mode` (exposed for tests).
+  double FrameErrorRate(const WifiMode& mode, size_t bytes) const;
+
+  static constexpr size_t kControlSizeThreshold = 64;
+
+ private:
+  std::vector<Entry> table_;
+  size_t reference_bytes_;
 };
 
 // SNR-driven model. SNR(dB) = tx_power_dbm - PL(d) - noise_floor_dbm with

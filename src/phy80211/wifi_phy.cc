@@ -154,6 +154,10 @@ void WirelessChannel::Transmit(WifiPhy* sender, Ppdu ppdu) {
     case WifiFrameType::kBlockAckReq:
       airtime_.bar_ns += duration.ns();
       break;
+    case WifiFrameType::kRts:
+    case WifiFrameType::kCts:
+      airtime_.rts_cts_ns += duration.ns();
+      break;
   }
   if (active_transmissions_ > 0) {
     ++airtime_.collisions;

@@ -123,11 +123,14 @@ struct ChannelAirtime {
   int64_t data_ns = 0;        // data PPDUs (single or A-MPDU)
   int64_t ack_ns = 0;         // LL ACKs and Block ACKs (incl. HACK payload)
   int64_t bar_ns = 0;         // Block ACK Requests
+  int64_t rts_cts_ns = 0;     // RTS + CTS handshake frames
   int64_t collision_ns = 0;   // wall-clock during >= 2 overlapping PPDUs
   uint64_t ppdus = 0;
   uint64_t collisions = 0;    // transmissions that began during another
 
-  int64_t TotalBusyNs() const { return data_ns + ack_ns + bar_ns; }
+  int64_t TotalBusyNs() const {
+    return data_ns + ack_ns + bar_ns + rts_cts_ns;
+  }
 
   friend bool operator==(const ChannelAirtime&,
                          const ChannelAirtime&) = default;

@@ -63,6 +63,9 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   ap_mac_cfg.txop_limit = config.txop_limit;
   ap_mac_cfg.extra_ack_delay = config.extra_ack_delay;
   ap_mac_cfg.extra_ack_timeout = config.extra_ack_timeout;
+  ap_mac_cfg.rts_threshold = config.rts_threshold;
+  ap_mac_cfg.enable_rate_adaptation = config.rate_adaptation;
+  ap_mac_cfg.rate_adapt = config.rate_adapt;
   if (config.hack != HackVariant::kOff) {
     ap_mac_cfg.max_hack_payload_bytes = config.hack_config.max_payload_bytes;
   }
@@ -159,18 +162,39 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
       src_cfg.payload_bytes = config.udp_payload_bytes;
       src_cfg.start = specs[i].start_offset;
       src_cfg.stop = config.duration;
-      FiveTuple flow{server_ip, client_ip(i), server_port, client_port,
-                     kIpProtoUdp};
-      auto source = std::make_unique<UdpCbrSource>(
-          &scheduler, src_cfg, flow,
-          [node = server_node.get()](Packet p) { node->Send(std::move(p)); });
-      ep.udp_sink = std::make_unique<UdpSink>(&scheduler);
-      ep.node->RegisterHandler(client_port,
-                               [sink = ep.udp_sink.get()](const Packet& p) {
-                                 sink->OnPacket(p);
-                               });
-      source->Start();
-      udp_sources.push_back(std::move(source));
+      if (!config.upload) {
+        FiveTuple flow{server_ip, client_ip(i), server_port, client_port,
+                       kIpProtoUdp};
+        auto source = std::make_unique<UdpCbrSource>(
+            &scheduler, src_cfg, flow,
+            [node = server_node.get()](Packet p) {
+              node->Send(std::move(p));
+            });
+        ep.udp_sink = std::make_unique<UdpSink>(&scheduler);
+        ep.node->RegisterHandler(client_port,
+                                 [sink = ep.udp_sink.get()](const Packet& p) {
+                                   sink->OnPacket(p);
+                                 });
+        source->Start();
+        udp_sources.push_back(std::move(source));
+      } else {
+        // Uplink CBR: every client contends for the medium — the dense-cell
+        // collision workload RTS/CTS exists for. The per-flow sink lives at
+        // the server; it stays owned by the client endpoint so collection
+        // is uniform across directions.
+        FiveTuple flow{client_ip(i), server_ip, client_port, server_port,
+                       kIpProtoUdp};
+        auto source = std::make_unique<UdpCbrSource>(
+            &scheduler, src_cfg, flow,
+            [node = ep.node.get()](Packet p) { node->Send(std::move(p)); });
+        ep.udp_sink = std::make_unique<UdpSink>(&scheduler);
+        server_node->RegisterHandler(
+            server_port, [sink = ep.udp_sink.get()](const Packet& p) {
+              sink->OnPacket(p);
+            });
+        source->Start();
+        udp_sources.push_back(std::move(source));
+      }
       continue;
     }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/hack/hack_agent.h"
+#include "src/mac80211/station_table.h"
 #include "src/phy80211/loss_model.h"
 #include "src/phy80211/wifi_phy.h"
 #include "src/stats/experiment_stats.h"
@@ -41,7 +42,19 @@ struct ScenarioConfig {
   int n_clients = 1;
   TransportProto proto = TransportProto::kTcp;
   HackVariant hack = HackVariant::kOff;
-  bool upload = false;  // reverse the transfer direction
+  // Reverse the transfer direction (TCP: clients send the file; UDP: every
+  // client runs a CBR source toward the server — the contention-heavy
+  // dense-cell workload).
+  bool upload = false;
+
+  // RTS/CTS virtual carrier sense on every MAC: data PPDUs whose PSDU
+  // exceeds this many bytes are protected by the handshake. 0 (default)
+  // disables it and keeps legacy scenarios bit-identical.
+  size_t rts_threshold = 0;
+  // Per-station ARF rate adaptation on every MAC; data_rate_mbps becomes
+  // the starting rate.
+  bool rate_adaptation = false;
+  RateAdaptConfig rate_adapt;
 
   // 0 = time-bounded run; otherwise run until every sender completes.
   uint64_t file_bytes = 0;

@@ -16,9 +16,15 @@
 #ifndef SRC_STATS_MAC_STATS_H_
 #define SRC_STATS_MAC_STATS_H_
 
+#include <array>
 #include <cstdint>
 
 namespace hacksim {
+
+// Upper bound on rate-table size (the 802.11n extended table has 11 modes);
+// data_ppdus_by_mode_index is indexed by the position of the PPDU's mode in
+// the MAC's rate table.
+inline constexpr size_t kMaxRateTableSize = 12;
 
 struct MacStats {
   // --- data MPDU outcomes (originator side) --------------------------------
@@ -35,6 +41,25 @@ struct MacStats {
   uint64_t batches_sent_final = 0;       // MORE DATA bit clear
   uint64_t tx_dropped_phy_busy = 0;
   uint64_t queue_drops = 0;  // per-destination queue overflow (drop-tail)
+
+  // --- RTS/CTS virtual carrier sense ----------------------------------------
+  uint64_t rts_sent = 0;           // RTS transmissions (originator)
+  uint64_t cts_sent = 0;           // CTS responses (recipient)
+  uint64_t cts_timeouts = 0;       // RTS that elicited no CTS in time
+  uint64_t rts_bypasses = 0;       // exchanges sent unprotected after the
+                                   // RTS retry limit (forward progress)
+  uint64_t rts_ignored_busy = 0;   // RTS addressed to us but suppressed by
+                                   // virtual carrier sense / own exchange
+  uint64_t nav_resets = 0;         // RTS-set NAV reclaimed after the probe
+                                   // window passed with no PHY activity
+                                   // (802.11's NAV-reset rule)
+
+  // --- rate adaptation -------------------------------------------------------
+  // Data-PPDU count per rate-table index (the adaptation histogram; with a
+  // fixed mode everything lands in that mode's index).
+  std::array<uint64_t, kMaxRateTableSize> data_ppdus_by_mode_index{};
+  uint64_t rate_up_moves = 0;
+  uint64_t rate_down_moves = 0;
 
   // --- vanilla TCP ACK accounting (Table 3) ---------------------------------
   uint64_t tcp_ack_frames_sent = 0;      // MPDUs that are pure TCP ACKs

@@ -74,11 +74,14 @@ class TcpReceiver {
   uint32_t ts_recent_ = 0;
   uint32_t last_sacked_edge_ = 0;  // most recently arrived OOO block start
 
-  // Out-of-order store: start -> end (exclusive), non-overlapping.
-  std::map<uint32_t, uint32_t, decltype([](uint32_t a, uint32_t b) {
-             return Seq32Lt(a, b);
-           })>
-      ooo_;
+  // Out-of-order store: start -> end (exclusive), non-overlapping. The
+  // comparator is a named type (not a header lambda) so the member's type
+  // has proper linkage — a decltype(lambda) here trips GCC's
+  // -Wsubobject-linkage in every including TU.
+  struct Seq32Less {
+    bool operator()(uint32_t a, uint32_t b) const { return Seq32Lt(a, b); }
+  };
+  std::map<uint32_t, uint32_t, Seq32Less> ooo_;
 
   uint32_t segments_since_ack_ = 0;
   EventId delack_event_ = kInvalidEventId;

@@ -130,6 +130,26 @@ TEST_F(DcfFixture, RepeatedRequestIsIdempotent) {
   EXPECT_EQ(grants_, 1);
 }
 
+// The CTS-timeout shape: an exchange consumed its grant, failed before any
+// response, and immediately re-requests access. The redraw must come from
+// the doubled window and count down from now — no crediting of the idle
+// time that passed before the failure.
+TEST_F(DcfFixture, FailureThenImmediateRequestRearmsFromNow) {
+  sched_.RunUntil(SimTime::Millis(1));
+  dcf_->RequestAccess();
+  sched_.Run();
+  ASSERT_EQ(grants_, 1);
+  sched_.RunUntil(SimTime::Millis(2));
+  dcf_->NotifyTxFailure();
+  int slots = dcf_->backoff_slots();
+  ASSERT_GE(slots, 0);
+  EXPECT_EQ(dcf_->cw(), 31u);
+  dcf_->RequestAccess();
+  sched_.Run();
+  EXPECT_EQ(grants_, 2);
+  EXPECT_EQ(last_grant_, SimTime::Millis(2) + SimTime::Micros(9) * slots);
+}
+
 TEST_F(DcfFixture, PostTxBackoffDelaysNextGrant) {
   sched_.RunUntil(SimTime::Millis(1));
   dcf_->DrawPostTxBackoff();
@@ -246,6 +266,17 @@ TEST(DcfLazyRearmTest, IdleFromMatchesEagerIdleEdgePickForPick) {
         } else {
           eager.NotifyTxFailure();
           lazy.NotifyTxFailure();
+          // CTS-timeout shape: the failed exchange immediately re-requests
+          // access (WifiMac::HandleCtsTimeout does exactly this), often
+          // while the lazy engine still holds a future-dated idle start.
+          if (script.NextBounded(2) == 0) {
+            if (!eager.access_pending()) {
+              eager.RequestAccess();
+            }
+            if (!lazy.access_pending()) {
+              lazy.RequestAccess();
+            }
+          }
         }
       }
 

@@ -1,9 +1,12 @@
 // MAC-layer tests: two stations on a clean or lossy channel exercising
 // stop-and-wait exchanges (802.11a), A-MPDU + Block ACK (802.11n), retry
-// and BAR recovery, MORE DATA and SYNC bits, NAV, and in-order delivery.
+// and BAR recovery, RTS/CTS virtual carrier sense (threshold boundary, CTS
+// timeout -> backoff re-entry, NAV from overheard RTS), MORE DATA and SYNC
+// bits, NAV, and in-order delivery.
 #include <gtest/gtest.h>
 
 #include <map>
+#include <vector>
 
 #include "src/mac80211/wifi_mac.h"
 #include "src/phy80211/wifi_phy.h"
@@ -293,10 +296,16 @@ TEST(MacTest, SyncBitSetAfterBarGiveUp) {
   ASSERT_FALSE(hooks.ppdus.empty());
   EXPECT_TRUE(hooks.ppdus.back().sync);
   EXPECT_GT(pair.mac_a->stats().batches_sent_with_sync, 0u);
+  // The SYNC batch must also re-sync the reorder window: B's window was
+  // still waiting on the dropped seq 0, and without the flush this (and
+  // every following) in-window MPDU would be LL-acked but never delivered
+  // upward. Pinned regression for the BAR give-up window-stall fix.
+  EXPECT_EQ(pair.received_at_b.size(), 1u);
   // After the client's BA arrives, SYNC clears for subsequent batches.
   pair.mac_a->Enqueue(MakeUdpPacket(1460), MacAddress::ForStation(1));
   pair.sched.RunUntil(SimTime::Millis(600));
   EXPECT_FALSE(hooks.ppdus.back().sync);
+  EXPECT_EQ(pair.received_at_b.size(), 2u);
 }
 
 TEST(MacTest, BidirectionalTrafficBothDeliver) {
@@ -371,6 +380,362 @@ TEST(MacTest, AssociatePreInternsWithoutCreatingWork) {
   pair.sched.RunUntil(SimTime::Millis(20));
   ASSERT_EQ(pair.received_at_b.size(), 1u);
   EXPECT_EQ(pair.mac_a->station_count(), 2u);
+}
+
+// Passive PHY listener that records every decodable PPDU on the air —
+// frame type and PHY rate — without ever transmitting. Used to pin
+// over-the-air protocol properties (control-response rates, RTS/CTS
+// sequencing) that the MACs' own counters can't see.
+class SnifferListener : public WifiPhyListener {
+ public:
+  void OnPpduReceived(const Ppdu& ppdu, const std::vector<bool>&) override {
+    frames.push_back({ppdu.first().type, ppdu.mode.rate_kbps,
+                      ppdu.first().duration_field, ppdu.Duration()});
+  }
+  void OnRxCorrupted() override { ++corrupted; }
+  void OnTxEnd(const Ppdu&) override {}
+  void OnCcaBusy() override {}
+  void OnCcaIdle() override {}
+
+  struct Seen {
+    WifiFrameType type;
+    uint32_t rate_kbps;
+    SimTime duration_field;
+    SimTime air_time;
+  };
+  std::vector<Seen> frames;
+  int corrupted = 0;
+};
+
+// Two MACs plus a passive sniffer PHY on the same channel.
+struct SniffedPair {
+  explicit SniffedPair(WifiMacConfig cfg) : pair(WifiStandard::k80211n, 150) {
+    // MacPair fixed the config; rebuild the MACs with the requested one.
+    pair.mac_a = std::make_unique<WifiMac>(&pair.sched, pair.phy_a.get(),
+                                           MacAddress::ForStation(0), cfg,
+                                           Random(11));
+    pair.mac_b = std::make_unique<WifiMac>(&pair.sched, pair.phy_b.get(),
+                                           MacAddress::ForStation(1), cfg,
+                                           Random(12));
+    pair.mac_b->on_rx_packet = [this](Packet p, MacAddress) {
+      pair.received_at_b.push_back(std::move(p));
+    };
+    sniffer_phy = std::make_unique<WifiPhy>(&pair.sched, Random(3));
+    sniffer_phy->AttachTo(&pair.channel);
+    sniffer_phy->set_position({0, 5});
+    sniffer_phy->set_listener(&sniffer);
+  }
+
+  MacPair pair;
+  std::unique_ptr<WifiPhy> sniffer_phy;
+  SnifferListener sniffer;
+};
+
+TEST(MacRtsTest, ProtectedExchangeSequencesRtsCtsDataAck) {
+  WifiMacConfig cfg;
+  cfg.standard = WifiStandard::k80211n;
+  cfg.data_mode = ModeForRate(Modes80211n(), 150);
+  cfg.rts_threshold = 500;
+  SniffedPair s(cfg);
+
+  s.pair.mac_a->Enqueue(MakeUdpPacket(1460), MacAddress::ForStation(1));
+  s.pair.sched.RunUntil(SimTime::Millis(10));
+
+  ASSERT_EQ(s.pair.received_at_b.size(), 1u);
+  EXPECT_EQ(s.pair.mac_a->stats().rts_sent, 1u);
+  EXPECT_EQ(s.pair.mac_b->stats().cts_sent, 1u);
+  EXPECT_EQ(s.pair.mac_a->stats().cts_timeouts, 0u);
+  // Over the air: RTS, CTS, DATA, BA — in that order.
+  std::vector<WifiFrameType> types;
+  for (const auto& f : s.sniffer.frames) {
+    types.push_back(f.type);
+  }
+  ASSERT_EQ(types.size(), 4u);
+  EXPECT_EQ(types[0], WifiFrameType::kRts);
+  EXPECT_EQ(types[1], WifiFrameType::kCts);
+  EXPECT_EQ(types[2], WifiFrameType::kData);
+  EXPECT_EQ(types[3], WifiFrameType::kBlockAck);
+}
+
+TEST(MacRtsTest, ThresholdBoundaryProtectsOnlyLargerPsdus) {
+  // 802.11a single MPDU: PSDU = 26 (QoS hdr) + 8 (LLC) + packet + 4 (FCS).
+  // A 1000-byte UDP payload gives a 1028 B datagram -> 1066 B PSDU.
+  WifiMacConfig cfg;
+  cfg.standard = WifiStandard::k80211a;
+  cfg.data_mode = ModeForRate(Modes80211a(), 54);
+  constexpr size_t kPsdu = 26 + 8 + (20 + 8 + 1000) + 4;
+  {
+    cfg.rts_threshold = kPsdu;  // "exceeds": equal size stays unprotected
+    SniffedPair s(cfg);
+    s.pair.mac_a->Enqueue(MakeUdpPacket(1000), MacAddress::ForStation(1));
+    s.pair.sched.RunUntil(SimTime::Millis(10));
+    ASSERT_EQ(s.pair.received_at_b.size(), 1u);
+    EXPECT_EQ(s.pair.mac_a->stats().rts_sent, 0u);
+  }
+  {
+    cfg.rts_threshold = kPsdu - 1;
+    SniffedPair s(cfg);
+    s.pair.mac_a->Enqueue(MakeUdpPacket(1000), MacAddress::ForStation(1));
+    s.pair.sched.RunUntil(SimTime::Millis(10));
+    ASSERT_EQ(s.pair.received_at_b.size(), 1u);
+    EXPECT_EQ(s.pair.mac_a->stats().rts_sent, 1u);
+  }
+}
+
+TEST(MacRtsTest, CtsTimeoutReentersBackoffThenBypassesAfterLimit) {
+  WifiMacConfig cfg;
+  cfg.standard = WifiStandard::k80211n;
+  cfg.data_mode = ModeForRate(Modes80211n(), 150);
+  cfg.rts_threshold = 500;
+  cfg.rts_retry_limit = 3;
+  MacPair pair(WifiStandard::k80211n, 150);
+  pair.mac_a = std::make_unique<WifiMac>(&pair.sched, pair.phy_a.get(),
+                                         MacAddress::ForStation(0), cfg,
+                                         Random(11));
+  pair.mac_b = std::make_unique<WifiMac>(&pair.sched, pair.phy_b.get(),
+                                         MacAddress::ForStation(1), cfg,
+                                         Random(12));
+  pair.mac_b->on_rx_packet = [&pair](Packet p, MacAddress) {
+    pair.received_at_b.push_back(std::move(p));
+  };
+  // B hears nothing at all: every RTS times out. After rts_retry_limit
+  // consecutive CTS timeouts the MAC sends one exchange unprotected.
+  pair.phy_b->set_loss_model(std::make_unique<BernoulliLossModel>(1.0, 1.0));
+  pair.mac_a->Enqueue(MakeUdpPacket(1460), MacAddress::ForStation(1));
+  pair.sched.RunUntil(SimTime::Millis(100));
+
+  const MacStats& s = pair.mac_a->stats();
+  EXPECT_GE(s.cts_timeouts, 4u);
+  EXPECT_GE(s.rts_bypasses, 1u);
+  // Every CTS timeout re-entered backoff and re-contended: the RTS count
+  // tracks the timeouts (plus bypass exchanges that also failed).
+  EXPECT_GE(s.rts_sent, s.cts_timeouts);
+  // The data itself never got through (the bypass exchange timed out on
+  // its Block ACK instead, eventually dropping the MPDU via BAR give-up).
+  EXPECT_TRUE(pair.received_at_b.empty());
+  EXPECT_GT(s.response_timeouts, 0u);
+
+  // Heal the channel: a fresh packet must deliver through a fully
+  // protected exchange again (the bypass was one-shot).
+  pair.phy_b->set_loss_model(std::make_unique<NoLossModel>());
+  pair.mac_a->Enqueue(MakeUdpPacket(777), MacAddress::ForStation(1));
+  pair.sched.RunUntil(SimTime::Millis(500));
+  ASSERT_GE(pair.received_at_b.size(), 1u);
+  EXPECT_EQ(pair.received_at_b.back().payload_bytes(), 777u);
+  EXPECT_GT(pair.mac_b->stats().cts_sent, 0u);
+}
+
+// Pins the reservation arithmetic the NAV runs on: the RTS Duration must
+// cover SIFS + CTS + SIFS + DATA + SIFS + BA exactly, the CTS must
+// re-advertise the RTS reservation minus its own SIFS + airtime, and the
+// data frame keeps its ordinary SIFS + response reservation.
+TEST(MacRtsTest, RtsAndCtsDurationFieldsCoverTheExchange) {
+  WifiMacConfig cfg;
+  cfg.standard = WifiStandard::k80211n;
+  cfg.data_mode = ModeForRate(Modes80211n(), 150);
+  cfg.rts_threshold = 500;
+  SniffedPair s(cfg);
+  s.pair.mac_a->Enqueue(MakeUdpPacket(1460), MacAddress::ForStation(1));
+  s.pair.sched.RunUntil(SimTime::Millis(10));
+
+  ASSERT_EQ(s.sniffer.frames.size(), 4u);
+  const auto& rts = s.sniffer.frames[0];
+  const auto& cts = s.sniffer.frames[1];
+  const auto& data = s.sniffer.frames[2];
+  const auto& ba = s.sniffer.frames[3];
+  ASSERT_EQ(rts.type, WifiFrameType::kRts);
+  SimTime sifs = TimingsFor(WifiStandard::k80211n).sifs;
+  EXPECT_EQ(rts.duration_field,
+            sifs + cts.air_time + sifs + data.air_time + sifs + ba.air_time);
+  EXPECT_EQ(cts.duration_field, rts.duration_field - sifs - cts.air_time);
+  EXPECT_EQ(data.duration_field, sifs + ba.air_time);
+}
+
+// Virtual carrier sense at frame granularity, by injecting PPDUs straight
+// into the MAC's listener interface: an overheard RTS sets the NAV; an RTS
+// addressed to us inside that reservation is suppressed (no CTS); once the
+// NAV-reset probe window passes in silence (the reserved exchange never
+// started), the reservation is reclaimed and the next RTS is answered.
+TEST(MacRtsTest, OverheardRtsSetsNavSuppressesCtsThenProbeReclaims) {
+  WifiMacConfig cfg;
+  cfg.standard = WifiStandard::k80211n;
+  cfg.data_mode = ModeForRate(Modes80211n(), 150);
+  cfg.rts_threshold = 500;
+  Scheduler sched;
+  WirelessChannel channel(&sched);
+  WifiPhy phy(&sched, Random(1));
+  phy.AttachTo(&channel);
+  WifiMac mac(&sched, &phy, MacAddress::ForStation(2), cfg, Random(13));
+
+  WifiMode rts_mode = ControlResponseMode(cfg.data_mode);
+  auto make_rts = [&](uint32_t from, uint32_t to, SimTime duration) {
+    Ppdu ppdu;
+    ppdu.aggregated = false;
+    ppdu.mode = rts_mode;
+    WifiFrame rts;
+    rts.type = WifiFrameType::kRts;
+    rts.ta = MacAddress::ForStation(from);
+    rts.ra = MacAddress::ForStation(to);
+    rts.duration_field = duration;
+    ppdu.mpdus.push_back(std::move(rts));
+    return ppdu;
+  };
+  std::vector<bool> ok = {true};
+
+  // t=0: overhear an RTS 0->1 reserving 500 us.
+  mac.OnPpduReceived(make_rts(0, 1, SimTime::Micros(500)), ok);
+  // t=20us: an RTS addressed to us, inside the reservation: suppressed.
+  sched.RunUntil(SimTime::Micros(20));
+  mac.OnPpduReceived(make_rts(3, 2, SimTime::Micros(200)), ok);
+  EXPECT_EQ(mac.stats().rts_ignored_busy, 1u);
+  sched.RunUntil(SimTime::Micros(150));
+  EXPECT_EQ(mac.stats().cts_sent, 0u);
+  // The probe window (2*SIFS + CTS + 2*slot ~ 78 us) passed with no PHY
+  // activity: the dead reservation must have been reclaimed...
+  EXPECT_EQ(mac.stats().nav_resets, 1u);
+  // ...so an RTS to us at t=150us (still inside the original 500 us
+  // horizon) now gets its CTS.
+  mac.OnPpduReceived(make_rts(3, 2, SimTime::Micros(200)), ok);
+  sched.RunUntil(SimTime::Micros(400));
+  EXPECT_EQ(mac.stats().rts_ignored_busy, 1u);
+  EXPECT_EQ(mac.stats().cts_sent, 1u);
+}
+
+TEST(MacRtsTest, DeadRtsReservationIsReclaimedAcrossStations) {
+  // A's RTS to (deaf) B reserves ~1 ms that no exchange will use. C
+  // overhears and NAVs it; D (control-deaf, so never NAV-bound) keeps
+  // offering protected traffic to C. The NAV-reset probe must reclaim the
+  // dead reservation at C so D's handshake completes promptly instead of
+  // C sitting silent until A's horizon.
+  WifiMacConfig cfg;
+  cfg.standard = WifiStandard::k80211n;
+  cfg.data_mode = ModeForRate(Modes80211n(), 150);
+  cfg.rts_threshold = 500;
+
+  Scheduler sched;
+  WirelessChannel channel(&sched);
+  WifiPhy phy_a(&sched, Random(1));
+  WifiPhy phy_b(&sched, Random(2));
+  WifiPhy phy_c(&sched, Random(3));
+  WifiPhy phy_d(&sched, Random(4));
+  for (WifiPhy* phy : {&phy_a, &phy_b, &phy_c, &phy_d}) {
+    phy->AttachTo(&channel);
+  }
+  phy_a.set_position({0, 0});
+  phy_b.set_position({5, 0});
+  phy_c.set_position({0, 5});
+  phy_d.set_position({5, 5});
+  // B hears nothing: A's RTS elicits no CTS — the reservation is dead air.
+  phy_b.set_loss_model(std::make_unique<BernoulliLossModel>(1.0, 1.0));
+  // D loses control frames only (no NAV at D; its CTSes from C still count
+  // at C).
+  phy_d.set_loss_model(std::make_unique<BernoulliLossModel>(0.0, 1.0));
+  WifiMac mac_a(&sched, &phy_a, MacAddress::ForStation(0), cfg, Random(11));
+  WifiMac mac_b(&sched, &phy_b, MacAddress::ForStation(1), cfg, Random(12));
+  WifiMac mac_c(&sched, &phy_c, MacAddress::ForStation(2), cfg, Random(13));
+  WifiMac mac_d(&sched, &phy_d, MacAddress::ForStation(3), cfg, Random(14));
+
+  // A: a ~10-MPDU protected batch toward B (reservation ~1 ms per RTS).
+  for (int i = 0; i < 10; ++i) {
+    mac_a.Enqueue(MakeUdpPacket(1460), MacAddress::ForStation(1));
+  }
+  // D: steady protected offers toward C.
+  for (int i = 0; i < 20; ++i) {
+    sched.ScheduleIn(SimTime::Micros(60) + SimTime::Millis(2) * i, [&]() {
+      mac_d.Enqueue(MakeUdpPacket(1460), MacAddress::ForStation(2));
+    });
+  }
+  sched.RunUntil(SimTime::Millis(50));
+
+  EXPECT_GT(mac_a.stats().rts_sent, 0u);
+  EXPECT_GT(mac_d.stats().rts_sent, 0u);
+  EXPECT_GT(mac_c.stats().nav_resets, 0u)
+      << "dead RTS reservations must be reclaimed";
+  EXPECT_GT(mac_c.stats().cts_sent, 0u);
+}
+
+// The SYNC flush target must survive a corrupted lead subframe: it rides
+// sync_start_seq on every MPDU, so losing the batch's first MPDU must not
+// overshoot the window (which would falsely ack — and silently drop — the
+// lost MPDU). Injected directly so the corruption pattern is exact.
+TEST(MacRtsTest, SyncFlushWithCorruptedLeadDoesNotOvershoot) {
+  WifiMacConfig cfg;
+  cfg.standard = WifiStandard::k80211n;
+  cfg.data_mode = ModeForRate(Modes80211n(), 150);
+  Scheduler sched;
+  WirelessChannel channel(&sched);
+  WifiPhy phy(&sched, Random(1));
+  phy.AttachTo(&channel);
+  WifiMac mac(&sched, &phy, MacAddress::ForStation(1), cfg, Random(12));
+  std::vector<uint32_t> delivered;
+  mac.on_rx_packet = [&](Packet p, MacAddress) {
+    delivered.push_back(p.payload_bytes());
+  };
+
+  // The receiver's window sits at 0 (stale: seqs 0..9 were dropped by the
+  // originator's give-up). A SYNC batch {seq 10, seq 11} arrives with the
+  // lead MPDU corrupted.
+  auto make_sync_batch = [&](std::vector<uint16_t> seqs) {
+    Ppdu ppdu;
+    ppdu.aggregated = true;
+    ppdu.mode = cfg.data_mode;
+    for (uint16_t seq : seqs) {
+      WifiFrame f;
+      f.type = WifiFrameType::kData;
+      f.ta = MacAddress::ForStation(0);
+      f.ra = MacAddress::ForStation(1);
+      f.seq = seq;
+      f.sync = true;
+      f.sync_start_seq = 10;
+      f.packet = MakeUdpPacket(1000 + seq);
+      ppdu.mpdus.push_back(std::move(f));
+    }
+    return ppdu;
+  };
+  std::vector<bool> lead_lost = {false, true};
+  mac.OnPpduReceived(make_sync_batch({10, 11}), lead_lost);
+  // Window flushed to 10 (the advertised start), not 11: seq 11 is
+  // buffered, waiting for the retransmission of 10.
+  EXPECT_TRUE(delivered.empty());
+  // Retransmission arrives intact: both deliver, in order, exactly once.
+  std::vector<bool> both_ok = {true, true};
+  mac.OnPpduReceived(make_sync_batch({10, 11}), both_ok);
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0], 1010u);
+  EXPECT_EQ(delivered[1], 1011u);
+}
+
+// Pinned regression for the BAR control-response fix: a Block ACK elicited
+// by a BAR must come back at the control-response rate of the BAR as
+// received (12 Mbps for 15 Mbps data), not at a hardcoded 24 Mbps.
+TEST(MacRtsTest, BarElicitsBlockAckAtBarsOwnControlRate) {
+  WifiMacConfig cfg;
+  cfg.standard = WifiStandard::k80211n;
+  cfg.data_mode = ModeForRate(Modes80211n(), 15);
+  SniffedPair s(cfg);
+  // A cannot hear control responses: the first Block ACK is lost, A
+  // recovers via BAR. (Data toward B flows clean.)
+  s.pair.phy_a->set_loss_model(
+      std::make_unique<BernoulliLossModel>(0.0, 1.0));
+  s.pair.mac_a->Enqueue(MakeUdpPacket(1460), MacAddress::ForStation(1));
+  s.pair.sched.RunUntil(SimTime::Millis(50));
+
+  ASSERT_GT(s.pair.mac_a->stats().bars_sent, 0u);
+  int bars = 0;
+  int block_acks = 0;
+  for (const auto& f : s.sniffer.frames) {
+    if (f.type == WifiFrameType::kBlockAckReq) {
+      ++bars;
+      EXPECT_EQ(f.rate_kbps, 12000u) << "BAR at the 15 Mbps control rate";
+    }
+    if (f.type == WifiFrameType::kBlockAck) {
+      ++block_acks;
+      EXPECT_EQ(f.rate_kbps, 12000u)
+          << "BA must answer at the BAR's control-response rate, not 24M";
+    }
+  }
+  EXPECT_GT(bars, 0);
+  EXPECT_GT(block_acks, 1) << "both the batch BA and the BAR-elicited BA";
 }
 
 TEST(MacTest, ContendersEventuallyCollideAndRecover) {

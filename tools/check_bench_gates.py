@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """CI perf gates over the bench artifacts.
 
-Two gates, both keyed to the committed Release references in the repo root:
+Three gates, all keyed to the committed Release references in the repo root:
 
 1. Scheduler microbench: the freshly measured BM_SchedulerCancelHeavy must
    not regress more than --max-regress (default 25%) against the committed
@@ -12,6 +12,14 @@ Two gates, both keyed to the committed Release references in the repo root:
    lazy NAV/DCF re-arm work). The committed artifact is always checked; a
    freshly generated scale JSON is checked too when it contains 1000-station
    rows (CI's quick mode stops at 100 stations).
+3. Dense-cell goodput floor: the 1000-station "udp-rts" row (saturated
+   uplink contenders protected by RTS/CTS + rate adaptation) must beat
+   BOTH 1000-station collapse baselines by at least --goodput-ratio
+   (default 2x): "udp" (~24 Mbps, the historical downlink collapse the
+   ROADMAP tracked) and "udp-up" (the same saturated uplink cell without
+   the handshake — the direct A/B whose collisions RTS/CTS removes).
+   Goodput is simulator-deterministic, so unlike the CancelHeavy gate this
+   one is machine-independent. Same committed/fresh policy as gate 2.
 
 Usage:
   check_bench_gates.py --committed-micro BENCH_micro.json \
@@ -56,6 +64,7 @@ def main():
     ap.add_argument("--fresh-scale")
     ap.add_argument("--max-regress", type=float, default=0.25)
     ap.add_argument("--ev-ppdu-ceiling", type=float, default=250.0)
+    ap.add_argument("--goodput-ratio", type=float, default=2.0)
     args = ap.parse_args()
 
     failed = False
@@ -87,6 +96,30 @@ def main():
             verdict = "OK" if ok else "FAIL"
             print(f"[{verdict}] {label} 1000-station {r['proto']}/{r['hack']}: "
                   f"{ev:.1f} ev/PPDU (ceiling {args.ev_ppdu_ceiling:.0f})")
+            failed |= not ok
+
+        # Dense-cell goodput floor: udp-rts must beat both collapse
+        # baselines (downlink "udp" and unprotected-uplink "udp-up") by
+        # the configured ratio.
+        by_proto = {r["proto"]: r for r in rows}
+        recovered = by_proto.get("udp-rts")
+        baselines = [p for p in ("udp", "udp-up") if p in by_proto]
+        if recovered is None or len(baselines) < 2:
+            print(f"[FAIL] {path}: 1000-station rows missing udp/udp-up "
+                  "(collapse baselines) and/or udp-rts (RTS/CTS recovery) "
+                  "— the dense-cell goodput gate has nothing to check")
+            failed = True
+            continue
+        got = float(recovered["goodput_mbps"])
+        for proto in baselines:
+            base = float(by_proto[proto]["goodput_mbps"])
+            floor = base * args.goodput_ratio
+            ok = got >= floor
+            verdict = "OK" if ok else "FAIL"
+            print(f"[{verdict}] {label} 1000-station udp-rts goodput: "
+                  f"{got:.1f} Mbps vs {proto} collapse baseline "
+                  f"{base:.1f} Mbps (floor {floor:.1f} = "
+                  f"{args.goodput_ratio:.1f}x)")
             failed |= not ok
 
     if failed:

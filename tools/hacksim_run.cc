@@ -3,8 +3,7 @@
 // Runs one download/upload scenario with every knob exposed as a flag and
 // prints a machine-readable summary (key=value lines) plus a human table.
 //
-//   hacksim_run --standard=n --rate=150 --clients=4 --hack=more-data \
-//               --seconds=5 --seed=7
+//   hacksim_run --standard=n --rate=150 --clients=4 --hack=more-data --seconds=5 --seed=7
 //   hacksim_run --standard=a --rate=54 --hack=off --sora --loss=0.02
 //
 // Exit code 0 on success; 2 on flag errors.
@@ -34,6 +33,8 @@ struct Flags {
   double snr_distance = 0.0;  // >0 enables the SNR model at this distance
   size_t queue = 126;
   int txop_ms = 4;
+  size_t rts_threshold = 0;  // >0 enables RTS/CTS above this PSDU size
+  bool rate_adapt = false;
   bool verbose = false;
 };
 
@@ -63,6 +64,8 @@ void Usage() {
                "  --snr-distance=<m>    use the SNR model at this distance\n"
                "  --queue=<pkts>        AP queue per client (default 126)\n"
                "  --txop-ms=<ms>        TXOP limit (default 4)\n"
+               "  --rts-threshold=<B>   RTS/CTS above this PSDU size (0=off)\n"
+               "  --rate-adapt          per-station ARF rate adaptation\n"
                "  --verbose             print per-client counters\n");
 }
 
@@ -93,6 +96,10 @@ bool Parse(int argc, char** argv, Flags* flags) {
       flags->queue = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "txop-ms", &value)) {
       flags->txop_ms = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "rts-threshold", &value)) {
+      flags->rts_threshold = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--rate-adapt") == 0) {
+      flags->rate_adapt = true;
     } else if (std::strcmp(argv[i], "--upload") == 0) {
       flags->upload = true;
     } else if (std::strcmp(argv[i], "--sora") == 0) {
@@ -153,6 +160,8 @@ int main(int argc, char** argv) {
   config.upload = flags.upload;
   config.ap_queue_per_client = flags.queue;
   config.txop_limit = SimTime::Millis(flags.txop_ms);
+  config.rts_threshold = flags.rts_threshold;
+  config.rate_adaptation = flags.rate_adapt;
   if (config.standard == WifiStandard::k80211a) {
     config.tcp.mss = 1448;
   }
@@ -182,7 +191,12 @@ int main(int argc, char** argv) {
   std::printf("ap_first_try_fraction=%.4f\n", r.ap_mac.FirstTryFraction());
   std::printf("airtime_data_ms=%.2f\n", r.airtime.data_ns / 1e6);
   std::printf("airtime_ack_ms=%.2f\n", r.airtime.ack_ns / 1e6);
+  std::printf("airtime_rts_cts_ms=%.2f\n", r.airtime.rts_cts_ns / 1e6);
   std::printf("airtime_collision_ms=%.2f\n", r.airtime.collision_ns / 1e6);
+  std::printf("ap_rts_sent=%llu\n", u(r.ap_mac.rts_sent));
+  std::printf("ap_cts_timeouts=%llu\n", u(r.ap_mac.cts_timeouts));
+  std::printf("ap_rate_moves=%llu/%llu\n", u(r.ap_mac.rate_up_moves),
+              u(r.ap_mac.rate_down_moves));
   for (size_t i = 0; i < r.clients.size(); ++i) {
     std::printf("client%zu_goodput_mbps=%.2f\n", i + 1,
                 r.clients[i].goodput_mbps);

@@ -21,6 +21,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 out_dir="${2:-$repo_root}"
+mkdir -p "$out_dir"
 
 if [[ ! -x "$build_dir/bench_micro" ]]; then
   echo "error: $build_dir/bench_micro not found." >&2
