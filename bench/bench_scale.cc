@@ -17,6 +17,8 @@
 //              timers), so regressions can be attributed per subsystem
 //   collis     transmissions that began during another (collision count)
 //   cts_to     CTS timeouts summed over every MAC (RTS rows only)
+//   ovl        receptions killed by overlapping energy, summed over every
+//              PHY (geometric-channel rows; hidden collisions land here)
 //   wall       host milliseconds
 //   ev/s       events per wall-clock second (engine throughput)
 //
@@ -47,6 +49,14 @@ struct Workload {
   // regime where per-station backlogs keep A-MPDUs full and the collision
   // cost, not aggregation starvation, decides goodput.
   double udp_rate_bps = 0.0;
+  // Station placement; anything but kRing also engages the geometric
+  // channel (log-distance propagation, range-limited decode, SINR capture).
+  Topology topology = Topology::kRing;
+  // The unprotected hidden-terminal row may legitimately deliver nothing
+  // at scale (every frame eats a blind collision at the AP — the measured
+  // result, not a simulator bug); the recovery row must still deliver, so
+  // the zero-byte guard stays armed everywhere else.
+  bool allow_zero_bytes = false;
 };
 
 struct ScaleRow {
@@ -66,6 +76,10 @@ struct ScaleRow {
   uint64_t collisions = 0;
   uint64_t rts_sent = 0;
   uint64_t cts_timeouts = 0;
+  // Geometric-channel behaviour (zero on the legacy fixed-loss rows).
+  uint64_t captures = 0;        // decoded despite overlap (summed, all PHYs)
+  uint64_t overlap_losses = 0;  // receptions killed by overlap
+  uint64_t out_of_range = 0;    // (sender, receiver) pairs pruned below ED
 };
 
 ScaleRow RunOne(int stations, const Workload& w) {
@@ -80,6 +94,10 @@ ScaleRow RunOne(int stations, const Workload& w) {
   c.rate_adaptation = w.rate_adapt;
   if (w.udp_rate_bps > 0.0) {
     c.udp_rate_bps = w.udp_rate_bps;
+  }
+  c.topology = w.topology;
+  if (w.topology != Topology::kRing) {
+    c.propagation = LogDistancePropagation::Params{};
   }
   // Scale sim time down with station count so the full sweep stays
   // tractable; the quantities of interest (events/ppdu, ev/s) are rates.
@@ -99,11 +117,16 @@ ScaleRow RunOne(int stations, const Workload& w) {
   row.proto = w.label;
   row.hack = w.hack == HackVariant::kOff ? "off" : "moredata";
   row.collisions = r.airtime.collisions;
+  row.out_of_range = r.airtime.out_of_range;
   row.rts_sent = r.ap_mac.rts_sent;
   row.cts_timeouts = r.ap_mac.cts_timeouts;
+  row.captures = r.ap_phy.captures;
+  row.overlap_losses = r.ap_phy.overlap_losses;
   for (const ClientResult& cr : r.clients) {
     row.rts_sent += cr.mac.rts_sent;
     row.cts_timeouts += cr.mac.cts_timeouts;
+    row.captures += cr.phy.captures;
+    row.overlap_losses += cr.phy.overlap_losses;
   }
   row.goodput_mbps = r.aggregate_goodput_mbps;
   row.bytes = 0;
@@ -134,7 +157,7 @@ ScaleRow RunOne(int stations, const Workload& w) {
                  static_cast<unsigned long long>(r.crc_failures));
     std::exit(1);
   }
-  if (row.bytes == 0) {
+  if (row.bytes == 0 && !w.allow_zero_bytes) {
     std::fprintf(stderr,
                  "FAIL: %d-station %s/%s run delivered zero bytes\n",
                  stations, row.proto, row.hack);
@@ -161,6 +184,8 @@ void WriteJson(const std::string& path, const std::vector<ScaleRow>& rows) {
         "\"per_ppdu_dcf\": %.2f, \"per_ppdu_nav\": %.2f, "
         "\"per_ppdu_mac\": %.2f, \"per_ppdu_transport\": %.2f, "
         "\"collisions\": %llu, \"rts\": %llu, \"cts_timeouts\": %llu, "
+        "\"captures\": %llu, \"overlap_losses\": %llu, "
+        "\"out_of_range\": %llu, "
         "\"wall_ms\": %.1f, \"sim_seconds\": %.3f}%s\n",
         r.stations, r.proto, r.hack, r.goodput_mbps,
         static_cast<unsigned long long>(r.bytes),
@@ -171,6 +196,9 @@ void WriteJson(const std::string& path, const std::vector<ScaleRow>& rows) {
         static_cast<unsigned long long>(r.collisions),
         static_cast<unsigned long long>(r.rts_sent),
         static_cast<unsigned long long>(r.cts_timeouts),
+        static_cast<unsigned long long>(r.captures),
+        static_cast<unsigned long long>(r.overlap_losses),
+        static_cast<unsigned long long>(r.out_of_range),
         r.wall_ms, r.sim_seconds, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -193,11 +221,17 @@ int main(int argc, char** argv) {
                                         ? std::vector<int>{10, 100}
                                         : std::vector<int>{10, 100, 1000};
   // The first three rows are the historical sweep and must stay
-  // bit-identical across perf PRs. The last three open the dense-cell
+  // bit-identical across perf PRs. The next three open the dense-cell
   // realism workloads: "udp-up" is saturated uplink contention without any
   // protection (the collision collapse), "udp-rts" the same cell with
   // RTS/CTS + per-station rate adaptation (the gated recovery), and
   // "tcp+hack-rts" the full TCP+HACK download with protected data batches.
+  // The last two run the two-cluster hidden-terminal topology on the
+  // geometric channel (clusters cannot carrier-sense each other, so plain
+  // DCF collides at the AP blind): "udp-hidden" is uplink CBR without
+  // protection, "udp-hidden-rts" the same cell where the AP's CTS reserves
+  // the medium across both clusters — the recovery check_bench_gates.py
+  // enforces at >= 2x.
   const Workload workloads[] = {
       {"udp", TransportProto::kUdp, HackVariant::kOff},
       {"tcp", TransportProto::kTcp, HackVariant::kOff},
@@ -208,14 +242,20 @@ int main(int argc, char** argv) {
        /*rts_threshold=*/500, /*rate_adapt=*/true, /*udp_rate_bps=*/2.5e9},
       {"tcp+hack-rts", TransportProto::kTcp, HackVariant::kMoreData,
        /*upload=*/false, /*rts_threshold=*/500, /*rate_adapt=*/true},
+      {"udp-hidden", TransportProto::kUdp, HackVariant::kOff, /*upload=*/true,
+       /*rts_threshold=*/0, /*rate_adapt=*/false, /*udp_rate_bps=*/2.5e9,
+       Topology::kTwoClusterHidden, /*allow_zero_bytes=*/true},
+      {"udp-hidden-rts", TransportProto::kUdp, HackVariant::kOff,
+       /*upload=*/true, /*rts_threshold=*/500, /*rate_adapt=*/false,
+       /*udp_rate_bps=*/2.5e9, Topology::kTwoClusterHidden},
   };
 
   std::printf(
-      "%-9s %-13s %-9s %9s %12s %9s %9s %7s %7s %7s %7s %7s %8s %8s %10s "
-      "%10s\n",
+      "%-9s %-13s %-9s %9s %12s %9s %9s %7s %7s %7s %7s %7s %8s %8s %8s "
+      "%10s %10s\n",
       "stations", "proto", "hack", "goodput", "events", "ppdus", "ev/ppdu",
-      "chan", "dcf", "nav", "mac", "tpt", "collis", "cts_to", "wall_ms",
-      "ev/s");
+      "chan", "dcf", "nav", "mac", "tpt", "collis", "cts_to", "ovl",
+      "wall_ms", "ev/s");
   std::vector<ScaleRow> rows;
   for (int n : station_counts) {
     for (const Workload& w : workloads) {
@@ -223,14 +263,15 @@ int main(int argc, char** argv) {
       double evps = r.wall_ms > 0 ? r.events / (r.wall_ms / 1000.0) : 0;
       std::printf(
           "%-9d %-13s %-9s %9.1f %12llu %9llu %9.1f %7.1f %7.1f %7.1f %7.1f "
-          "%7.1f %8llu %8llu %10.1f %9.2fM\n",
+          "%7.1f %8llu %8llu %8llu %10.1f %9.2fM\n",
           r.stations, r.proto, r.hack, r.goodput_mbps,
           static_cast<unsigned long long>(r.events),
           static_cast<unsigned long long>(r.ppdus), r.events_per_ppdu,
           r.per_ppdu_class[1], r.per_ppdu_class[2], r.per_ppdu_class[3],
           r.per_ppdu_class[4], r.per_ppdu_class[5],
           static_cast<unsigned long long>(r.collisions),
-          static_cast<unsigned long long>(r.cts_timeouts), r.wall_ms,
+          static_cast<unsigned long long>(r.cts_timeouts),
+          static_cast<unsigned long long>(r.overlap_losses), r.wall_ms,
           evps / 1e6);
       rows.push_back(r);
     }
@@ -245,6 +286,9 @@ int main(int argc, char** argv) {
       "delays).\nudp-up vs udp-rts is the RTS/CTS story: same saturated "
       "uplink cell,\ncollisions moved off the long data frames onto cheap "
       "RTS frames\n(check_bench_gates.py enforces the recovery ratio at "
-      "1000 stations)\n");
+      "1000 stations).\nudp-hidden vs udp-hidden-rts is the *hidden*-"
+      "terminal story: two clusters\nthat cannot carrier-sense each other "
+      "collide blind at the AP (ovl column)\nuntil the AP's CTS reserves "
+      "the medium across both (gated at >= 2x)\n");
   return 0;
 }

@@ -3,7 +3,11 @@
 // and the immediate-access rule for frames arriving on a long-idle medium.
 //
 // The engine consumes *combined* medium state (physical CCA OR NAV); the
-// owning MAC computes that combination and feeds transitions in.
+// owning MAC computes that combination and feeds transitions in. Both
+// inputs are per-receiver quantities: on a range-limited channel two
+// engines in the same cell can legitimately disagree about whether the
+// medium is busy (the hidden-terminal condition) — the engine itself is
+// agnostic, it only ever sees its own MAC's edges.
 //
 // Idle edges may be future-dated: NotifyMediumIdleFrom(t) announces at the
 // moment the physical carrier drops that the medium counts as busy until

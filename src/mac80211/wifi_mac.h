@@ -10,6 +10,17 @@
 // queues. HACK integration is confined to the three HackHooks touch points;
 // with hooks unset this is a faithful "stock" 802.11 MAC.
 //
+// Medium visibility is strictly per-receiver: CCA busy/idle edges arrive
+// from this station's own PHY, and NAV is set only from frames this station
+// actually decoded. On the legacy fixed-loss channel every station hears
+// every PPDU, so those edges are cell-global in practice; on a
+// range-limited channel (docs/channel.md) a hidden transmitter produces
+// *no* edge here at all — carrier sense simply never fires, which is
+// exactly why the RTS/CTS path matters there: the CTS from the receiver
+// plants the NAV in regions the data transmitter cannot reach. Nothing in
+// the MAC special-cases this; the same lazy idle-edge re-arm serves both
+// channels, and stays pick-for-pick identical in legacy mode (dcf_test).
+//
 // Station addressing is dense: peers are interned into a StationTable at
 // first contact (or ahead of time via Associate), and all per-peer TX/RX
 // state lives in flat vectors indexed by StationId. Destination scheduling

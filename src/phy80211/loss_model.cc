@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/phy80211/propagation.h"
 #include "src/util/logging.h"
 
 namespace hacksim {
@@ -66,10 +67,9 @@ double SnrLossModel::ModeSnrMidpointDb(const WifiMode& mode) {
 }
 
 double SnrLossModel::SnrDbAt(double distance_m) const {
-  double d = std::max(distance_m, 1.0);
-  double path_loss =
-      params_.pl0_db + 10.0 * params_.path_loss_exponent * std::log10(d);
-  return params_.tx_power_dbm - path_loss - params_.noise_floor_dbm;
+  return params_.tx_power_dbm -
+         PathLossDb(distance_m, params_.pl0_db, params_.path_loss_exponent) -
+         params_.noise_floor_dbm;
 }
 
 double SnrLossModel::FrameErrorRate(const WifiMode& mode, size_t bytes,

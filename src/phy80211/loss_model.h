@@ -10,7 +10,12 @@
 //    against (high rates lossy, low rates robust, chosen — not derived).
 //
 // Collisions are handled by the PHY itself (overlapping receptions corrupt
-// each other); loss models add channel-noise corruption on top.
+// each other — or survive by SINR capture under a range-limited
+// PropagationModel, see propagation.h); loss models add statistical
+// channel-noise corruption on top, after the overlap verdict. The capture
+// thresholds reuse this file's per-mode SNR midpoints
+// (SnrLossModel::ModeSnrMidpointDb), so the two layers share one waterfall
+// table.
 #ifndef SRC_PHY80211_LOSS_MODEL_H_
 #define SRC_PHY80211_LOSS_MODEL_H_
 

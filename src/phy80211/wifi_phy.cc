@@ -40,7 +40,7 @@ void WifiPhy::AttachTo(WirelessChannel* channel) {
 bool WifiPhy::Send(Ppdu ppdu) {
   CHECK(channel_ != nullptr);
   if (transmitting_) {
-    ++tx_dropped_busy_;
+    ++stats_.tx_dropped_busy;
     return false;
   }
   transmitting_ = true;
@@ -63,16 +63,31 @@ void WifiPhy::OnOwnTxEnd(const Ppdu& ppdu) {
 }
 
 void WifiPhy::OnArrivalStart(uint64_t arrival_id, PpduRef ppdu, SimTime end,
-                             double distance_m) {
-  Arrival arrival{std::move(ppdu), end, distance_m, /*corrupted=*/false};
+                             double distance_m, double rx_power_dbm) {
+  bool capture = channel_->propagation().limits_range();
+  Arrival arrival{std::move(ppdu), end, distance_m,
+                  /*rx_power_mw=*/capture ? DbmToMw(rx_power_dbm) : 1.0,
+                  /*interference_mw=*/0.0,
+                  /*corrupted=*/false};
   if (transmitting_) {
     arrival.corrupted = true;
   }
-  // Overlap with any in-flight arrival corrupts both (no capture).
   if (!arrivals_.empty()) {
-    arrival.corrupted = true;
-    for (auto& [id, other] : arrivals_) {
-      other.corrupted = true;
+    if (capture) {
+      // SINR capture: overlap is not an automatic death sentence. Every
+      // arrival accumulates the other's power as interference (energy is
+      // there whether or not the other frame itself survives); the verdict
+      // lands at each arrival's end.
+      for (auto& [id, other] : arrivals_) {
+        other.interference_mw += arrival.rx_power_mw;
+        arrival.interference_mw += other.rx_power_mw;
+      }
+    } else {
+      // Legacy fixed-loss rule: overlap corrupts both, no capture.
+      arrival.corrupted = true;
+      for (auto& [id, other] : arrivals_) {
+        other.corrupted = true;
+      }
     }
   }
   arrivals_.emplace_back(arrival_id, std::move(arrival));
@@ -94,6 +109,22 @@ void WifiPhy::OnArrivalEnd(uint64_t arrival_id) {
   if (arrival.corrupted) {
     listener_->OnRxCorrupted();
     return;
+  }
+  // SINR capture (range-limited propagation only): the frame survives the
+  // energy that overlapped it iff its SINR clears the mode's capture
+  // threshold. On the fixed-loss channel an overlapped arrival is already
+  // corrupted above, so this block is never reached with interference.
+  const PropagationModel& prop = channel_->propagation();
+  if (prop.limits_range() && arrival.interference_mw > 0.0) {
+    double sinr_db =
+        MwToDbm(arrival.rx_power_mw) -
+        MwToDbm(prop.noise_floor_mw() + arrival.interference_mw);
+    if (sinr_db < prop.CaptureSinrDb(arrival.ppdu->mode)) {
+      ++stats_.overlap_losses;
+      listener_->OnRxCorrupted();
+      return;
+    }
+    ++stats_.captures;
   }
   // Channel-noise loss per MPDU. For A-MPDUs each subframe has its own FCS
   // and fails independently; for single MPDUs there is just one draw.
@@ -133,7 +164,24 @@ void WifiPhy::UpdateCca() {
 void WirelessChannel::Attach(WifiPhy* phy) {
   CHECK(std::find(phys_.begin(), phys_.end(), phy) == phys_.end())
       << "PHY attached twice: every PPDU would be delivered to it twice";
+  CHECK(!propagation_->limits_range() || phy->has_position())
+      << "range-limited propagation needs an explicit position on every "
+         "PHY: an unpositioned node would silently co-locate with the "
+         "origin (set_position before Attach, or keep the fixed-loss model)";
   phys_.push_back(phy);
+}
+
+void WirelessChannel::set_propagation(std::unique_ptr<PropagationModel> model) {
+  CHECK(model != nullptr);
+  if (model->limits_range()) {
+    for (WifiPhy* phy : phys_) {
+      CHECK(phy->has_position())
+          << "range-limited propagation needs an explicit position on every "
+             "attached PHY: an unpositioned node would silently co-locate "
+             "with the origin";
+    }
+  }
+  propagation_ = std::move(model);
 }
 
 void WirelessChannel::Transmit(WifiPhy* sender, Ppdu ppdu) {
@@ -194,17 +242,27 @@ void WirelessChannel::Transmit(WifiPhy* sender, Ppdu ppdu) {
 // order. The batched path below must stay observably identical to this.
 void WirelessChannel::TransmitPerPhy(WifiPhy* sender, PpduRef ppdu,
                                      SimTime now, SimTime duration) {
+  bool ranged = propagation_->limits_range();
   for (WifiPhy* phy : phys_) {
     if (phy == sender) {
       continue;
     }
     double distance = DistanceMeters(sender->position(), phy->position());
+    double rx_dbm = ranged ? propagation_->RxPowerDbm(distance) : 0.0;
+    if (ranged && !propagation_->Detectable(rx_dbm)) {
+      // Below the energy-detection threshold: the receiver sees nothing at
+      // all — no decode, no CCA energy. This is the hidden-terminal
+      // condition, and it also means no scheduler events for the pair.
+      ++airtime_.out_of_range;
+      continue;
+    }
     SimTime prop = PropagationDelay(distance);
     uint64_t arrival_id = next_arrival_id_++;
     scheduler_->ScheduleAt(
         now + prop,
-        [phy, arrival_id, ppdu, end = now + prop + duration, distance]() {
-          phy->OnArrivalStart(arrival_id, ppdu, end, distance);
+        [phy, arrival_id, ppdu, end = now + prop + duration, distance,
+         rx_dbm]() {
+          phy->OnArrivalStart(arrival_id, ppdu, end, distance, rx_dbm);
         },
         EventClass::kChannel);
     scheduler_->ScheduleAt(
@@ -228,6 +286,7 @@ void WirelessChannel::TransmitPerPhy(WifiPhy* sender, PpduRef ppdu,
 //      events (and the sender's own) is unchanged.
 void WirelessChannel::TransmitBatched(WifiPhy* sender, PpduRef ppdu,
                                       SimTime now, SimTime duration) {
+  bool ranged = propagation_->limits_range();
   std::vector<DeliveryEdge> edges;
   edges.reserve(2 * phys_.size());
   for (size_t idx = 0; idx < phys_.size(); ++idx) {
@@ -236,14 +295,21 @@ void WirelessChannel::TransmitBatched(WifiPhy* sender, PpduRef ppdu,
       continue;
     }
     double distance = DistanceMeters(sender->position(), phy->position());
+    double rx_dbm = ranged ? propagation_->RxPowerDbm(distance) : 0.0;
+    if (ranged && !propagation_->Detectable(rx_dbm)) {
+      // Same pruning rule as TransmitPerPhy (the equivalence tests cover
+      // the ranged paths too): the receiver sees nothing.
+      ++airtime_.out_of_range;
+      continue;
+    }
     SimTime prop = PropagationDelay(distance);
     SimTime start = now + prop;
     SimTime end = start + duration;
     uint64_t arrival_id = next_arrival_id_++;
     edges.push_back(DeliveryEdge{start, idx, phy, arrival_id, end, distance,
-                                 /*is_start=*/true});
+                                 rx_dbm, /*is_start=*/true});
     edges.push_back(DeliveryEdge{end, idx, phy, arrival_id, end, distance,
-                                 /*is_start=*/false});
+                                 rx_dbm, /*is_start=*/false});
   }
   std::sort(edges.begin(), edges.end(),
             [](const DeliveryEdge& a, const DeliveryEdge& b) {
@@ -263,7 +329,8 @@ void WirelessChannel::TransmitBatched(WifiPhy* sender, PpduRef ppdu,
         [ppdu, group = std::move(group)]() {
           for (const DeliveryEdge& e : group) {
             if (e.is_start) {
-              e.phy->OnArrivalStart(e.arrival_id, ppdu, e.end, e.distance_m);
+              e.phy->OnArrivalStart(e.arrival_id, ppdu, e.end, e.distance_m,
+                                    e.rx_power_dbm);
             } else {
               e.phy->OnArrivalEnd(e.arrival_id);
             }

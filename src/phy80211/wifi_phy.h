@@ -1,12 +1,23 @@
-// Half-duplex OFDM PHY attached to a shared broadcast medium.
+// Half-duplex OFDM PHY attached to a shared medium with pluggable
+// propagation (see propagation.h).
 //
 // Reception model: a PPDU decodes iff (a) the receiver was not transmitting
-// at any point during it, and (b) no other transmission overlapped it at the
-// receiver (no capture effect), and (c) each MPDU survives the configured
-// channel-noise loss model. Overlap corrupts *both* frames — this is what
-// produces the TCP-ACK-vs-data collisions the paper measures in Table 1.
+// at any point during it, (b) it survives the overlap rule, and (c) each
+// MPDU survives the configured channel-noise loss model. The overlap rule
+// depends on the channel's PropagationModel:
+//   * fixed-loss (legacy default): any overlap corrupts *both* frames — no
+//     capture. This is what produces the TCP-ACK-vs-data collisions the
+//     paper measures in Table 1, and it is bit-identical to the historical
+//     behaviour.
+//   * range-limited (log-distance): each arrival accumulates the receive
+//     power of every transmission it overlapped; at arrival end the frame
+//     survives iff its SINR clears the mode's capture threshold. Receivers
+//     whose receive power sits below the energy-detection threshold get no
+//     arrival edges at all — they neither decode nor carrier-sense the
+//     transmission (the hidden-terminal condition).
 //
-// Carrier sense (CCA) reports energy from any arrival, decodable or not.
+// Carrier sense (CCA) reports energy from any *detectable* arrival,
+// decodable or not.
 //
 // Delivery scheduling: the channel batches all arrival edges that land on
 // the same nanosecond into one scheduler event (ChannelDeliveryMode::
@@ -26,8 +37,10 @@
 
 #include "src/phy80211/frame.h"
 #include "src/phy80211/loss_model.h"
+#include "src/phy80211/propagation.h"
 #include "src/sim/random.h"
 #include "src/sim/scheduler.h"
+#include "src/stats/phy_stats.h"
 
 namespace hacksim {
 
@@ -72,8 +85,16 @@ class WifiPhy {
   void set_loss_model(std::unique_ptr<LossModel> model) {
     loss_model_ = std::move(model);
   }
-  void set_position(Position p) { position_ = p; }
+  void set_position(Position p) {
+    position_ = p;
+    has_position_ = true;
+  }
   Position position() const { return position_; }
+  // True once a position was explicitly assigned. Range-limited propagation
+  // refuses PHYs still sitting at the implicit origin: a forgotten position
+  // would silently co-locate the node with the AP (see WirelessChannel::
+  // Attach / set_propagation).
+  bool has_position() const { return has_position_; }
 
   // Begins transmitting. If a transmission is already in progress the PPDU
   // is dropped (returns false) — can occur when a SIFS response collides
@@ -86,17 +107,23 @@ class WifiPhy {
   // --- channel-facing interface -------------------------------------------
   void AttachTo(WirelessChannel* channel);
   void OnArrivalStart(uint64_t arrival_id, PpduRef ppdu, SimTime end,
-                      double distance_m);
+                      double distance_m, double rx_power_dbm);
   void OnArrivalEnd(uint64_t arrival_id);
   void OnOwnTxEnd(const Ppdu& ppdu);
 
-  uint64_t tx_dropped_busy() const { return tx_dropped_busy_; }
+  const PhyStats& stats() const { return stats_; }
+  uint64_t tx_dropped_busy() const { return stats_.tx_dropped_busy; }
 
  private:
   struct Arrival {
     PpduRef ppdu;
     SimTime end;
     double distance_m;
+    double rx_power_mw = 0.0;
+    // Sum of receive powers of every other transmission that overlapped
+    // this arrival at any point (range-limited propagation only); the SINR
+    // verdict lands at arrival end.
+    double interference_mw = 0.0;
     bool corrupted = false;
   };
 
@@ -108,13 +135,14 @@ class WifiPhy {
   WifiPhyListener* listener_ = nullptr;
   std::unique_ptr<LossModel> loss_model_;
   Position position_;
+  bool has_position_ = false;
 
   // In-flight arrivals, insertion (= id) order. Rarely more than two deep;
   // a flat vector beats the former std::map on every touch.
   std::vector<std::pair<uint64_t, Arrival>> arrivals_;
   bool transmitting_ = false;
   bool cca_busy_reported_ = false;
-  uint64_t tx_dropped_busy_ = 0;
+  PhyStats stats_;
 };
 
 // Airtime ledger: how the medium's busy time divides across frame types.
@@ -127,6 +155,9 @@ struct ChannelAirtime {
   int64_t collision_ns = 0;   // wall-clock during >= 2 overlapping PPDUs
   uint64_t ppdus = 0;
   uint64_t collisions = 0;    // transmissions that began during another
+  uint64_t out_of_range = 0;  // (sender, receiver) pairs pruned because the
+                              // receive power sat below the propagation
+                              // model's energy-detection threshold
 
   int64_t TotalBusyNs() const {
     return data_ns + ack_ns + bar_ns + rts_cts_ns;
@@ -154,12 +185,20 @@ class WirelessChannel {
       : scheduler_(scheduler), mode_(mode) {}
 
   // Attaching the same PHY twice would double-deliver every PPDU; it is a
-  // programming error and aborts.
+  // programming error and aborts. So is attaching a PHY without an explicit
+  // position while a range-limited propagation model is installed.
   void Attach(WifiPhy* phy);
   size_t attached_count() const { return phys_.size(); }
 
   void set_delivery_mode(ChannelDeliveryMode mode) { mode_ = mode; }
   ChannelDeliveryMode delivery_mode() const { return mode_; }
+
+  // Installs a propagation model. Defaults to FixedLossPropagation — the
+  // legacy broadcast medium, selected explicitly so position-less
+  // construction stays valid. Installing a range-limited model aborts
+  // unless every already-attached PHY has an explicit position.
+  void set_propagation(std::unique_ptr<PropagationModel> model);
+  const PropagationModel& propagation() const { return *propagation_; }
 
   // Propagates `ppdu` from `sender` to every other attached PHY with
   // per-pair propagation delay (distance / c).
@@ -176,8 +215,9 @@ class WirelessChannel {
     size_t attach_idx;
     WifiPhy* phy;
     uint64_t arrival_id;
-    SimTime end;        // arrival end time (start edges only)
-    double distance_m;  // start edges only
+    SimTime end;           // arrival end time (start edges only)
+    double distance_m;     // start edges only
+    double rx_power_dbm;   // start edges only
     bool is_start;
   };
 
@@ -188,6 +228,8 @@ class WirelessChannel {
 
   Scheduler* scheduler_;
   ChannelDeliveryMode mode_;
+  std::unique_ptr<PropagationModel> propagation_ =
+      std::make_unique<FixedLossPropagation>();
   std::vector<WifiPhy*> phys_;
   uint64_t next_ppdu_id_ = 1;
   uint64_t next_arrival_id_ = 1;

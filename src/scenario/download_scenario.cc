@@ -27,6 +27,47 @@ std::span<const WifiMode> ModeTable(WifiStandard standard) {
   return standard == WifiStandard::k80211a ? Modes80211a() : Modes80211n();
 }
 
+constexpr double kPi = 3.14159265358979;
+
+// Client placement under the configured topology. kRing reproduces the
+// historical formula exactly; the other layouts exist for the geometric
+// channel. `placement_rng` is only drawn from for kUniformDisk, so legacy
+// configurations consume no extra randomness.
+Position PlaceClient(const ScenarioConfig& config, const ClientSpec& spec,
+                     int i, Random& placement_rng) {
+  switch (config.topology) {
+    case Topology::kRing: {
+      double angle = 2.0 * kPi * i / std::max(1, config.n_clients);
+      return Position{spec.distance_m * std::cos(angle),
+                      spec.distance_m * std::sin(angle)};
+    }
+    case Topology::kUniformDisk: {
+      // Uniform over the disk, clamped away from the AP's exact position.
+      double r = std::max(
+          1.0, config.cell_radius_m * std::sqrt(placement_rng.NextDouble()));
+      double theta = 2.0 * kPi * placement_rng.NextDouble();
+      return Position{r * std::cos(theta), r * std::sin(theta)};
+    }
+    case Topology::kTwoClusterHidden: {
+      // Client i joins cluster i % 2 (left / right of the AP); within the
+      // cluster, a deterministic grid of fixed extent so cluster geometry
+      // does not degrade as the cell grows.
+      int cluster = i % 2;
+      double sign = cluster == 0 ? -1.0 : 1.0;
+      int j = i / 2;
+      int per_cluster = (config.n_clients + 1 - cluster) / 2;
+      int k = static_cast<int>(
+          std::ceil(std::sqrt(static_cast<double>(per_cluster))));
+      double step = k > 1 ? config.cluster_spread_m / (k - 1) : 0.0;
+      double half = config.cluster_spread_m / 2.0;
+      double ox = k > 1 ? (j % k) * step - half : 0.0;
+      double oy = k > 1 ? (j / k) * step - half : 0.0;
+      return Position{sign * config.cluster_distance_m + ox, oy};
+    }
+  }
+  return Position{};
+}
+
 }  // namespace
 
 ScenarioResult RunScenario(const ScenarioConfig& config) {
@@ -106,17 +147,21 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   std::vector<std::unique_ptr<TcpReceiver>> server_receivers;
   std::vector<std::unique_ptr<UdpCbrSource>> udp_sources;
 
+  // Only the disk layout draws placement randomness; forking lazily keeps
+  // every legacy configuration's RNG streams untouched.
+  Random placement_rng(0);
+  if (config.topology == Topology::kUniformDisk) {
+    placement_rng = root_rng.Fork();
+  }
+
   for (int i = 0; i < config.n_clients; ++i) {
     ClientEndpoint& ep = clients[i];
     ep.node = std::make_unique<Node>(client_ip(i));
     ep.device = std::make_unique<WifiNetDevice>(
         &scheduler, &channel, client_mac_addr(i), client_mac_cfg,
         root_rng.Fork());
-    double angle = 2.0 * 3.14159265358979 * i /
-                   std::max(1, config.n_clients);
     ep.device->phy().set_position(
-        Position{specs[i].distance_m * std::cos(angle),
-                 specs[i].distance_m * std::sin(angle)});
+        PlaceClient(config, specs[i], i, placement_rng));
     if (config.snr.has_value()) {
       ep.device->phy().set_loss_model(
           std::make_unique<SnrLossModel>(*config.snr));
@@ -147,6 +192,13 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   if (config.snr.has_value()) {
     ap_device->phy().set_loss_model(
         std::make_unique<SnrLossModel>(*config.snr));
+  }
+
+  // Geometric channel: installed after every PHY is attached and positioned
+  // (set_propagation validates that no node sits at the implicit origin).
+  if (config.propagation.has_value()) {
+    channel.set_propagation(
+        std::make_unique<LogDistancePropagation>(*config.propagation));
   }
 
   // --- flows ------------------------------------------------------------------------
@@ -284,6 +336,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
         scheduler.executed_in_class(static_cast<EventClass>(i));
   }
   result.ap_mac = ap_device->mac().stats();
+  result.ap_phy = ap_device->phy().stats();
   if (ap_device->hack() != nullptr) {
     result.ap_hack = ap_device->hack()->stats();
     result.crc_failures += result.ap_hack.crc_failures_at_ap;
@@ -318,6 +371,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
       cr.completion_time = ep.completion;
     }
     cr.mac = ep.device->mac().stats();
+    cr.phy = ep.device->phy().stats();
     if (ep.device->hack() != nullptr) {
       cr.hack = ep.device->hack()->stats();
       result.crc_failures += cr.hack.crc_failures_at_ap;

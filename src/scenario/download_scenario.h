@@ -18,6 +18,7 @@
 #include "src/hack/hack_agent.h"
 #include "src/mac80211/station_table.h"
 #include "src/phy80211/loss_model.h"
+#include "src/phy80211/propagation.h"
 #include "src/phy80211/wifi_phy.h"
 #include "src/stats/experiment_stats.h"
 #include "src/tcp/tcp_receiver.h"
@@ -26,6 +27,19 @@
 namespace hacksim {
 
 enum class TransportProto { kTcp, kUdp };
+
+// Station placement. kRing is the legacy layout (clients on a circle of
+// their ClientSpec::distance_m — on the fixed-loss channel only propagation
+// *delay* ever depended on it). The other two exist for the geometric
+// channel (ScenarioConfig::propagation):
+//   kUniformDisk      — clients uniform over a disk of cell_radius_m around
+//                       the AP; random hidden pairs and capture asymmetry.
+//   kTwoClusterHidden — the classic hidden-terminal topology: two dense
+//                       clusters cluster_distance_m either side of the AP,
+//                       each in range of the AP, out of range of each other.
+//                       Client i joins cluster i % 2, on a deterministic
+//                       grid of extent cluster_spread_m.
+enum class Topology { kRing, kUniformDisk, kTwoClusterHidden };
 
 struct ClientSpec {
   double distance_m = 5.0;
@@ -75,6 +89,15 @@ struct ScenarioConfig {
   // SNR-driven loss (Figure 11); distances come from ClientSpec.
   std::optional<SnrLossModel::Params> snr;
 
+  // Geometric channel: installing log-distance propagation engages
+  // range-limited decode and SINR capture (see docs/channel.md). Unset
+  // (default) keeps the legacy fixed-loss broadcast medium bit-identical.
+  std::optional<LogDistancePropagation::Params> propagation;
+  Topology topology = Topology::kRing;
+  double cell_radius_m = 20.0;       // kUniformDisk
+  double cluster_distance_m = 20.0;  // kTwoClusterHidden: AP <-> cluster center
+  double cluster_spread_m = 4.0;     // kTwoClusterHidden: grid extent
+
   // SoRa quirks (§4.1).
   SimTime extra_ack_delay;
   SimTime extra_ack_timeout;
@@ -97,6 +120,7 @@ struct ClientResult {
   double steady_goodput_mbps = 0.0;  // post-slow-start window
   uint64_t bytes_delivered = 0;
   MacStats mac;
+  PhyStats phy;
   HackStats hack;
   TcpReceiverStats tcp_rx;
   TcpSenderStats tcp_tx;
@@ -109,6 +133,7 @@ struct ClientResult {
 struct ScenarioResult {
   std::vector<ClientResult> clients;
   MacStats ap_mac;
+  PhyStats ap_phy;
   HackStats ap_hack;
   ChannelAirtime airtime;  // medium occupancy breakdown
   double aggregate_goodput_mbps = 0.0;
@@ -128,7 +153,8 @@ struct ScenarioResult {
   // delivery modes produce identical behaviour from fewer events.)
   bool BehaviourEquals(const ScenarioResult& other) const {
     return clients == other.clients && ap_mac == other.ap_mac &&
-           ap_hack == other.ap_hack && airtime == other.airtime &&
+           ap_phy == other.ap_phy && ap_hack == other.ap_hack &&
+           airtime == other.airtime &&
            aggregate_goodput_mbps == other.aggregate_goodput_mbps &&
            steady_aggregate_goodput_mbps ==
                other.steady_aggregate_goodput_mbps &&

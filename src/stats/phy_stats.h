@@ -1,0 +1,28 @@
+// Counters a WifiPhy exposes. The capture/overlap pair quantifies the
+// hidden-terminal behaviour of a geometric cell: `overlap_losses` are
+// receptions destroyed by concurrent energy at this receiver (with a
+// range-limited channel these are predominantly *hidden* collisions — the
+// transmitters could not hear each other), and `captures` are receptions
+// that decoded through that energy because their SINR cleared the mode's
+// capture threshold. Both stay zero on the legacy fixed-loss channel, whose
+// all-die overlap rule never consults SINR.
+#ifndef SRC_STATS_PHY_STATS_H_
+#define SRC_STATS_PHY_STATS_H_
+
+#include <cstdint>
+
+namespace hacksim {
+
+struct PhyStats {
+  uint64_t tx_dropped_busy = 0;  // Send() while already transmitting
+  uint64_t captures = 0;         // decoded despite overlapping energy
+  uint64_t overlap_losses = 0;   // receptions killed by overlapping energy
+                                 // (SINR below the capture threshold)
+
+  // Exact comparison backs the batched-delivery equivalence tests.
+  friend bool operator==(const PhyStats&, const PhyStats&) = default;
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_STATS_PHY_STATS_H_

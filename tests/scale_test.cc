@@ -3,11 +3,19 @@
 // 1. Equivalence: the batched channel delivery (one scheduler event per
 //    distinct arrival nanosecond per PPDU) must produce bit-identical
 //    experiment statistics to the historical per-PHY-event scheduling for
-//    full scenarios at 1/3/10 clients — while executing fewer events.
+//    full scenarios at 1/3/10 clients — while executing fewer events. The
+//    hidden-terminal configurations run the same check over the geometric
+//    channel (range-limited decode + SINR capture).
 // 2. Event-count independence: at the channel layer, the number of
 //    scheduler events per PPDU must not grow with the attached-PHY count.
 // 3. A 100-station scenario smoke, so the dense-cell path is exercised by
 //    the default test suite and not just the opt-in bench.
+// 4. Legacy bit-identity pin: with the propagation layer compiled in but
+//    the fixed-loss default selected, a legacy scenario's outputs must not
+//    move at all — the same invariant the committed BENCH artifacts carry,
+//    but enforced inside the default test suite.
+// 5. Hidden-terminal behaviour: plain DCF loses most of its goodput to
+//    hidden collisions on the two-cluster topology; RTS/CTS recovers it.
 #include <gtest/gtest.h>
 
 #include "src/scenario/download_scenario.h"
@@ -88,6 +96,62 @@ TEST(BatchedDeliveryEquivalenceTest, LossyUploadThreeClients) {
     spec.bernoulli_data_loss = 0.05;
   }
   ExpectModesEquivalent(c);
+}
+
+ScenarioConfig HiddenConfig(int n_clients, size_t rts_threshold) {
+  ScenarioConfig c = BaseConfig(n_clients, TransportProto::kUdp,
+                                HackVariant::kOff);
+  c.upload = true;
+  c.topology = Topology::kTwoClusterHidden;
+  c.propagation = LogDistancePropagation::Params{};
+  c.rts_threshold = rts_threshold;
+  c.udp_rate_bps = 1.2e8;
+  c.duration = SimTime::Millis(300);
+  c.start_stagger = SimTime::Millis(5);
+  return c;
+}
+
+TEST(BatchedDeliveryEquivalenceTest, HiddenTwoClusterUdpUpload) {
+  // The geometric channel prunes out-of-range pairs in both delivery modes;
+  // they must still agree bit-for-bit, including the capture counters.
+  ExpectModesEquivalent(HiddenConfig(6, /*rts_threshold=*/0));
+}
+
+TEST(BatchedDeliveryEquivalenceTest, HiddenTwoClusterRtsProtected) {
+  ExpectModesEquivalent(HiddenConfig(6, /*rts_threshold=*/500));
+}
+
+TEST(LegacyBitIdentityPin, FixedLossScenarioOutputsPinned) {
+  // Golden values recorded when the propagation layer landed; the run is
+  // fully deterministic from (config, seed), so any drift here means the
+  // fixed-loss default stopped being the legacy channel bit-for-bit (the
+  // same regression the committed BENCH_scale.json goodputs would show).
+  ScenarioResult r =
+      RunScenario(BaseConfig(3, TransportProto::kTcp, HackVariant::kMoreData));
+  EXPECT_EQ(r.airtime.ppdus, 901u);
+  EXPECT_EQ(r.aggregate_goodput_mbps, 116.30534609523809);
+  EXPECT_EQ(r.airtime.out_of_range, 0u);
+  EXPECT_EQ(r.ap_phy.captures, 0u);
+  EXPECT_EQ(r.ap_phy.overlap_losses, 0u);
+}
+
+TEST(HiddenTerminalScenarioTest, RtsRecoversGoodputLostToHiddenCollisions) {
+  ScenarioResult plain = RunScenario(HiddenConfig(10, /*rts_threshold=*/0));
+  ScenarioResult rts = RunScenario(HiddenConfig(10, /*rts_threshold=*/500));
+
+  // The clusters cannot carrier-sense each other: pairs are pruned below
+  // the energy-detection threshold and the AP eats hidden collisions.
+  EXPECT_GT(plain.airtime.out_of_range, 0u);
+  EXPECT_GT(plain.ap_phy.overlap_losses, 0u);
+
+  // RTS/CTS turns those hidden data collisions into NAV reservations set by
+  // the AP's CTS (audible in both clusters). The CI bench gate enforces
+  // >= 2x at scale; 1.5x here keeps the unit test robust to config drift.
+  EXPECT_GT(plain.aggregate_goodput_mbps, 0.0);
+  EXPECT_GT(rts.aggregate_goodput_mbps,
+            1.5 * plain.aggregate_goodput_mbps)
+      << "rts " << rts.aggregate_goodput_mbps << " vs plain "
+      << plain.aggregate_goodput_mbps;
 }
 
 TEST(ScaleSmokeTest, HundredStationCellDeliversUdp) {

@@ -20,6 +20,18 @@ Three gates, all keyed to the committed Release references in the repo root:
    the handshake — the direct A/B whose collisions RTS/CTS removes).
    Goodput is simulator-deterministic, so unlike the CancelHeavy gate this
    one is machine-independent. Same committed/fresh policy as gate 2.
+4. Hidden-terminal recovery: on the two-cluster topology (geometric
+   channel: the clusters cannot carrier-sense each other and collide blind
+   at the AP), "udp-hidden-rts" goodput must clear BOTH
+   max(--hidden-ratio x the unprotected "udp-hidden" row,
+       --hidden-min-mbps)
+   at *every* station count where both rows exist. The absolute floor
+   matters because the unprotected row legitimately collapses to zero at
+   1000 stations (every frame dies blind at the AP) — a pure ratio would
+   then gate nothing. Machine-independent like gate 3; checked on the
+   committed artifact always (missing rows fail) and on a fresh scale JSON
+   whenever it carries the rows (quick mode's 10/100-station sweep
+   included, so pushes exercise this gate end-to-end).
 
 Usage:
   check_bench_gates.py --committed-micro BENCH_micro.json \
@@ -65,6 +77,8 @@ def main():
     ap.add_argument("--max-regress", type=float, default=0.25)
     ap.add_argument("--ev-ppdu-ceiling", type=float, default=250.0)
     ap.add_argument("--goodput-ratio", type=float, default=2.0)
+    ap.add_argument("--hidden-ratio", type=float, default=2.0)
+    ap.add_argument("--hidden-min-mbps", type=float, default=10.0)
     args = ap.parse_args()
 
     failed = False
@@ -81,7 +95,37 @@ def main():
                         ("fresh", args.fresh_scale)):
         if not path:
             continue
-        rows = [r for r in scale_rows(path) if r["stations"] == 1000]
+        all_rows = scale_rows(path)
+
+        # Hidden-terminal recovery gate: udp-hidden-rts vs udp-hidden at
+        # every station count carrying both rows (quick runs stop at 100
+        # stations but still carry the pair, so this gate runs fresh on
+        # every push, unlike the 1000-station-only gates below).
+        hidden = {}
+        for r in all_rows:
+            if r["proto"] in ("udp-hidden", "udp-hidden-rts"):
+                hidden.setdefault(r["stations"], {})[r["proto"]] = r
+        pairs = {n: d for n, d in hidden.items() if len(d) == 2}
+        if not pairs:
+            if label == "committed":
+                print(f"[FAIL] {path}: no udp-hidden / udp-hidden-rts row "
+                      "pairs — the hidden-terminal gate has nothing to check")
+                failed = True
+            else:
+                print(f"[SKIP] {path}: no hidden-terminal row pairs")
+        for n in sorted(pairs):
+            base = float(pairs[n]["udp-hidden"]["goodput_mbps"])
+            got = float(pairs[n]["udp-hidden-rts"]["goodput_mbps"])
+            floor = max(base * args.hidden_ratio, args.hidden_min_mbps)
+            ok = got >= floor
+            verdict = "OK" if ok else "FAIL"
+            print(f"[{verdict}] {label} {n}-station hidden-terminal: "
+                  f"udp-hidden-rts {got:.1f} Mbps vs udp-hidden {base:.1f} "
+                  f"Mbps (floor {floor:.1f} = max({args.hidden_ratio:.1f}x, "
+                  f"{args.hidden_min_mbps:.0f} Mbps))")
+            failed |= not ok
+
+        rows = [r for r in all_rows if r["stations"] == 1000]
         if label == "committed" and not rows:
             print(f"[FAIL] {path}: no 1000-station rows in committed "
                   "BENCH_scale.json")

@@ -35,6 +35,9 @@ struct Flags {
   int txop_ms = 4;
   size_t rts_threshold = 0;  // >0 enables RTS/CTS above this PSDU size
   bool rate_adapt = false;
+  // "ring" (legacy fixed-loss broadcast), or the geometric-channel layouts
+  // "disk" / "hidden" (log-distance propagation + SINR capture).
+  std::string topology = "ring";
   bool verbose = false;
 };
 
@@ -66,6 +69,10 @@ void Usage() {
                "  --txop-ms=<ms>        TXOP limit (default 4)\n"
                "  --rts-threshold=<B>   RTS/CTS above this PSDU size (0=off)\n"
                "  --rate-adapt          per-station ARF rate adaptation\n"
+               "  --topology=ring|disk|hidden\n"
+               "                        ring: legacy broadcast medium;\n"
+               "                        disk/hidden: geometric channel with\n"
+               "                        range-limited decode + SINR capture\n"
                "  --verbose             print per-client counters\n");
 }
 
@@ -98,6 +105,8 @@ bool Parse(int argc, char** argv, Flags* flags) {
       flags->txop_ms = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "rts-threshold", &value)) {
       flags->rts_threshold = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "topology", &value)) {
+      flags->topology = value;
     } else if (std::strcmp(argv[i], "--rate-adapt") == 0) {
       flags->rate_adapt = true;
     } else if (std::strcmp(argv[i], "--upload") == 0) {
@@ -162,6 +171,17 @@ int main(int argc, char** argv) {
   config.txop_limit = SimTime::Millis(flags.txop_ms);
   config.rts_threshold = flags.rts_threshold;
   config.rate_adaptation = flags.rate_adapt;
+  if (flags.topology == "disk") {
+    config.topology = Topology::kUniformDisk;
+    config.propagation = LogDistancePropagation::Params{};
+  } else if (flags.topology == "hidden") {
+    config.topology = Topology::kTwoClusterHidden;
+    config.propagation = LogDistancePropagation::Params{};
+  } else if (flags.topology != "ring") {
+    std::fprintf(stderr, "unknown --topology value: %s\n",
+                 flags.topology.c_str());
+    return 2;
+  }
   if (config.standard == WifiStandard::k80211a) {
     config.tcp.mss = 1448;
   }
@@ -195,6 +215,9 @@ int main(int argc, char** argv) {
   std::printf("airtime_collision_ms=%.2f\n", r.airtime.collision_ns / 1e6);
   std::printf("ap_rts_sent=%llu\n", u(r.ap_mac.rts_sent));
   std::printf("ap_cts_timeouts=%llu\n", u(r.ap_mac.cts_timeouts));
+  std::printf("ap_captures=%llu\n", u(r.ap_phy.captures));
+  std::printf("ap_overlap_losses=%llu\n", u(r.ap_phy.overlap_losses));
+  std::printf("out_of_range_pairs=%llu\n", u(r.airtime.out_of_range));
   std::printf("ap_rate_moves=%llu/%llu\n", u(r.ap_mac.rate_up_moves),
               u(r.ap_mac.rate_down_moves));
   for (size_t i = 0; i < r.clients.size(); ++i) {
