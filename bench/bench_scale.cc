@@ -57,6 +57,10 @@ struct Workload {
   // result, not a simulator bug); the recovery row must still deliver, so
   // the zero-byte guard stays armed everywhere else.
   bool allow_zero_bytes = false;
+  // Fault-plan preset ("churn" | "apout"); nullptr = fault-free. Fault rows
+  // run with the liveness watchdog armed in abort mode, so a wedged cell
+  // fails the bench loudly instead of producing a quiet bad number.
+  const char* fault = nullptr;
 };
 
 struct ScaleRow {
@@ -80,6 +84,12 @@ struct ScaleRow {
   uint64_t captures = 0;        // decoded despite overlap (summed, all PHYs)
   uint64_t overlap_losses = 0;  // receptions killed by overlap
   uint64_t out_of_range = 0;    // (sender, receiver) pairs pruned below ED
+  // Fault rows only: goodput over the window after the last recovery event
+  // (AP restart / final rejoin) — check_bench_gates.py requires it to reach
+  // >= 50% of the matching fault-free "udp" row.
+  bool has_fault = false;
+  uint64_t fault_events = 0;
+  double post_fault_goodput_mbps = 0.0;
 };
 
 ScaleRow RunOne(int stations, const Workload& w) {
@@ -99,6 +109,11 @@ ScaleRow RunOne(int stations, const Workload& w) {
   if (w.topology != Topology::kRing) {
     c.propagation = LogDistancePropagation::Params{};
   }
+  if (w.fault != nullptr) {
+    // Watchdog armed in abort mode: a churn/outage row that wedges the
+    // cell kills the bench with a repro line instead of emitting a row.
+    c.watchdog_interval = SimTime::Millis(10);
+  }
   // Scale sim time down with station count so the full sweep stays
   // tractable; the quantities of interest (events/ppdu, ev/s) are rates.
   int64_t millis = QuickMode() ? 250 : (stations >= 1000 ? 500 : 2000);
@@ -107,6 +122,11 @@ ScaleRow RunOne(int stations, const Workload& w) {
   // into the first fifth of the run instead.
   c.start_stagger = SimTime::Nanos(millis * 1'000'000 / (5 * stations));
   c.seed = 1;
+  if (w.fault != nullptr) {
+    c.fault_plan = std::strcmp(w.fault, "apout") == 0
+                       ? FaultPlan::ApOutage(c.duration)
+                       : FaultPlan::Churn(stations, c.duration);
+  }
 
   auto t0 = std::chrono::steady_clock::now();
   ScenarioResult r = RunScenario(c);
@@ -143,6 +163,9 @@ ScaleRow RunOne(int stations, const Workload& w) {
   row.wall_ms =
       std::chrono::duration<double, std::milli>(t1 - t0).count();
   row.sim_seconds = c.duration.ToSecondsF();
+  row.has_fault = w.fault != nullptr;
+  row.fault_events = c.fault_plan.events.size();
+  row.post_fault_goodput_mbps = r.post_fault_goodput_mbps;
   for (size_t i = 0; i < kEventClassCount; ++i) {
     row.per_ppdu_class[i] =
         r.airtime.ppdus > 0
@@ -185,8 +208,7 @@ void WriteJson(const std::string& path, const std::vector<ScaleRow>& rows) {
         "\"per_ppdu_mac\": %.2f, \"per_ppdu_transport\": %.2f, "
         "\"collisions\": %llu, \"rts\": %llu, \"cts_timeouts\": %llu, "
         "\"captures\": %llu, \"overlap_losses\": %llu, "
-        "\"out_of_range\": %llu, "
-        "\"wall_ms\": %.1f, \"sim_seconds\": %.3f}%s\n",
+        "\"out_of_range\": %llu, ",
         r.stations, r.proto, r.hack, r.goodput_mbps,
         static_cast<unsigned long long>(r.bytes),
         static_cast<unsigned long long>(r.events),
@@ -198,8 +220,18 @@ void WriteJson(const std::string& path, const std::vector<ScaleRow>& rows) {
         static_cast<unsigned long long>(r.cts_timeouts),
         static_cast<unsigned long long>(r.captures),
         static_cast<unsigned long long>(r.overlap_losses),
-        static_cast<unsigned long long>(r.out_of_range),
-        r.wall_ms, r.sim_seconds, i + 1 < rows.size() ? "," : "");
+        static_cast<unsigned long long>(r.out_of_range));
+    if (r.has_fault) {
+      // Emitted only on fault rows so the legacy rows' JSON text stays
+      // byte-identical across PRs.
+      std::fprintf(f,
+                   "\"fault_events\": %llu, "
+                   "\"post_fault_goodput_mbps\": %.3f, ",
+                   static_cast<unsigned long long>(r.fault_events),
+                   r.post_fault_goodput_mbps);
+    }
+    std::fprintf(f, "\"wall_ms\": %.1f, \"sim_seconds\": %.3f}%s\n",
+                 r.wall_ms, r.sim_seconds, i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -231,7 +263,11 @@ int main(int argc, char** argv) {
   // DCF collides at the AP blind): "udp-hidden" is uplink CBR without
   // protection, "udp-hidden-rts" the same cell where the AP's CTS reserves
   // the medium across both clusters — the recovery check_bench_gates.py
-  // enforces at >= 2x.
+  // enforces at >= 2x. The final two are the robustness rows: the fault-free
+  // "udp" download cell put through station churn ("udp-churn": a fifth of
+  // the stations crash mid-run, most rejoin) and a full AP outage + restart
+  // ("udp-apout"), each under the liveness watchdog in abort mode; the gate
+  // requires post-fault goodput >= 50% of the fault-free "udp" row.
   const Workload workloads[] = {
       {"udp", TransportProto::kUdp, HackVariant::kOff},
       {"tcp", TransportProto::kTcp, HackVariant::kOff},
@@ -248,6 +284,14 @@ int main(int argc, char** argv) {
       {"udp-hidden-rts", TransportProto::kUdp, HackVariant::kOff,
        /*upload=*/true, /*rts_threshold=*/500, /*rate_adapt=*/false,
        /*udp_rate_bps=*/2.5e9, Topology::kTwoClusterHidden},
+      {"udp-churn", TransportProto::kUdp, HackVariant::kOff,
+       /*upload=*/false, /*rts_threshold=*/0, /*rate_adapt=*/false,
+       /*udp_rate_bps=*/0.0, Topology::kRing, /*allow_zero_bytes=*/false,
+       /*fault=*/"churn"},
+      {"udp-apout", TransportProto::kUdp, HackVariant::kOff,
+       /*upload=*/false, /*rts_threshold=*/0, /*rate_adapt=*/false,
+       /*udp_rate_bps=*/0.0, Topology::kRing, /*allow_zero_bytes=*/false,
+       /*fault=*/"apout"},
   };
 
   std::printf(
@@ -273,6 +317,13 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(r.cts_timeouts),
           static_cast<unsigned long long>(r.overlap_losses), r.wall_ms,
           evps / 1e6);
+      if (r.has_fault) {
+        std::printf("          ^ %s plan (%llu events): post-fault goodput "
+                    "%.1f Mbps\n",
+                    w.fault,
+                    static_cast<unsigned long long>(r.fault_events),
+                    r.post_fault_goodput_mbps);
+      }
       rows.push_back(r);
     }
   }

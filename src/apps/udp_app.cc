@@ -1,5 +1,7 @@
 #include "src/apps/udp_app.h"
 
+#include <algorithm>
+
 #include "src/util/logging.h"
 
 namespace hacksim {
@@ -16,12 +18,27 @@ UdpCbrSource::UdpCbrSource(Scheduler* scheduler, Config config,
 }
 
 void UdpCbrSource::Start() {
-  scheduler_->ScheduleAt(config_.start, [this]() { EmitNext(); },
+  scheduler_->ScheduleAt(config_.start,
+                         [this, epoch = epoch_]() { EmitNext(epoch); },
                          EventClass::kTransportTimer);
 }
 
-void UdpCbrSource::EmitNext() {
-  if (scheduler_->Now() >= config_.stop) {
+void UdpCbrSource::Stop() {
+  // The pending EmitNext carries the old epoch and dies on arrival.
+  config_.stop = scheduler_->Now();
+  ++epoch_;
+}
+
+void UdpCbrSource::Resume(SimTime at, SimTime stop) {
+  ++epoch_;
+  config_.stop = stop;
+  scheduler_->ScheduleAt(std::max(at, scheduler_->Now()),
+                         [this, epoch = epoch_]() { EmitNext(epoch); },
+                         EventClass::kTransportTimer);
+}
+
+void UdpCbrSource::EmitNext(uint64_t epoch) {
+  if (epoch != epoch_ || scheduler_->Now() >= config_.stop) {
     return;
   }
   Packet p = Packet::MakeUdp(flow_.src_ip, flow_.dst_ip, flow_.src_port,
@@ -29,7 +46,8 @@ void UdpCbrSource::EmitNext() {
   p.set_created_at(scheduler_->Now());
   send_(std::move(p));
   ++packets_sent_;
-  scheduler_->ScheduleIn(interval_, [this]() { EmitNext(); },
+  scheduler_->ScheduleIn(interval_,
+                         [this, epoch]() { EmitNext(epoch); },
                          EventClass::kTransportTimer);
 }
 

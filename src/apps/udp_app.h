@@ -25,10 +25,18 @@ class UdpCbrSource {
                std::function<void(Packet)> send);
 
   void Start();
+
+  // Fault-injection control. Stop() ends the emission chain at the next
+  // tick; Resume(at, stop) re-arms a fresh chain from `at`. The epoch
+  // counter strands the old chain's self-rescheduled event, so stop/resume
+  // cycles never double the emission rate.
+  void Stop();
+  void Resume(SimTime at, SimTime stop = SimTime::Max());
+
   uint64_t packets_sent() const { return packets_sent_; }
 
  private:
-  void EmitNext();
+  void EmitNext(uint64_t epoch);
 
   Scheduler* scheduler_;
   Config config_;
@@ -36,6 +44,7 @@ class UdpCbrSource {
   std::function<void(Packet)> send_;
   SimTime interval_;
   uint64_t packets_sent_ = 0;
+  uint64_t epoch_ = 0;
 };
 
 class UdpSink {

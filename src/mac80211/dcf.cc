@@ -141,6 +141,17 @@ void DcfEngine::NotifyTxFailure() {
 
 void DcfEngine::NotifyTxSuccess() { cw_ = config_.cw_min; }
 
+void DcfEngine::Reset() {
+  CancelGrantEvent();
+  pending_ = false;
+  backoff_slots_ = -1;
+  backoff_valid_from_ = scheduler_->Now();
+  cw_ = config_.cw_min;
+  medium_busy_ = false;
+  idle_since_ = scheduler_->Now();
+  last_rx_failed_ = false;
+}
+
 void DcfEngine::DrawPostTxBackoff() {
   backoff_slots_ = DrawBackoff();
   ReevaluateDeferredIdle();

@@ -91,6 +91,12 @@ class DcfEngine {
   uint32_t cw() const { return cw_; }
   int backoff_slots() const { return backoff_slots_; }
 
+  // Radio-reset support: cancels any armed grant and returns the engine to
+  // its cold-boot state (CW at minimum, no pending request, medium idle
+  // from now). The RNG stream is deliberately NOT rewound — determinism
+  // means "same seed, same plan → same run", not "reset forgets draws".
+  void Reset();
+
  private:
   SimTime EffectiveAifs() const;
   // (Re)schedules the grant if pending and the medium is physically idle.

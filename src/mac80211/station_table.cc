@@ -8,11 +8,17 @@
 namespace hacksim {
 
 StationId StationTable::Intern(MacAddress address) {
-  auto [it, inserted] =
-      index_.try_emplace(address.value(),
-                         static_cast<StationId>(addresses_.size()));
+  StationId candidate = free_ids_.empty()
+                            ? static_cast<StationId>(addresses_.size())
+                            : free_ids_.back();
+  auto [it, inserted] = index_.try_emplace(address.value(), candidate);
   if (inserted) {
-    addresses_.push_back(address);
+    if (free_ids_.empty()) {
+      addresses_.push_back(address);
+    } else {
+      free_ids_.pop_back();
+      addresses_[candidate] = address;
+    }
   }
   return it->second;
 }
@@ -22,7 +28,19 @@ StationId StationTable::Find(MacAddress address) const {
   return it == index_.end() ? kInvalidStationId : it->second;
 }
 
+void StationTable::Disassociate(MacAddress address) {
+  auto it = index_.find(address.value());
+  CHECK(it != index_.end()) << "disassociating unknown station";
+  free_ids_.push_back(it->second);
+  index_.erase(it);
+}
+
 size_t ActiveSlotRing::AddSlot() {
+  if (!free_slots_.empty()) {
+    size_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
   size_t slot = size_++;
   if ((slot >> 6) >= words_.size()) {
     words_.push_back(0);
@@ -31,6 +49,12 @@ size_t ActiveSlotRing::AddSlot() {
     }
   }
   return slot;
+}
+
+void ActiveSlotRing::ReleaseSlot(size_t slot) {
+  CHECK_LT(slot, size_);
+  CHECK(!Test(slot)) << "releasing an active service slot";
+  free_slots_.push_back(slot);
 }
 
 void ActiveSlotRing::Set(size_t slot, bool active) {

@@ -36,18 +36,30 @@ inline constexpr StationId kInvalidStationId = 0xFFFFFFFFu;
 class StationTable {
  public:
   // Returns the station's id, interning the address on first contact.
-  // Ids are dense: 0, 1, 2, ... in interning order.
+  // Ids are dense: 0, 1, 2, ... in interning order; a Disassociate'd id is
+  // recycled (LIFO) by the next new-address Intern, so the dense-vector
+  // footprint tracks the *live* membership under churn, not its history.
   StationId Intern(MacAddress address);
 
   // Lookup without interning; kInvalidStationId if never seen.
   StationId Find(MacAddress address) const;
 
+  // Removes the address and recycles its id. The caller owns resetting any
+  // per-id flat state (TxState, seq rings, service slot) before the id is
+  // handed out again. Address must be present.
+  void Disassociate(MacAddress address);
+
   MacAddress AddressOf(StationId id) const { return addresses_[id]; }
+  // High-water id count, including recycled-but-reusable slots — the right
+  // size for per-id flat vectors.
   size_t size() const { return addresses_.size(); }
+  // Currently-associated station count (size() minus the free list).
+  size_t live_count() const { return index_.size(); }
 
  private:
   std::unordered_map<uint64_t, StationId> index_;
   std::vector<MacAddress> addresses_;
+  std::vector<StationId> free_ids_;  // LIFO recycle stack
 };
 
 // Cyclic "who gets served next" ring over dense slots with O(1) expected
@@ -58,8 +70,14 @@ class StationTable {
 // idle entries, minus the scan.
 class ActiveSlotRing {
  public:
-  // Appends an inactive slot; returns its index (dense, append-only).
+  // Returns an inactive slot: a recycled one if any was released, else a
+  // freshly appended index.
   size_t AddSlot();
+
+  // Returns a slot to the recycle pool; it must already be inactive. The
+  // ring's size() is unchanged (released slots simply never test active
+  // until re-added), so cursor arithmetic stays stable under churn.
+  void ReleaseSlot(size_t slot);
 
   void Set(size_t slot, bool active);
   bool Test(size_t slot) const {
@@ -81,6 +99,7 @@ class ActiveSlotRing {
 
   std::vector<uint64_t> words_;    // bit s of words_[s/64]: slot s active
   std::vector<uint64_t> summary_;  // bit w of summary_[w/64]: words_[w] != 0
+  std::vector<size_t> free_slots_;  // LIFO recycle stack
   size_t size_ = 0;
   size_t active_ = 0;
   size_t cursor_ = 0;

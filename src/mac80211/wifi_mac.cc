@@ -116,16 +116,107 @@ WifiMac::WifiMac(Scheduler* scheduler, WifiPhy* phy, MacAddress address,
 
 void WifiMac::Associate(MacAddress peer) {
   StationId sid = stations_.Intern(peer);
-  TxFor(sid);
-  RxFor(sid);
+  TxState& st = TxFor(sid);
+  // A recycled or re-associated id may carry a previous incarnation's
+  // queue, rings and scoreboard (e.g. a silent crash the AP never saw);
+  // scrub them so the fresh association starts cold. The service-ring slot
+  // is kept (deactivated), matching the flushed state.
+  if (st.next_seq != 0 || st.win_start != 0 || st.HasWork() ||
+      st.consecutive_give_ups != 0) {
+    if (phase_ != TxPhase::kIdle && sid == current_dest_sid_) {
+      current_dest_gone_ = true;
+    }
+    uint32_t slot = st.service_slot;
+    st = TxState{};
+    st.service_slot = slot;
+    if (slot != TxState::kNoServiceSlot) {
+      service_ring_.Set(slot, false);
+    }
+  }
+  RxFor(sid) = RxState{};
+}
+
+size_t WifiMac::FlushStation(TxState& st) {
+  size_t flushed = st.queue.size();
+  st.queue.clear();
+  flushed += st.outstanding_count;
+  st.ClearOutstanding();
+  if (st.single_inflight.has_value()) {
+    ++flushed;
+    st.single_inflight.reset();
+  }
+  st.bar_pending = false;
+  return flushed;
+}
+
+void WifiMac::Disassociate(MacAddress peer) {
+  StationId sid = stations_.Find(peer);
+  if (sid == kInvalidStationId) {
+    return;
+  }
+  if (phase_ != TxPhase::kIdle && sid == current_dest_sid_) {
+    // Mid-exchange removal: let the in-flight response/timeout resolve as
+    // a no-op instead of mutating a TxState a new peer may inherit.
+    current_dest_gone_ = true;
+  }
+  if (sid < tx_.size()) {
+    TxState& st = tx_[sid];
+    stats_.disassociation_flushes += FlushStation(st);
+    uint32_t slot = st.service_slot;
+    st = TxState{};
+    if (slot != TxState::kNoServiceSlot) {
+      service_ring_.Set(slot, false);
+      service_ring_.ReleaseSlot(slot);
+    }
+  }
+  if (sid < rx_.size()) {
+    rx_[sid] = RxState{};
+  }
+  stations_.Disassociate(peer);
+}
+
+void WifiMac::ResetRadioState() {
+  scheduler_->Cancel(response_timeout_event_);
+  response_timeout_event_ = kInvalidEventId;
+  scheduler_->Cancel(cts_timeout_event_);
+  cts_timeout_event_ = kInvalidEventId;
+  scheduler_->Cancel(nav_reset_probe_event_);
+  nav_reset_probe_event_ = kInvalidEventId;
+  // Strand every SIFS-delayed closure (responses, the CTS→data hop) still
+  // in the wheel: they check the epoch and die quietly.
+  ++reset_epoch_;
+  responses_pending_ = 0;
+  phase_ = TxPhase::kIdle;
+  current_dest_gone_ = false;
+  current_dest_sid_ = kInvalidStationId;
+  pending_data_ppdu_.reset();
+  current_batch_seqs_.clear();
+  tx_.clear();
+  rx_.clear();
+  stations_ = StationTable{};
+  service_ring_ = ActiveSlotRing{};
+  service_slot_station_.clear();
+  // Callers power the radio down before resetting (and maybe back up
+  // after), so no arrival can be in progress here: the medium is idle from
+  // the MAC's point of view, and the DCF restarts from a cold boot.
+  phy_busy_ = false;
+  nav_until_ = scheduler_->Now();
+  medium_busy_reported_ = false;
+  reported_idle_from_ = scheduler_->Now();
+  dcf_.Reset();
 }
 
 void WifiMac::EnsureServiceSlot(StationId sid, TxState& st) {
   if (st.service_slot != TxState::kNoServiceSlot) {
     return;
   }
-  st.service_slot = static_cast<uint32_t>(service_ring_.AddSlot());
-  service_slot_station_.push_back(sid);
+  size_t slot = service_ring_.AddSlot();
+  st.service_slot = static_cast<uint32_t>(slot);
+  if (slot == service_slot_station_.size()) {
+    service_slot_station_.push_back(sid);
+  } else {
+    service_slot_station_[slot] = sid;  // recycled slot: new occupant
+  }
 }
 
 void WifiMac::UpdateServiceRing(TxState& st) {
@@ -136,6 +227,12 @@ void WifiMac::UpdateServiceRing(TxState& st) {
 }
 
 void WifiMac::Enqueue(Packet&& packet, MacAddress dest) {
+  if (!phy_->radio_on()) {
+    // Dead interface: upper layers see the same silence a real driver
+    // gives — the packet is dropped at the door.
+    ++stats_.radio_off_drops;
+    return;
+  }
   StationId sid = stations_.Intern(dest);
   TxState& st = TxFor(sid);
   EnsureServiceSlot(sid, st);
@@ -498,8 +595,10 @@ void WifiMac::OnTxEnd(const Ppdu& ppdu) {
 }
 
 void WifiMac::HandleCts(const WifiFrame& frame) {
-  if (phase_ != TxPhase::kAwaitingCts || frame.ta != current_dest_) {
-    return;  // stale/unexpected CTS
+  if (phase_ != TxPhase::kAwaitingCts || frame.ta != current_dest_ ||
+      current_dest_gone_) {
+    return;  // stale/unexpected CTS (or the peer was removed mid-exchange:
+             // the CTS timeout path finishes the cleanup)
   }
   scheduler_->Cancel(cts_timeout_event_);
   cts_timeout_event_ = kInvalidEventId;
@@ -508,7 +607,10 @@ void WifiMac::HandleCts(const WifiFrame& frame) {
   phase_ = TxPhase::kTransmitting;
   scheduler_->ScheduleIn(
       timings_.sifs,
-      [this]() {
+      [this, epoch = reset_epoch_]() {
+        if (epoch != reset_epoch_) {
+          return;  // radio reset in the SIFS gap
+        }
         CHECK(pending_data_ppdu_.has_value());
         Ppdu ppdu = std::move(*pending_data_ppdu_);
         pending_data_ppdu_.reset();
@@ -521,6 +623,15 @@ void WifiMac::HandleCtsTimeout() {
   CHECK(phase_ == TxPhase::kAwaitingCts);
   ++stats_.cts_timeouts;
   pending_data_ppdu_.reset();
+  if (current_dest_gone_) {
+    // Peer removed mid-exchange: its TxState was already reset (and may
+    // belong to a new peer) — abandon without touching it.
+    current_dest_gone_ = false;
+    dcf_.NotifyTxFailure();
+    phase_ = TxPhase::kIdle;
+    MaybeRequestAccess();
+    return;
+  }
   // The exchange never left the RTS: the MPDUs stay outstanding (or
   // single_inflight) and are rebuilt at the next grant — re-entering
   // backoff is the ordinary CW-doubling path, which the lazy idle-edge
@@ -560,7 +671,7 @@ void WifiMac::NotifyRateOutcome(StationId sid, bool success) {
 }
 
 void WifiMac::ReleaseDelivered(TxState& st, const OutstandingMpdu& mpdu) {
-  (void)st;
+  st.consecutive_give_ups = 0;  // the peer is demonstrably alive
   if (mpdu.retries == 0) {
     ++stats_.mpdus_delivered_first_try;
   } else {
@@ -577,6 +688,14 @@ void WifiMac::HandleBlockAck(const WifiFrame& frame) {
   }
   scheduler_->Cancel(response_timeout_event_);
   response_timeout_event_ = kInvalidEventId;
+  if (current_dest_gone_) {
+    // Response from a peer we removed mid-exchange (a clean leave can race
+    // an in-flight Block ACK): the exchange ends, its state is gone.
+    current_dest_gone_ = false;
+    dcf_.NotifyTxSuccess();
+    FinishExchange();
+    return;
+  }
 
   TxState& st = tx_[current_dest_sid_];
   st.bar_retries = 0;
@@ -650,6 +769,12 @@ void WifiMac::HandleAck(const WifiFrame& frame) {
   }
   scheduler_->Cancel(response_timeout_event_);
   response_timeout_event_ = kInvalidEventId;
+  if (current_dest_gone_) {
+    current_dest_gone_ = false;
+    dcf_.NotifyTxSuccess();
+    FinishExchange();
+    return;
+  }
 
   TxState& st = tx_[current_dest_sid_];
   if (st.single_inflight.has_value()) {
@@ -671,6 +796,12 @@ void WifiMac::HandleResponseTimeout() {
   CHECK(phase_ == TxPhase::kAwaitingResponse);
   ++stats_.response_timeouts;
   dcf_.NotifyTxFailure();
+  if (current_dest_gone_) {
+    current_dest_gone_ = false;
+    phase_ = TxPhase::kIdle;
+    MaybeRequestAccess();
+    return;
+  }
   if (!current_is_bar_) {
     // A lost data exchange (the response never came) is the ARF failure
     // signal; BAR outcomes happen at a basic control rate and say nothing
@@ -692,6 +823,7 @@ void WifiMac::HandleResponseTimeout() {
     if (++st.single_inflight->retries > config_.mpdu_retry_limit) {
       ++stats_.mpdus_dropped_retry_limit;
       st.single_inflight.reset();
+      NoteGiveUp(st);
     }
   }
   UpdateServiceRing(st);
@@ -709,6 +841,22 @@ void WifiMac::GiveUpBlockAck(TxState& st) {
   // Tell the client we moved on without its Block ACK so it keeps its
   // retained compressed TCP ACKs (SYNC bit, Fig 8).
   st.sync_pending = true;
+  NoteGiveUp(st);
+}
+
+void WifiMac::NoteGiveUp(TxState& st) {
+  if (config_.dead_peer_flush_threshold <= 0) {
+    return;  // disabled: legacy behaviour, retry/BAR paths only
+  }
+  if (++st.consecutive_give_ups < config_.dead_peer_flush_threshold) {
+    return;
+  }
+  // The peer has eaten several full retry ladders in a row without a
+  // single delivery: treat it as gone and stop burning airtime on its
+  // queue. If it comes back, traffic re-enqueues and service resumes.
+  st.consecutive_give_ups = 0;
+  ++stats_.dead_peer_flushes;
+  stats_.dead_peer_flushed_packets += FlushStation(st);
 }
 
 void WifiMac::FinishExchange() {
@@ -872,6 +1020,16 @@ void WifiMac::HandleDataPpdu(const Ppdu& ppdu,
         // Ahead of the window: slide so `seq` becomes the window's end.
         AdvanceRxWindow(rx, from,
                         SeqAdd(seq, -(static_cast<int>(kMaxAmpduMpdus) - 1)));
+      } else if (SeqDistance(seq, rx.win_start) >
+                 4 * static_cast<uint16_t>(kMaxAmpduMpdus)) {
+        // Far behind the window: no retransmission can lag this much (an
+        // originator only resends seqs inside its own 64-wide outstanding
+        // window). The peer's MAC restarted and is counting from zero
+        // again — hard-resync instead of blackholing the stream until its
+        // sequence numbers climb back into range.
+        ++stats_.rx_window_resyncs;
+        rx = RxState{};
+        rx.win_start = seq;
       } else {
         ++stats_.duplicate_mpdus_discarded;
         continue;
@@ -984,7 +1142,12 @@ void WifiMac::ScheduleResponse(WifiFrame response,
   UpdateMediumState();
   scheduler_->ScheduleIn(
       delay,
-      [this, response = std::move(response), resp_mode]() mutable {
+      [this, response = std::move(response), resp_mode,
+       epoch = reset_epoch_]() mutable {
+        if (epoch != reset_epoch_) {
+          return;  // radio reset while the response sat in the SIFS gap
+                   // (responses_pending_ was already zeroed by the reset)
+        }
         --responses_pending_;
         bool can_carry_hack = response.type == WifiFrameType::kAck ||
                               response.type == WifiFrameType::kBlockAck;

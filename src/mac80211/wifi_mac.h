@@ -74,6 +74,13 @@ struct WifiMacConfig {
   // When > 0, response timeouts budget for HACK payload bytes appended to
   // LL ACKs by the peer.
   size_t max_hack_payload_bytes = 0;
+  // Dead-peer detection: after this many *consecutive* exchange give-ups
+  // for one destination (Block ACK agreement give-ups, or single-MPDU
+  // retry-limit drops) the MAC flushes that destination's queue instead of
+  // burning airtime on a peer that vanished. Any delivered MPDU resets the
+  // streak. 0 disables — the default, and the legacy bit-identical path
+  // (hidden-terminal runs legitimately hit give-ups on live peers).
+  int dead_peer_flush_threshold = 0;
 };
 
 class WifiMac final : public WifiPhyListener {
@@ -87,6 +94,26 @@ class WifiMac final : public WifiPhyListener {
   // interned lazily on first contact.
   void Associate(MacAddress peer);
   size_t station_count() const { return stations_.size(); }
+
+  // Clean removal of a peer (station churn): flushes its queue and
+  // outstanding state, releases its service slot and recycles its
+  // StationId. Safe mid-exchange — an exchange currently addressed to the
+  // peer is abandoned when its response/timeout resolves. No-op for
+  // never-seen peers.
+  void Disassociate(MacAddress peer);
+
+  // Radio interface reset (crash, AP outage, or an explicit interface
+  // bounce): cancels every pending MAC timer, drops all association,
+  // queue, sequence and NAV state, and returns the MAC to a cold-boot
+  // idle. The caller re-Associates peers afterwards as needed.
+  void ResetRadioState();
+
+  // Liveness probes for SimWatchdog: queued-or-in-flight work, and the
+  // current NAV horizon (SimTime::Zero() when no reservation is held).
+  bool HasBacklog() const {
+    return !service_ring_.Empty() || phase_ != TxPhase::kIdle;
+  }
+  SimTime nav_until() const { return nav_until_; }
 
   // Upper-layer interface. Takes ownership: the packet is moved into the
   // per-destination queue (or dropped), never copied.
@@ -150,6 +177,9 @@ class WifiMac final : public WifiPhyListener {
     bool rts_bypass_once = false;
     std::optional<OutstandingMpdu> single_inflight;  // 802.11a stop-and-wait
     uint32_t service_slot = kNoServiceSlot;  // position in the service ring
+    // Consecutive exchange give-ups with no delivery in between; feeds the
+    // dead-peer flush (config.dead_peer_flush_threshold).
+    int consecutive_give_ups = 0;
 
     bool HasWork() const {
       return bar_pending || !queue.empty() || outstanding_count > 0 ||
@@ -216,6 +246,12 @@ class WifiMac final : public WifiPhyListener {
   void FinishExchange();
   void ReleaseDelivered(TxState& st, const OutstandingMpdu& mpdu);
   void GiveUpBlockAck(TxState& st);
+  // Counts a give-up towards the dead-peer streak and flushes the
+  // destination's queue once the threshold is crossed.
+  void NoteGiveUp(TxState& st);
+  // Drops everything queued/outstanding for the station and returns the
+  // number of upper-layer packets that died with it.
+  size_t FlushStation(TxState& st);
   void NotifyRateOutcome(StationId sid, bool success);
   SimTime ResponseTimeoutDelay(bool block_ack_expected) const;
   SimTime CtsTimeoutDelay() const;
@@ -268,6 +304,13 @@ class WifiMac final : public WifiPhyListener {
   TxPhase phase_ = TxPhase::kIdle;
   MacAddress current_dest_;
   StationId current_dest_sid_ = kInvalidStationId;
+  // The in-flight exchange's destination was disassociated mid-exchange:
+  // when the response or timeout resolves, skip every per-station mutation
+  // (the TxState was already reset and may belong to a new peer).
+  bool current_dest_gone_ = false;
+  // Bumped by ResetRadioState; SIFS-delayed closures (responses, the
+  // CTS→data hop) capture it and become no-ops if a reset intervened.
+  uint64_t reset_epoch_ = 0;
   bool current_is_bar_ = false;
   bool current_aggregated_ = false;
   bool current_all_tcp_acks_ = false;

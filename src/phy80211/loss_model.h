@@ -8,6 +8,8 @@
 //  * PerRateLossModel   — explicit rate -> PER table, distance-independent;
 //    the controllable signal the per-station rate-adaptation loop trains
 //    against (high rates lossy, low rates robust, chosen — not derived).
+//  * GatedLossModel     — fault-injection wrapper: extra Bernoulli loss only
+//    while an interference-burst window is open, stream-neutral otherwise.
 //
 // Collisions are handled by the PHY itself (overlapping receptions corrupt
 // each other — or survive by SINR capture under a range-limited
@@ -96,6 +98,40 @@ class PerRateLossModel final : public LossModel {
  private:
   std::vector<Entry> table_;
   size_t reference_bytes_;
+};
+
+// Fault-injection wrapper: delegates to an inner model (optional) and, only
+// while an interference-burst window is open (extra_loss > 0), adds one
+// independent Bernoulli corruption draw per MPDU. Outside a window the
+// wrapper consumes NO RNG draws and defers entirely to the inner model, so
+// a scenario that installs it but never opens a window is stream-identical
+// to one that never installed it — which is why the scenario only installs
+// it when the fault plan actually contains bursts.
+class GatedLossModel final : public LossModel {
+ public:
+  explicit GatedLossModel(std::unique_ptr<LossModel> inner)
+      : inner_(std::move(inner)) {}
+
+  void set_extra_loss(double p) { extra_loss_ = p; }
+  double extra_loss() const { return extra_loss_; }
+
+  bool ShouldCorrupt(const WifiMode& mode, size_t bytes, double distance_m,
+                     Random& rng) override {
+    bool corrupt = inner_ != nullptr &&
+                   inner_->ShouldCorrupt(mode, bytes, distance_m, rng);
+    if (extra_loss_ > 0.0) {
+      // Drawn even when already corrupt: the draw count per MPDU must not
+      // depend on the inner verdict, or a burst would desynchronise the
+      // stream for every MPDU after the first inner corruption.
+      bool burst_hit = rng.NextBool(extra_loss_);
+      corrupt = corrupt || burst_hit;
+    }
+    return corrupt;
+  }
+
+ private:
+  std::unique_ptr<LossModel> inner_;
+  double extra_loss_ = 0.0;
 };
 
 // SNR-driven model. SNR(dB) = tx_power_dbm - PL(d) - noise_floor_dbm with

@@ -39,7 +39,7 @@ void WifiPhy::AttachTo(WirelessChannel* channel) {
 
 bool WifiPhy::Send(Ppdu ppdu) {
   CHECK(channel_ != nullptr);
-  if (transmitting_) {
+  if (!radio_on_ || transmitting_) {
     ++stats_.tx_dropped_busy;
     return false;
   }
@@ -53,8 +53,33 @@ bool WifiPhy::Send(Ppdu ppdu) {
   return true;
 }
 
+void WifiPhy::SetRadioOn(bool on) {
+  if (on == radio_on_) {
+    return;
+  }
+  radio_on_ = on;
+  if (!on) {
+    // Power-down: every in-flight arrival dies with the radio. Their end
+    // events are already scheduled; OnArrivalEnd swallows them through the
+    // tolerance counter instead of a per-event Cancel.
+    dropped_arrival_ends_ += arrivals_.size();
+    arrivals_.clear();
+    if (transmitting_) {
+      ++aborted_tx_ends_;
+      transmitting_ = false;
+    }
+    UpdateCca();
+  }
+}
+
 void WifiPhy::OnOwnTxEnd(const Ppdu& ppdu) {
-  CHECK(transmitting_);
+  if (!transmitting_) {
+    // The transmission was aborted by a radio power-down; the MAC behind
+    // this PHY was reset with it, so no listener callback.
+    CHECK_GT(aborted_tx_ends_, 0u);
+    --aborted_tx_ends_;
+    return;
+  }
   transmitting_ = false;
   UpdateCca();
   if (listener_ != nullptr) {
@@ -64,6 +89,12 @@ void WifiPhy::OnOwnTxEnd(const Ppdu& ppdu) {
 
 void WifiPhy::OnArrivalStart(uint64_t arrival_id, PpduRef ppdu, SimTime end,
                              double distance_m, double rx_power_dbm) {
+  if (!radio_on_) {
+    // Dead receiver: ignore the frame, but remember that its already
+    // scheduled end edge will knock on an empty arrivals_ list.
+    ++dropped_arrival_ends_;
+    return;
+  }
   bool capture = channel_->propagation().limits_range();
   Arrival arrival{std::move(ppdu), end, distance_m,
                   /*rx_power_mw=*/capture ? DbmToMw(rx_power_dbm) : 1.0,
@@ -99,7 +130,14 @@ void WifiPhy::OnArrivalEnd(uint64_t arrival_id) {
                          [arrival_id](const auto& entry) {
                            return entry.first == arrival_id;
                          });
-  CHECK(it != arrivals_.end());
+  if (it == arrivals_.end()) {
+    // An arrival cleared by a radio power-down, or one that began while
+    // the radio was off: its end edge is expected exactly once.
+    CHECK_GT(dropped_arrival_ends_, 0u)
+        << "arrival end for an id the PHY never saw";
+    --dropped_arrival_ends_;
+    return;
+  }
   Arrival arrival = std::move(it->second);
   arrivals_.erase(it);
   UpdateCca();

@@ -101,6 +101,15 @@ class WifiPhy {
   // with an already-granted transmission under abnormal response delays.
   bool Send(Ppdu ppdu);
 
+  // Radio power state (fault injection: crash, AP outage, interface
+  // reset). Powering down kills every in-flight arrival and aborts an own
+  // transmission in progress; their already-scheduled end events are
+  // swallowed via tolerance counters rather than cancelled, keeping the
+  // power switch O(arrivals). While off, Send refuses and arrival edges
+  // are ignored. Powering up returns a clean receiver.
+  void SetRadioOn(bool on);
+  bool radio_on() const { return radio_on_; }
+
   bool transmitting() const { return transmitting_; }
   bool IsCcaBusy() const { return transmitting_ || !arrivals_.empty(); }
 
@@ -142,6 +151,14 @@ class WifiPhy {
   std::vector<std::pair<uint64_t, Arrival>> arrivals_;
   bool transmitting_ = false;
   bool cca_busy_reported_ = false;
+  bool radio_on_ = true;
+  // End events owed for arrivals killed by a power-down (or ignored while
+  // off); OnArrivalEnd swallows exactly this many unknown ids. Same scheme
+  // for an aborted own transmission's tx-end event. Correctness relies on
+  // events firing in time order: every swallowed end edge belongs to an
+  // arrival that provably started before the power transition.
+  uint64_t dropped_arrival_ends_ = 0;
+  uint64_t aborted_tx_ends_ = 0;
   PhyStats stats_;
 };
 

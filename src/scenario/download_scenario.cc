@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "src/apps/udp_app.h"
 #include "src/node/node.h"
@@ -110,6 +111,12 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   if (config.hack != HackVariant::kOff) {
     ap_mac_cfg.max_hack_payload_bytes = config.hack_config.max_payload_bytes;
   }
+  if (!config.fault_plan.empty()) {
+    // Bounded give-up on unreachable peers (crashed stations, AP outages).
+    // Off on legacy paths: hidden-terminal rows have give-ups on live peers
+    // and flushing those would change pinned outputs.
+    ap_mac_cfg.dead_peer_flush_threshold = 2;
+  }
   WifiMacConfig client_mac_cfg = ap_mac_cfg;
   client_mac_cfg.per_dest_queue_limit =
       std::max<size_t>(config.ap_queue_per_client, 1000);
@@ -154,6 +161,42 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
     placement_rng = root_rng.Fork();
   }
 
+  // --- fault plan -----------------------------------------------------------
+  FaultPlan plan = config.fault_plan;
+  plan.SortByTime();
+  const bool faults_enabled = !plan.empty();
+  if (faults_enabled) {
+    CHECK_LT(plan.MaxStation(), config.n_clients)
+        << "fault plan references a station index beyond n_clients";
+  }
+  // present[i]: station i is currently associated and radio-on. A station
+  // whose first plan event is a join starts absent and is brought up by that
+  // event. Devices and RNG forks are created for every client regardless,
+  // so the per-client random streams never depend on the plan.
+  std::vector<char> present(static_cast<size_t>(config.n_clients), 1);
+  if (faults_enabled) {
+    for (int i = 0; i < config.n_clients; ++i) {
+      if (plan.StartsAbsent(i)) {
+        present[static_cast<size_t>(i)] = 0;
+      }
+    }
+  }
+  // Interference bursts need a gate on every PHY. Wrapping only when the
+  // plan actually contains bursts keeps every other configuration's loss
+  // models — and their RNG draw sequences — untouched.
+  std::vector<GatedLossModel*> gated;
+  auto install_loss = [&](WifiPhy& phy, std::unique_ptr<LossModel> inner) {
+    if (!(faults_enabled && plan.HasBursts())) {
+      if (inner != nullptr) {
+        phy.set_loss_model(std::move(inner));
+      }
+      return;
+    }
+    auto gate = std::make_unique<GatedLossModel>(std::move(inner));
+    gated.push_back(gate.get());
+    phy.set_loss_model(std::move(gate));
+  };
+
   for (int i = 0; i < config.n_clients; ++i) {
     ClientEndpoint& ep = clients[i];
     ep.node = std::make_unique<Node>(client_ip(i));
@@ -162,14 +205,15 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
         root_rng.Fork());
     ep.device->phy().set_position(
         PlaceClient(config, specs[i], i, placement_rng));
+    std::unique_ptr<LossModel> client_loss;
     if (config.snr.has_value()) {
-      ep.device->phy().set_loss_model(
-          std::make_unique<SnrLossModel>(*config.snr));
+      client_loss = std::make_unique<SnrLossModel>(*config.snr);
     } else if (specs[i].bernoulli_data_loss > 0.0 ||
                specs[i].bernoulli_control_loss > 0.0) {
-      ep.device->phy().set_loss_model(std::make_unique<BernoulliLossModel>(
-          specs[i].bernoulli_data_loss, specs[i].bernoulli_control_loss));
+      client_loss = std::make_unique<BernoulliLossModel>(
+          specs[i].bernoulli_data_loss, specs[i].bernoulli_control_loss);
     }
+    install_loss(ep.device->phy(), std::move(client_loss));
     if (config.hack != HackVariant::kOff) {
       HackAgentConfig hc = config.hack_config;
       hc.variant = config.hack;
@@ -182,17 +226,21 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
     ap_node->AddRoute(client_ip(i), Node::Egress::kWifi, client_mac_addr(i));
 
     // Associate both ways so StationIds are dense and deterministic (client
-    // i is station i at the AP) before any traffic flows.
-    ap_device->mac().Associate(client_mac_addr(i));
-    ep.device->mac().Associate(ap_mac_addr);
+    // i is station i at the AP) before any traffic flows. Stations whose
+    // first fault-plan event is a join start absent instead.
+    if (present[static_cast<size_t>(i)]) {
+      ap_device->mac().Associate(client_mac_addr(i));
+      ep.device->mac().Associate(ap_mac_addr);
+    }
   }
 
   // If the AP uses the SNR model for receptions from clients, attach it too
   // (uplink ACKs/data suffer symmetrically).
+  std::unique_ptr<LossModel> ap_loss;
   if (config.snr.has_value()) {
-    ap_device->phy().set_loss_model(
-        std::make_unique<SnrLossModel>(*config.snr));
+    ap_loss = std::make_unique<SnrLossModel>(*config.snr);
   }
+  install_loss(ap_device->phy(), std::move(ap_loss));
 
   // Geometric channel: installed after every PHY is attached and positioned
   // (set_propagation validates that no node sits at the implicit origin).
@@ -202,6 +250,15 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   }
 
   // --- flows ------------------------------------------------------------------------
+  // Per-client handles the fault engine drives: the UDP source (stopped on
+  // crash, resumed on join) or the TCP sender (started late for stations
+  // that begin absent; established senders just ride out the outage on
+  // their own retransmit timers).
+  std::vector<UdpCbrSource*> client_udp_src(
+      static_cast<size_t>(config.n_clients), nullptr);
+  std::vector<TcpSender*> client_tcp_src(
+      static_cast<size_t>(config.n_clients), nullptr);
+  std::vector<char> flow_started(static_cast<size_t>(config.n_clients), 0);
   int completed = 0;
   for (int i = 0; i < config.n_clients; ++i) {
     ClientEndpoint& ep = clients[i];
@@ -227,7 +284,11 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
                                  [sink = ep.udp_sink.get()](const Packet& p) {
                                    sink->OnPacket(p);
                                  });
-        source->Start();
+        client_udp_src[static_cast<size_t>(i)] = source.get();
+        if (present[static_cast<size_t>(i)]) {
+          source->Start();
+          flow_started[static_cast<size_t>(i)] = 1;
+        }
         udp_sources.push_back(std::move(source));
       } else {
         // Uplink CBR: every client contends for the medium — the dense-cell
@@ -244,7 +305,11 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
             server_port, [sink = ep.udp_sink.get()](const Packet& p) {
               sink->OnPacket(p);
             });
-        source->Start();
+        client_udp_src[static_cast<size_t>(i)] = source.get();
+        if (present[static_cast<size_t>(i)]) {
+          source->Start();
+          flow_started[static_cast<size_t>(i)] = 1;
+        }
         udp_sources.push_back(std::move(source));
       }
       continue;
@@ -276,8 +341,12 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
         ep.completion = scheduler.Now();
         ++completed;
       };
-      scheduler.ScheduleAt(specs[i].start_offset,
-                           [tx = sender.get()]() { tx->Start(); });
+      client_tcp_src[static_cast<size_t>(i)] = sender.get();
+      if (present[static_cast<size_t>(i)]) {
+        scheduler.ScheduleAt(specs[i].start_offset,
+                             [tx = sender.get()]() { tx->Start(); });
+        flow_started[static_cast<size_t>(i)] = 1;
+      }
       server_senders.push_back(std::move(sender));
     } else {
       FiveTuple flow{client_ip(i), server_ip, client_port, server_port,
@@ -304,10 +373,162 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
         ep.completion = scheduler.Now();
         ++completed;
       };
-      scheduler.ScheduleAt(specs[i].start_offset,
-                           [tx = ep.tcp_tx.get()]() { tx->Start(); });
+      client_tcp_src[static_cast<size_t>(i)] = ep.tcp_tx.get();
+      if (present[static_cast<size_t>(i)]) {
+        scheduler.ScheduleAt(specs[i].start_offset,
+                             [tx = ep.tcp_tx.get()]() { tx->Start(); });
+        flow_started[static_cast<size_t>(i)] = 1;
+      }
       server_receivers.push_back(std::move(receiver));
     }
+  }
+
+  // --- fault engine + watchdog ------------------------------------------------------
+  const char* topo_name = config.topology == Topology::kRing ? "ring"
+                          : config.topology == Topology::kUniformDisk
+                              ? "disk"
+                              : "hidden";
+  std::string repro =
+      "seed=" + std::to_string(config.seed) + " topo=" + topo_name +
+      " proto=" +
+      std::string(config.proto == TransportProto::kUdp ? "udp" : "tcp") +
+      (config.upload ? "-up" : "") +
+      " n=" + std::to_string(config.n_clients) +
+      " dur_us=" + std::to_string(config.duration.ns() / 1000);
+  if (faults_enabled) {
+    repro += " plan=\"" + plan.ToString() + "\"";
+  }
+  // Any CHECK failure from here on prints the full repro recipe.
+  SetAbortContext(repro);
+
+  FaultStats fault_stats;
+  if (faults_enabled) {
+    auto apply = [&](const FaultEvent& ev) {
+      fault_stats.last_fault_time = scheduler.Now();
+      switch (ev.type) {
+        case FaultType::kCrash:
+        case FaultType::kLeave: {
+          size_t s = static_cast<size_t>(ev.station);
+          if (!present[s]) break;
+          present[s] = 0;
+          if (ev.type == FaultType::kLeave) {
+            // Clean departure: the AP is told and frees the station's
+            // queue, service slot and StationId immediately.
+            ap_device->mac().Disassociate(client_mac_addr(ev.station));
+            ++fault_stats.leaves;
+          } else {
+            // Silent crash: the AP finds out the hard way (retry give-ups
+            // feeding the dead-peer flush).
+            ++fault_stats.crashes;
+          }
+          if (client_udp_src[s] != nullptr) {
+            client_udp_src[s]->Stop();
+          }
+          clients[s].device->phy().SetRadioOn(false);
+          clients[s].device->mac().ResetRadioState();
+          break;
+        }
+        case FaultType::kJoin: {
+          size_t s = static_cast<size_t>(ev.station);
+          if (present[s]) break;
+          present[s] = 1;
+          ++fault_stats.joins;
+          fault_stats.last_recovery_time = scheduler.Now();
+          clients[s].device->phy().SetRadioOn(true);
+          // Fresh association both ways; Associate() scrubs whatever state
+          // the AP still holds from the station's previous life.
+          ap_device->mac().Associate(client_mac_addr(ev.station));
+          clients[s].device->mac().Associate(ap_mac_addr);
+          if (client_udp_src[s] != nullptr) {
+            client_udp_src[s]->Resume(scheduler.Now(), config.duration);
+            flow_started[s] = 1;
+          } else if (client_tcp_src[s] != nullptr && !flow_started[s]) {
+            flow_started[s] = 1;
+            client_tcp_src[s]->Start();
+          }
+          break;
+        }
+        case FaultType::kRadioReset: {
+          size_t s = static_cast<size_t>(ev.station);
+          if (!present[s]) break;
+          ++fault_stats.radio_resets;
+          clients[s].device->phy().SetRadioOn(false);
+          clients[s].device->mac().ResetRadioState();
+          clients[s].device->phy().SetRadioOn(true);
+          // Only the client re-associates: the AP never saw the reset, and
+          // its live downlink queue toward the station must survive it.
+          clients[s].device->mac().Associate(ap_mac_addr);
+          break;
+        }
+        case FaultType::kApDown: {
+          ++fault_stats.ap_outages;
+          ap_device->phy().SetRadioOn(false);
+          ap_device->mac().ResetRadioState();
+          break;
+        }
+        case FaultType::kApUp: {
+          ++fault_stats.ap_restarts;
+          fault_stats.last_recovery_time = scheduler.Now();
+          ap_device->phy().SetRadioOn(true);
+          // Rebuild association state for every station still present, in
+          // index order — StationIds come out dense, exactly like at boot.
+          // The stations reassociate too: reassociation tears down both
+          // sides' Block ACK windows, so the restarted AP's fresh sequence
+          // numbers are not discarded as ancient duplicates.
+          for (int i = 0; i < config.n_clients; ++i) {
+            if (present[static_cast<size_t>(i)]) {
+              ap_device->mac().Associate(client_mac_addr(i));
+              clients[static_cast<size_t>(i)].device->mac().Associate(
+                  ap_mac_addr);
+            }
+          }
+          break;
+        }
+        case FaultType::kBurstStart: {
+          ++fault_stats.bursts;
+          for (GatedLossModel* gate : gated) {
+            gate->set_extra_loss(ev.extra_loss);
+          }
+          break;
+        }
+        case FaultType::kBurstEnd: {
+          for (GatedLossModel* gate : gated) {
+            gate->set_extra_loss(0.0);
+          }
+          break;
+        }
+      }
+    };
+    for (const FaultEvent& ev : plan.events) {
+      scheduler.ScheduleAt(ev.at, [apply, ev]() { apply(ev); });
+    }
+  }
+
+  WatchdogConfig wd_cfg;
+  wd_cfg.interval = config.watchdog_interval;
+  wd_cfg.abort_on_trip = config.watchdog_abort_on_trip;
+  SimWatchdog watchdog(&scheduler, wd_cfg);
+  if (!wd_cfg.interval.IsZero()) {
+    // Forward progress = PPDUs on the medium; a station holding backlog
+    // while the channel stays silent for several audit periods is a stall.
+    watchdog.set_progress_probe(
+        [&channel]() { return channel.airtime().ppdus; });
+    watchdog.set_backlog_probe([&clients, ap = ap_device.get()]() {
+      if (ap->mac().HasBacklog()) return true;
+      for (const ClientEndpoint& ep : clients) {
+        if (ep.device->mac().HasBacklog()) return true;
+      }
+      return false;
+    });
+    watchdog.set_nav_probe([&clients, ap = ap_device.get()]() {
+      SimTime nav = ap->mac().nav_until();
+      for (const ClientEndpoint& ep : clients) {
+        nav = std::max(nav, ep.device->mac().nav_until());
+      }
+      return nav;
+    });
+    watchdog.set_repro(repro);
+    watchdog.Start();
   }
 
   // --- run ----------------------------------------------------------------------------
@@ -392,6 +613,22 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   for (int i = 0; i < config.n_clients; ++i) {
     if (clients[i].tcp_tx != nullptr) {
       result.tcp_timeouts += clients[i].tcp_tx->stats().timeouts;
+    }
+  }
+
+  result.fault = fault_stats;
+  result.watchdog = watchdog.stats();
+  result.final_pending_events = scheduler.pending_events();
+  // Recovery goodput: aggregate strictly after the plan's last recovery
+  // event (the churn/outage bench gates this against the fault-free row).
+  SimTime recovery = fault_stats.last_recovery_time;
+  if (!recovery.IsZero() && recovery < end) {
+    for (int i = 0; i < config.n_clients; ++i) {
+      const GoodputTracker& tracker =
+          config.proto == TransportProto::kUdp
+              ? clients[i].udp_sink->tracker()
+              : clients[i].tracker;
+      result.post_fault_goodput_mbps += tracker.GoodputMbps(recovery, end);
     }
   }
   return result;

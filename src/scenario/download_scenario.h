@@ -20,6 +20,8 @@
 #include "src/phy80211/loss_model.h"
 #include "src/phy80211/propagation.h"
 #include "src/phy80211/wifi_phy.h"
+#include "src/scenario/fault_plan.h"
+#include "src/sim/sim_watchdog.h"
 #include "src/stats/experiment_stats.h"
 #include "src/tcp/tcp_receiver.h"
 #include "src/tcp/tcp_sender.h"
@@ -109,6 +111,16 @@ struct ScenarioConfig {
   HackAgentConfig hack_config;  // variant is overwritten from `hack`
   uint64_t seed = 1;
 
+  // Fault injection (docs/robustness.md). Empty plan = no fault engine at
+  // all: no extra events, no extra RNG draws, legacy outputs bit-identical.
+  FaultPlan fault_plan;
+  // Liveness watchdog audit cadence; zero (default) disables the watchdog
+  // entirely (no events scheduled).
+  SimTime watchdog_interval;
+  // Abort with a repro recipe on a watchdog trip (production/fuzz mode);
+  // false records the trip in WatchdogStats and continues (unit tests).
+  bool watchdog_abort_on_trip = true;
+
   // Channel arrival scheduling. kBatched (one event per distinct arrival
   // nanosecond per PPDU) is the production path; kPerPhyEvent keeps the
   // historical one-event-per-PHY semantics for equivalence testing.
@@ -147,6 +159,17 @@ struct ScenarioResult {
   // Same total, split by EventClass (indexed by static_cast<size_t>), so
   // ev/PPDU movement can be attributed to a subsystem without re-profiling.
   std::array<uint64_t, kEventClassCount> events_by_class{};
+
+  // Fault-injection bookkeeping (all-zero when fault_plan is empty).
+  FaultStats fault;
+  WatchdogStats watchdog;
+  // Aggregate goodput measured strictly after the plan's last recovery
+  // event (ap-up or final join); 0 when the plan has no recovery events.
+  // The churn/outage bench gates on this recovering vs the fault-free row.
+  double post_fault_goodput_mbps = 0.0;
+  // Scheduler slots still live at sim end — the leak audit the fuzz
+  // driver bounds (stopped flows retain O(clients) stranded timers only).
+  uint64_t final_pending_events = 0;
 
   // Exact comparison backs the batched-delivery equivalence tests.
   // (events_executed intentionally participates *not* here: the two

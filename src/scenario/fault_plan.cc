@@ -1,0 +1,308 @@
+#include "src/scenario/fault_plan.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/sim/random.h"
+
+namespace hacksim {
+namespace {
+
+const char* TypeName(FaultType type) {
+  switch (type) {
+    case FaultType::kCrash:
+      return "crash";
+    case FaultType::kLeave:
+      return "leave";
+    case FaultType::kJoin:
+      return "join";
+    case FaultType::kRadioReset:
+      return "reset";
+    case FaultType::kApDown:
+      return "ap-down";
+    case FaultType::kApUp:
+      return "ap-up";
+    case FaultType::kBurstStart:
+      return "burst";
+    case FaultType::kBurstEnd:
+      return "burst-end";
+  }
+  return "?";
+}
+
+bool NeedsStation(FaultType type) {
+  return type == FaultType::kCrash || type == FaultType::kLeave ||
+         type == FaultType::kJoin || type == FaultType::kRadioReset;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Parses one `<type>@<micros>us[:<arg>]` token; returns false on any
+// malformed piece so the caller can reject the whole plan.
+bool ParseToken(std::string_view tok, FaultEvent* out) {
+  size_t at = tok.find('@');
+  if (at == std::string_view::npos) {
+    return false;
+  }
+  std::string_view name = Trim(tok.substr(0, at));
+  std::string_view rest = tok.substr(at + 1);
+
+  FaultType type;
+  if (name == "crash") {
+    type = FaultType::kCrash;
+  } else if (name == "leave") {
+    type = FaultType::kLeave;
+  } else if (name == "join") {
+    type = FaultType::kJoin;
+  } else if (name == "reset") {
+    type = FaultType::kRadioReset;
+  } else if (name == "ap-down") {
+    type = FaultType::kApDown;
+  } else if (name == "ap-up") {
+    type = FaultType::kApUp;
+  } else if (name == "burst") {
+    type = FaultType::kBurstStart;
+  } else if (name == "burst-end") {
+    type = FaultType::kBurstEnd;
+  } else {
+    return false;
+  }
+
+  std::string_view time_part = rest;
+  std::string_view arg_part;
+  size_t colon = rest.find(':');
+  if (colon != std::string_view::npos) {
+    time_part = rest.substr(0, colon);
+    arg_part = Trim(rest.substr(colon + 1));
+  }
+  time_part = Trim(time_part);
+  if (time_part.size() > 2 && time_part.substr(time_part.size() - 2) == "us") {
+    time_part.remove_suffix(2);
+  }
+  int64_t micros = 0;
+  auto [tp, tec] =
+      std::from_chars(time_part.data(), time_part.data() + time_part.size(),
+                      micros);
+  if (tec != std::errc() || tp != time_part.data() + time_part.size() ||
+      micros < 0) {
+    return false;
+  }
+
+  FaultEvent ev;
+  ev.at = SimTime::Micros(micros);
+  ev.type = type;
+  if (NeedsStation(type)) {
+    if (arg_part.empty()) {
+      return false;
+    }
+    int station = -1;
+    auto [sp, sec] =
+        std::from_chars(arg_part.data(), arg_part.data() + arg_part.size(),
+                        station);
+    if (sec != std::errc() || sp != arg_part.data() + arg_part.size() ||
+        station < 0) {
+      return false;
+    }
+    ev.station = station;
+  } else if (type == FaultType::kBurstStart) {
+    if (arg_part.empty()) {
+      return false;
+    }
+    // std::from_chars for double is spotty across libstdc++ versions the
+    // toolchain might pin; strtod on a bounded copy is portable and the
+    // parse path is cold.
+    char buf[32];
+    if (arg_part.size() >= sizeof(buf)) {
+      return false;
+    }
+    std::copy(arg_part.begin(), arg_part.end(), buf);
+    buf[arg_part.size()] = '\0';
+    char* end = nullptr;
+    double p = std::strtod(buf, &end);
+    if (end != buf + arg_part.size() || !(p > 0.0) || p > 1.0) {
+      return false;
+    }
+    ev.extra_loss = p;
+  } else if (!arg_part.empty()) {
+    return false;
+  }
+  *out = ev;
+  return true;
+}
+
+}  // namespace
+
+bool FaultPlan::HasBursts() const {
+  return std::any_of(events.begin(), events.end(), [](const FaultEvent& e) {
+    return e.type == FaultType::kBurstStart;
+  });
+}
+
+bool FaultPlan::StartsAbsent(int station) const {
+  for (const FaultEvent& e : events) {
+    if (e.station != station || !NeedsStation(e.type)) {
+      continue;
+    }
+    return e.type == FaultType::kJoin;
+  }
+  return false;
+}
+
+int FaultPlan::MaxStation() const {
+  int max_station = -1;
+  for (const FaultEvent& e : events) {
+    max_station = std::max(max_station, e.station);
+  }
+  return max_station;
+}
+
+void FaultPlan::SortByTime() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out;
+  char buf[96];
+  for (const FaultEvent& e : events) {
+    if (!out.empty()) {
+      out += ';';
+    }
+    // Times are emitted in integer microseconds; Generate and the fuzz
+    // driver only produce microsecond-aligned events, so this round-trips.
+    int64_t micros = e.at.ns() / 1000;
+    if (NeedsStation(e.type)) {
+      std::snprintf(buf, sizeof(buf), "%s@%lldus:%d", TypeName(e.type),
+                    static_cast<long long>(micros), e.station);
+    } else if (e.type == FaultType::kBurstStart) {
+      std::snprintf(buf, sizeof(buf), "%s@%lldus:%g", TypeName(e.type),
+                    static_cast<long long>(micros), e.extra_loss);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%s@%lldus", TypeName(e.type),
+                    static_cast<long long>(micros));
+    }
+    out += buf;
+  }
+  return out;
+}
+
+std::optional<FaultPlan> FaultPlan::Parse(std::string_view text) {
+  FaultPlan plan;
+  while (!text.empty()) {
+    size_t sep = text.find_first_of(";,");
+    std::string_view tok = Trim(text.substr(0, sep));
+    text = (sep == std::string_view::npos) ? std::string_view{}
+                                           : text.substr(sep + 1);
+    if (tok.empty()) {
+      continue;
+    }
+    FaultEvent ev;
+    if (!ParseToken(tok, &ev)) {
+      return std::nullopt;
+    }
+    plan.events.push_back(ev);
+  }
+  plan.SortByTime();
+  return plan;
+}
+
+FaultPlan FaultPlan::Generate(uint64_t plan_seed, int n_clients,
+                              SimTime duration) {
+  // Dedicated stream: fault geometry never perturbs scenario RNG forks.
+  Random rng(plan_seed ^ 0x9e3779b97f4a7c15ULL);
+  FaultPlan plan;
+  const int64_t dur_us = duration.ns() / 1000;
+  // Keep faults inside (10%, 80%) of the run so there is always a
+  // post-recovery window for the watchdog's forward-progress probe.
+  auto TimeIn = [&](double lo_frac, double hi_frac) {
+    int64_t lo = static_cast<int64_t>(dur_us * lo_frac);
+    int64_t hi = static_cast<int64_t>(dur_us * hi_frac);
+    return SimTime::Micros(rng.NextInt(lo, std::max(lo, hi)));
+  };
+
+  // Churn: a random subset of stations crashes or leaves; most rejoin.
+  int churners = static_cast<int>(
+      rng.NextBounded(static_cast<uint64_t>(std::max(1, n_clients / 2)) + 1));
+  for (int i = 0; i < churners; ++i) {
+    int station = static_cast<int>(
+        rng.NextBounded(static_cast<uint64_t>(n_clients)));
+    SimTime down_at = TimeIn(0.10, 0.55);
+    plan.events.push_back(
+        {down_at, rng.NextBool(0.5) ? FaultType::kCrash : FaultType::kLeave,
+         station});
+    if (rng.NextBool(0.75)) {
+      SimTime up_at = down_at + TimeIn(0.05, 0.25);
+      if (up_at.ns() / 1000 < static_cast<int64_t>(dur_us * 0.85)) {
+        plan.events.push_back({up_at, FaultType::kJoin, station});
+      }
+    }
+  }
+
+  // Radio resets: instantaneous state loss on up to 3 stations.
+  if (rng.NextBool(0.4)) {
+    int resets = static_cast<int>(rng.NextInt(1, 3));
+    for (int i = 0; i < resets; ++i) {
+      plan.events.push_back(
+          {TimeIn(0.10, 0.80), FaultType::kRadioReset,
+           static_cast<int>(rng.NextBounded(static_cast<uint64_t>(n_clients)))});
+    }
+  }
+
+  // One AP outage window in about half the plans.
+  if (rng.NextBool(0.5)) {
+    SimTime down_at = TimeIn(0.20, 0.50);
+    plan.events.push_back({down_at, FaultType::kApDown});
+    plan.events.push_back({down_at + TimeIn(0.05, 0.20), FaultType::kApUp});
+  }
+
+  // Interference bursts: bounded windows of extra loss.
+  if (rng.NextBool(0.4)) {
+    SimTime start = TimeIn(0.10, 0.60);
+    double p = 0.2 + 0.6 * rng.NextDouble();
+    // Round so the plan string (%g, microseconds) round-trips exactly.
+    p = static_cast<double>(static_cast<int>(p * 100)) / 100.0;
+    plan.events.push_back({start, FaultType::kBurstStart, -1, p});
+    plan.events.push_back(
+        {start + TimeIn(0.02, 0.15), FaultType::kBurstEnd});
+  }
+
+  plan.SortByTime();
+  return plan;
+}
+
+FaultPlan FaultPlan::Churn(int n_clients, SimTime duration) {
+  // Every 5th station crashes at 30% of the run and rejoins at 55%; the
+  // bench gate then measures recovery over the final 45%.
+  FaultPlan plan;
+  SimTime down_at = SimTime::Micros((duration.ns() / 1000) * 3 / 10);
+  SimTime up_at = SimTime::Micros((duration.ns() / 1000) * 55 / 100);
+  for (int station = 0; station < n_clients; station += 5) {
+    plan.events.push_back({down_at, FaultType::kCrash, station});
+    plan.events.push_back({up_at, FaultType::kJoin, station});
+  }
+  plan.SortByTime();
+  return plan;
+}
+
+FaultPlan FaultPlan::ApOutage(SimTime duration) {
+  FaultPlan plan;
+  plan.events.push_back(
+      {SimTime::Micros((duration.ns() / 1000) * 4 / 10), FaultType::kApDown});
+  plan.events.push_back(
+      {SimTime::Micros((duration.ns() / 1000) * 55 / 100), FaultType::kApUp});
+  return plan;
+}
+
+}  // namespace hacksim

@@ -1,0 +1,113 @@
+// Fault injection for scenario runs: a FaultPlan is a deterministic,
+// serializable list of timed fault events — station churn (silent crash vs.
+// clean disassociate, rejoin), mid-run joins, AP outage + restart, radio
+// interface resets, and interference bursts. Plans are either handcrafted
+// (the bench rows), parsed from a string (`hacksim_run --fault-plan=...`,
+// reproduction recipes), or generated from a dedicated RNG stream
+// (Generate) — never from the scenario's root RNG, so legacy streams stay
+// untouched and an empty plan leaves every run bit-identical.
+//
+// Event semantics (applied by the scenario's fault engine; see
+// docs/robustness.md for the degradation model):
+//   crash@T:i   station i silently vanishes: radio off, MAC state wiped,
+//               sources stopped. The AP keeps its association state and
+//               must degrade via bounded retry/give-up.
+//   leave@T:i   clean disassociate: like crash, but the AP also flushes the
+//               station's queues and recycles its StationId.
+//   join@T:i    station i (re)joins: radio on, re-associates, traffic
+//               resumes. A station whose *first* event is a join starts the
+//               run absent.
+//   reset@T:i   instantaneous radio interface reset: station i loses all
+//               MAC state (queues, sequence rings, NAV) but stays up and
+//               immediately re-associates to the AP.
+//   ap-down@T   AP outage: radio off, MAC state wiped. Downlink traffic is
+//               dropped at the dead interface.
+//   ap-up@T     AP restart: radio on, association state rebuilt for every
+//               currently-present station.
+//   burst@T:p   interference burst start: every radio's loss model gains an
+//               independent extra corruption probability p until burst-end.
+//   burst-end@T ends the burst window (last burst@ wins while overlapping).
+//
+// Times serialize in integer microseconds (`crash@120000us:3`), so a plan
+// string round-trips exactly.
+#ifndef SRC_SCENARIO_FAULT_PLAN_H_
+#define SRC_SCENARIO_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/sim_time.h"
+
+namespace hacksim {
+
+enum class FaultType : uint8_t {
+  kCrash,
+  kLeave,
+  kJoin,
+  kRadioReset,
+  kApDown,
+  kApUp,
+  kBurstStart,
+  kBurstEnd,
+};
+
+struct FaultEvent {
+  SimTime at;
+  FaultType type = FaultType::kCrash;
+  int station = -1;         // station-scoped events only
+  double extra_loss = 0.0;  // kBurstStart only
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+struct FaultPlan {
+  // Sorted by time (ties keep insertion order).
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  bool HasBursts() const;
+  // True iff station i's first scheduled event is a join — the scenario
+  // then builds the station but brings it up only when the join fires.
+  bool StartsAbsent(int station) const;
+  // Largest station index referenced, or -1 for none (plan validation).
+  int MaxStation() const;
+  // Stable sort by time; call after hand-assembling events out of order.
+  void SortByTime();
+
+  std::string ToString() const;
+  static std::optional<FaultPlan> Parse(std::string_view text);
+
+  // Deterministic random plan for an n_clients/duration cell: a mix of
+  // churn (crash/leave + rejoin), radio resets, an optional AP outage and
+  // interference bursts, all drawn from Random(plan_seed) only.
+  static FaultPlan Generate(uint64_t plan_seed, int n_clients,
+                            SimTime duration);
+
+  // Bench presets (deterministic, no RNG).
+  static FaultPlan Churn(int n_clients, SimTime duration);
+  static FaultPlan ApOutage(SimTime duration);
+};
+
+// Fault-engine counters, surfaced through ScenarioResult.
+struct FaultStats {
+  uint64_t crashes = 0;
+  uint64_t leaves = 0;
+  uint64_t joins = 0;
+  uint64_t radio_resets = 0;
+  uint64_t ap_outages = 0;
+  uint64_t ap_restarts = 0;
+  uint64_t bursts = 0;
+  SimTime last_fault_time;
+  // Last moment service was restored (AP restart or final rejoin); the
+  // post-fault goodput window starts here.
+  SimTime last_recovery_time;
+
+  friend bool operator==(const FaultStats&, const FaultStats&) = default;
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_SCENARIO_FAULT_PLAN_H_

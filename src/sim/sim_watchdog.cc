@@ -1,0 +1,73 @@
+#include "src/sim/sim_watchdog.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace hacksim {
+
+void SimWatchdog::Start() {
+  if (config_.interval.IsZero()) {
+    return;
+  }
+  CHECK(progress_probe_ && backlog_probe_ && nav_probe_)
+      << "watchdog started without probes";
+  Stop();
+  last_progress_ = progress_probe_();
+  stalled_checks_ = 0;
+  Arm();
+}
+
+void SimWatchdog::Arm() {
+  check_event_ = scheduler_->ScheduleIn(config_.interval, [this] {
+    check_event_ = kInvalidEventId;
+    Check();
+    Arm();
+  });
+}
+
+void SimWatchdog::Stop() {
+  scheduler_->Cancel(check_event_);
+  check_event_ = kInvalidEventId;
+}
+
+void SimWatchdog::Check() {
+  ++stats_.checks;
+
+  uint64_t progress = progress_probe_();
+  bool backlog = backlog_probe_();
+  if (backlog && progress == last_progress_) {
+    if (++stalled_checks_ >= config_.stall_checks) {
+      Trip("no forward progress with backlog present (stalled queue)");
+      stalled_checks_ = 0;
+    }
+  } else {
+    stalled_checks_ = 0;
+  }
+  last_progress_ = progress;
+
+  SimTime nav = nav_probe_();
+  if (nav > scheduler_->Now() + config_.max_nav_reservation) {
+    Trip("NAV reservation leaked past the legal bound");
+  }
+
+  size_t pending = scheduler_->pending_events();
+  stats_.max_pending_seen = std::max(stats_.max_pending_seen, pending);
+  if (config_.max_pending_events != 0 &&
+      pending > config_.max_pending_events) {
+    Trip("scheduler arena leak: pending events exceed bound");
+  }
+}
+
+void SimWatchdog::Trip(const std::string& what) {
+  ++stats_.trips;
+  if (config_.abort_on_trip) {
+    CHECK(false) << "watchdog trip at t=" << scheduler_->Now() << ": " << what
+                 << (repro_.empty() ? "" : " | repro: ") << repro_;
+  } else {
+    LOG(Warning) << "watchdog trip (non-fatal) at t=" << scheduler_->Now()
+                 << ": " << what;
+  }
+}
+
+}  // namespace hacksim

@@ -1,0 +1,107 @@
+// Liveness + invariant watchdog: a self-rescheduling audit that runs at a
+// configurable cadence and aborts (with a one-line reproduction recipe) the
+// moment the simulation wedges instead of letting a livelock burn the CI
+// job's wall clock. The probes are injected as callbacks so the watchdog
+// stays a pure sim-layer component with no upward dependency on the MAC or
+// scenario layers.
+//
+// Invariants audited per check (see docs/robustness.md):
+//   forward progress  a backlogged cell must deliver PPDUs: if any radio-on
+//                     station reports backlog and the channel's PPDU count
+//                     has not advanced for `stall_checks` consecutive
+//                     checks, the cell is stalled.
+//   NAV leak          no station's NAV reservation may extend more than
+//                     `max_nav_reservation` past now — a longer value means
+//                     a virtual carrier-sense reservation leaked and the
+//                     medium will never go idle.
+//   arena leak        the scheduler's pending-event count must stay under
+//                     `max_pending_events`; unbounded growth means some
+//                     subsystem schedules without ever firing/cancelling.
+#ifndef SRC_SIM_SIM_WATCHDOG_H_
+#define SRC_SIM_SIM_WATCHDOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "src/sim/scheduler.h"
+#include "src/sim/sim_time.h"
+
+namespace hacksim {
+
+struct WatchdogConfig {
+  // Audit cadence. Zero disables the watchdog entirely (legacy default:
+  // zero extra scheduled events, bit-identical runs).
+  SimTime interval;
+  // Consecutive no-progress checks (with backlog present) before tripping.
+  int stall_checks = 3;
+  // Longest legal NAV reservation beyond now. Generous versus any real
+  // TXOP (~10 ms): a leak shows up as a reservation parked minutes out.
+  SimTime max_nav_reservation = SimTime::Millis(100);
+  // Pending-event ceiling; 0 disables the arena probe.
+  size_t max_pending_events = 0;
+  // Abort via CHECK on a trip (production/fuzz). Tests set false and
+  // assert on stats().trips instead.
+  bool abort_on_trip = true;
+};
+
+struct WatchdogStats {
+  uint64_t checks = 0;
+  uint64_t trips = 0;
+  size_t max_pending_seen = 0;
+
+  friend bool operator==(const WatchdogStats&, const WatchdogStats&) = default;
+};
+
+class SimWatchdog {
+ public:
+  // All probes are required when Start() is called. progress_probe returns a
+  // monotone delivered-work counter (PPDUs on air); backlog_probe returns
+  // true when some radio-on station has queued work; nav_probe returns the
+  // latest NAV expiry across radio-on stations (SimTime::Zero() if none).
+  using ProgressProbe = std::function<uint64_t()>;
+  using BacklogProbe = std::function<bool()>;
+  using NavProbe = std::function<SimTime()>;
+
+  SimWatchdog(Scheduler* scheduler, WatchdogConfig config)
+      : scheduler_(scheduler), config_(config) {}
+
+  void set_progress_probe(ProgressProbe p) { progress_probe_ = std::move(p); }
+  void set_backlog_probe(BacklogProbe p) { backlog_probe_ = std::move(p); }
+  void set_nav_probe(NavProbe p) { nav_probe_ = std::move(p); }
+  // One-line reproduction recipe (seed, topology, fault plan) included in
+  // the abort message on a trip.
+  void set_repro(std::string repro) { repro_ = std::move(repro); }
+
+  // Schedules the first check interval from now. No-op when
+  // config.interval is zero.
+  void Start();
+  // Cancels the pending check (e.g. before tearing the scenario down).
+  void Stop();
+
+  // Runs one audit immediately; exposed for unit tests.
+  void Check();
+
+  const WatchdogStats& stats() const { return stats_; }
+
+ private:
+  void Arm();
+  void Trip(const std::string& what);
+
+  Scheduler* scheduler_;
+  WatchdogConfig config_;
+  ProgressProbe progress_probe_;
+  BacklogProbe backlog_probe_;
+  NavProbe nav_probe_;
+  std::string repro_;
+
+  WatchdogStats stats_;
+  uint64_t last_progress_ = 0;
+  int stalled_checks_ = 0;
+  EventId check_event_ = kInvalidEventId;
+};
+
+}  // namespace hacksim
+
+#endif  // SRC_SIM_SIM_WATCHDOG_H_

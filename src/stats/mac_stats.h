@@ -74,6 +74,14 @@ struct MacStats {
   int64_t rohc_payload_airtime_ns = 0;
   uint64_t hack_payloads_fit_in_aifs = 0;
 
+  // --- robustness / fault handling ------------------------------------------
+  uint64_t dead_peer_flushes = 0;     // bounded give-up declared a peer dead
+  uint64_t dead_peer_flushed_packets = 0;  // queued packets dropped by those
+  uint64_t disassociation_flushes = 0;     // packets dropped by Disassociate
+  uint64_t radio_off_drops = 0;       // enqueues refused while the radio is off
+  uint64_t rx_window_resyncs = 0;     // reorder window hard-reset after a
+                                      // peer's MAC restarted mid-stream
+
   // --- recipient side --------------------------------------------------------
   uint64_t data_mpdus_received = 0;
   uint64_t duplicate_mpdus_discarded = 0;

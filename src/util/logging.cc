@@ -6,6 +6,7 @@ namespace hacksim {
 namespace {
 
 LogLevel g_level = LogLevel::kWarning;
+std::string g_abort_context;  // NOLINT: single-threaded simulator
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -28,6 +29,11 @@ const char* LevelName(LogLevel level) {
 LogLevel GetLogLevel() { return g_level; }
 void SetLogLevel(LogLevel level) { g_level = level; }
 
+void SetAbortContext(std::string context) {
+  g_abort_context = std::move(context);
+}
+const std::string& GetAbortContext() { return g_abort_context; }
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -47,6 +53,9 @@ LogMessage::~LogMessage() {
   stream_ << "\n";
   std::cerr << stream_.str();
   if (level_ == LogLevel::kFatal) {
+    if (!g_abort_context.empty()) {
+      std::cerr << "[FATAL] run context: " << g_abort_context << "\n";
+    }
     std::cerr.flush();
     std::abort();
   }

@@ -27,6 +27,13 @@ enum class LogLevel : int {
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+// One-line run context (seed, topology, fault plan, ...) emitted right
+// before any FATAL abort, so a CHECK death in CI is reproducible from the
+// log alone. Harnesses (RunScenario, the fuzz driver) overwrite it at the
+// start of every run; empty means "print nothing extra".
+void SetAbortContext(std::string context);
+const std::string& GetAbortContext();
+
 namespace internal {
 
 // Accumulates one log statement and emits it (to stderr) on destruction.

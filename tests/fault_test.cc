@@ -1,0 +1,340 @@
+// Fault-injection engine + liveness watchdog tests.
+//
+// 1. FaultPlan grammar: parse/ToString round-trips exactly, malformed
+//    plans are rejected whole, StartsAbsent/MaxStation semantics.
+// 2. FaultPlan::Generate is deterministic from its seed and stays inside
+//    the (n_clients, duration) envelope.
+// 3. SimWatchdog unit behaviour with abort_on_trip=false: stall, NAV-leak
+//    and arena-leak probes trip; a healthy cell never trips; a zero
+//    interval schedules nothing.
+// 4. Scenario integration: an empty plan with the watchdog auditing is
+//    behaviour-identical to a legacy run; churn, AP outage, radio resets
+//    and randomized plans all complete with zero trips and zero CRC
+//    failures; post-fault goodput recovers after an AP restart.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/scenario/download_scenario.h"
+#include "src/scenario/fault_plan.h"
+#include "src/sim/sim_watchdog.h"
+
+namespace hacksim {
+namespace {
+
+// --- FaultPlan grammar ------------------------------------------------------
+
+TEST(FaultPlanTest, ParseAndToStringRoundTrip) {
+  auto plan = FaultPlan::Parse(
+      "leave@10000us:1;reset@50000us:0;crash@120000us:3;join@250000us:3;"
+      "ap-down@300000us;ap-up@350000us;burst@400000us:0.25;burst-end@420000us");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->events.size(), 8u);
+  EXPECT_TRUE(plan->HasBursts());
+  EXPECT_EQ(plan->MaxStation(), 3);
+  // Station 3's first event is a crash, so it starts present.
+  EXPECT_FALSE(plan->StartsAbsent(3));
+
+  auto reparsed = FaultPlan::Parse(plan->ToString());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->events, plan->events);
+}
+
+TEST(FaultPlanTest, StartsAbsentWhenFirstEventIsJoin) {
+  auto plan = FaultPlan::Parse("join@100000us:2;crash@200000us:2");
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->StartsAbsent(2));
+  EXPECT_FALSE(plan->StartsAbsent(0));  // no events at all -> present
+}
+
+TEST(FaultPlanTest, CommaSeparatorAndBareMicros) {
+  auto plan = FaultPlan::Parse("crash@1000:0, join@2000:0");
+  ASSERT_TRUE(plan.has_value());
+  ASSERT_EQ(plan->events.size(), 2u);
+  EXPECT_EQ(plan->events[0].at, SimTime::Micros(1000));
+  EXPECT_EQ(plan->events[1].type, FaultType::kJoin);
+}
+
+TEST(FaultPlanTest, MalformedPlansRejectedWhole) {
+  EXPECT_FALSE(FaultPlan::Parse("crash@").has_value());
+  EXPECT_FALSE(FaultPlan::Parse("frobnicate@10us:1").has_value());
+  EXPECT_FALSE(FaultPlan::Parse("crash@10us").has_value());  // missing station
+  EXPECT_FALSE(FaultPlan::Parse("ap-down@10us:1").has_value());  // extra arg
+  EXPECT_FALSE(FaultPlan::Parse("burst@10us:1.5").has_value());  // p > 1
+  EXPECT_FALSE(FaultPlan::Parse("burst@10us:0").has_value());    // p == 0
+  EXPECT_FALSE(FaultPlan::Parse("crash@-5us:1").has_value());
+  // One bad token poisons the whole plan.
+  EXPECT_FALSE(FaultPlan::Parse("crash@10us:1;bogus").has_value());
+}
+
+TEST(FaultPlanTest, SortByTimeIsStable) {
+  FaultPlan plan;
+  plan.events.push_back({SimTime::Micros(300), FaultType::kApUp, -1, 0.0});
+  plan.events.push_back({SimTime::Micros(100), FaultType::kCrash, 0, 0.0});
+  plan.events.push_back({SimTime::Micros(100), FaultType::kCrash, 1, 0.0});
+  plan.SortByTime();
+  EXPECT_EQ(plan.events[0].station, 0);
+  EXPECT_EQ(plan.events[1].station, 1);
+  EXPECT_EQ(plan.events[2].type, FaultType::kApUp);
+}
+
+TEST(FaultPlanTest, GenerateIsDeterministicAndBounded) {
+  const SimTime dur = SimTime::Seconds(1);
+  FaultPlan a = FaultPlan::Generate(42, 10, dur);
+  FaultPlan b = FaultPlan::Generate(42, 10, dur);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_FALSE(a.empty());
+  EXPECT_LT(a.MaxStation(), 10);
+  for (const FaultEvent& ev : a.events) {
+    EXPECT_GT(ev.at.ns(), 0);
+    EXPECT_LT(ev.at.ns(), dur.ns());
+    if (ev.type == FaultType::kBurstStart) {
+      EXPECT_GT(ev.extra_loss, 0.0);
+      EXPECT_LE(ev.extra_loss, 1.0);
+    }
+  }
+  // A generated plan round-trips through its string form.
+  auto reparsed = FaultPlan::Parse(a.ToString());
+  ASSERT_TRUE(reparsed.has_value());
+  a.SortByTime();
+  EXPECT_EQ(reparsed->events, a.events);
+}
+
+TEST(FaultPlanTest, GeneratedPlansVaryWithSeed) {
+  // Not guaranteed pairwise-distinct in principle, but these seeds are.
+  FaultPlan a = FaultPlan::Generate(1, 8, SimTime::Seconds(1));
+  FaultPlan b = FaultPlan::Generate(2, 8, SimTime::Seconds(1));
+  EXPECT_NE(a.ToString(), b.ToString());
+}
+
+// --- SimWatchdog unit behaviour --------------------------------------------
+
+struct WatchdogHarness {
+  Scheduler scheduler;
+  uint64_t progress = 0;
+  bool backlog = false;
+  SimTime nav;
+
+  SimWatchdog Make(WatchdogConfig cfg) {
+    cfg.abort_on_trip = false;
+    SimWatchdog wd(&scheduler, cfg);
+    wd.set_progress_probe([this] { return progress; });
+    wd.set_backlog_probe([this] { return backlog; });
+    wd.set_nav_probe([this] { return nav; });
+    return wd;
+  }
+};
+
+TEST(SimWatchdogTest, ZeroIntervalSchedulesNothing) {
+  WatchdogHarness h;
+  SimWatchdog wd = h.Make(WatchdogConfig{});
+  wd.Start();
+  EXPECT_EQ(h.scheduler.pending_events(), 0u);
+  EXPECT_EQ(wd.stats().checks, 0u);
+}
+
+TEST(SimWatchdogTest, TripsOnStalledBacklog) {
+  WatchdogHarness h;
+  WatchdogConfig cfg;
+  cfg.interval = SimTime::Millis(1);
+  cfg.stall_checks = 3;
+  SimWatchdog wd = h.Make(cfg);
+  h.backlog = true;  // backlog forever, progress frozen
+  wd.Start();
+  h.scheduler.RunUntil(SimTime::Millis(10));
+  EXPECT_GE(wd.stats().checks, 9u);
+  EXPECT_GT(wd.stats().trips, 0u);
+}
+
+TEST(SimWatchdogTest, NoTripWhileProgressAdvances) {
+  WatchdogHarness h;
+  WatchdogConfig cfg;
+  cfg.interval = SimTime::Millis(1);
+  cfg.stall_checks = 3;
+  SimWatchdog wd = h.Make(cfg);
+  h.backlog = true;
+  for (int i = 1; i <= 20; ++i) {
+    h.scheduler.ScheduleAt(SimTime::Millis(i), [&h] { ++h.progress; });
+  }
+  wd.Start();
+  h.scheduler.RunUntil(SimTime::Millis(20));
+  EXPECT_GT(wd.stats().checks, 0u);
+  EXPECT_EQ(wd.stats().trips, 0u);
+}
+
+TEST(SimWatchdogTest, IdleCellWithoutBacklogNeverStalls) {
+  WatchdogHarness h;
+  WatchdogConfig cfg;
+  cfg.interval = SimTime::Millis(1);
+  cfg.stall_checks = 1;
+  SimWatchdog wd = h.Make(cfg);
+  wd.Start();  // backlog=false, progress frozen: idle, not stalled
+  h.scheduler.RunUntil(SimTime::Millis(10));
+  EXPECT_GT(wd.stats().checks, 0u);
+  EXPECT_EQ(wd.stats().trips, 0u);
+}
+
+TEST(SimWatchdogTest, TripsOnNavLeak) {
+  WatchdogHarness h;
+  WatchdogConfig cfg;
+  cfg.interval = SimTime::Millis(1);
+  cfg.max_nav_reservation = SimTime::Millis(5);
+  SimWatchdog wd = h.Make(cfg);
+  h.nav = SimTime::Seconds(30);  // parked far past any legal TXOP
+  wd.Start();
+  h.scheduler.RunUntil(SimTime::Millis(3));
+  EXPECT_GT(wd.stats().trips, 0u);
+}
+
+TEST(SimWatchdogTest, TripsOnArenaLeak) {
+  WatchdogHarness h;
+  WatchdogConfig cfg;
+  cfg.interval = SimTime::Millis(1);
+  cfg.max_pending_events = 4;
+  SimWatchdog wd = h.Make(cfg);
+  for (int i = 0; i < 16; ++i) {
+    h.scheduler.ScheduleAt(SimTime::Seconds(100), [] {});
+  }
+  wd.Start();
+  h.scheduler.RunUntil(SimTime::Millis(3));
+  EXPECT_GT(wd.stats().trips, 0u);
+  EXPECT_GE(wd.stats().max_pending_seen, 16u);
+}
+
+// --- scenario integration ---------------------------------------------------
+
+ScenarioConfig BaseConfig(int n_clients, TransportProto proto,
+                          HackVariant hack) {
+  ScenarioConfig c;
+  c.standard = WifiStandard::k80211n;
+  c.data_rate_mbps = 150.0;
+  c.n_clients = n_clients;
+  c.proto = proto;
+  c.hack = hack;
+  c.duration = SimTime::Millis(400);
+  c.start_stagger = SimTime::Millis(5);
+  c.seed = 7;
+  return c;
+}
+
+TEST(FaultScenarioTest, EmptyPlanWithWatchdogIsBehaviourIdentical) {
+  ScenarioConfig c = BaseConfig(3, TransportProto::kTcp, HackVariant::kMoreData);
+  c.duration = SimTime::Millis(600);
+  ScenarioResult legacy = RunScenario(c);
+  c.watchdog_interval = SimTime::Millis(10);
+  ScenarioResult audited = RunScenario(c);
+  EXPECT_TRUE(audited.BehaviourEquals(legacy))
+      << "watchdog audits changed behaviour: goodput "
+      << audited.aggregate_goodput_mbps << " vs "
+      << legacy.aggregate_goodput_mbps;
+  EXPECT_GT(audited.watchdog.checks, 0u);
+  EXPECT_EQ(audited.watchdog.trips, 0u);
+  EXPECT_EQ(audited.fault, FaultStats{});
+}
+
+TEST(FaultScenarioTest, ChurnedUdpCellSurvivesAndRecovers) {
+  ScenarioConfig c = BaseConfig(8, TransportProto::kUdp, HackVariant::kOff);
+  c.fault_plan = FaultPlan::Churn(c.n_clients, c.duration);
+  c.watchdog_interval = SimTime::Millis(10);
+  ScenarioResult r = RunScenario(c);
+  EXPECT_GT(r.fault.crashes, 0u);
+  EXPECT_EQ(r.fault.joins, r.fault.crashes);  // every churner rejoins
+  EXPECT_EQ(r.watchdog.trips, 0u);
+  EXPECT_EQ(r.crc_failures, 0u);
+  EXPECT_GT(r.aggregate_goodput_mbps, 0.0);
+  EXPECT_GT(r.post_fault_goodput_mbps, 0.0);
+}
+
+TEST(FaultScenarioTest, ApOutageGoodputRecoversAfterRestart) {
+  ScenarioConfig c = BaseConfig(4, TransportProto::kUdp, HackVariant::kOff);
+  ScenarioResult fault_free = RunScenario(c);
+
+  c.fault_plan = FaultPlan::ApOutage(c.duration);
+  c.watchdog_interval = SimTime::Millis(10);
+  ScenarioResult faulted = RunScenario(c);
+  EXPECT_EQ(faulted.fault.ap_outages, 1u);
+  EXPECT_EQ(faulted.fault.ap_restarts, 1u);
+  EXPECT_EQ(faulted.watchdog.trips, 0u);
+  EXPECT_EQ(faulted.crc_failures, 0u);
+  // The outage costs goodput over the whole run...
+  EXPECT_LT(faulted.aggregate_goodput_mbps, fault_free.aggregate_goodput_mbps);
+  // ...but the post-restart rate recovers to at least half the fault-free
+  // aggregate (the same gate the bench rows enforce at scale).
+  EXPECT_GE(faulted.post_fault_goodput_mbps,
+            0.5 * fault_free.aggregate_goodput_mbps)
+      << "post-fault " << faulted.post_fault_goodput_mbps << " vs fault-free "
+      << fault_free.aggregate_goodput_mbps;
+}
+
+TEST(FaultScenarioTest, TcpFlowsSurviveSilentCrashAndRejoin) {
+  ScenarioConfig c = BaseConfig(3, TransportProto::kTcp, HackVariant::kMoreData);
+  c.duration = SimTime::Millis(600);
+  auto plan = FaultPlan::Parse("crash@150000us:1;join@300000us:1");
+  ASSERT_TRUE(plan.has_value());
+  c.fault_plan = *plan;
+  c.watchdog_interval = SimTime::Millis(10);
+  ScenarioResult r = RunScenario(c);
+  EXPECT_EQ(r.fault.crashes, 1u);
+  EXPECT_EQ(r.fault.joins, 1u);
+  EXPECT_EQ(r.watchdog.trips, 0u);
+  EXPECT_EQ(r.crc_failures, 0u);
+  // The two untouched clients keep delivering.
+  EXPECT_GT(r.clients[0].bytes_delivered, 0u);
+  EXPECT_GT(r.clients[2].bytes_delivered, 0u);
+}
+
+TEST(FaultScenarioTest, LeaveRecyclesStationAndLateJoinerTakesOver) {
+  ScenarioConfig c = BaseConfig(4, TransportProto::kUdp, HackVariant::kOff);
+  // Station 1 leaves cleanly; station 3 exists only after mid-run join.
+  auto plan = FaultPlan::Parse(
+      "join@50000us:3;leave@150000us:1;crash@250000us:0;join@320000us:0");
+  ASSERT_TRUE(plan.has_value());
+  c.fault_plan = *plan;
+  c.watchdog_interval = SimTime::Millis(10);
+  ScenarioResult r = RunScenario(c);
+  EXPECT_EQ(r.fault.leaves, 1u);
+  EXPECT_EQ(r.fault.crashes, 1u);
+  EXPECT_EQ(r.fault.joins, 2u);
+  EXPECT_EQ(r.watchdog.trips, 0u);
+  EXPECT_EQ(r.crc_failures, 0u);
+  // The late joiner received traffic only after its join.
+  EXPECT_GT(r.clients[3].bytes_delivered, 0u);
+  // The leaver stopped receiving but still delivered before leaving.
+  EXPECT_GT(r.clients[1].bytes_delivered, 0u);
+}
+
+TEST(FaultScenarioTest, RadioResetsAndBurstsDoNotWedgeTheCell) {
+  ScenarioConfig c = BaseConfig(4, TransportProto::kUdp, HackVariant::kOff);
+  c.upload = true;  // resets hit the transmitting side's queues
+  auto plan = FaultPlan::Parse(
+      "reset@100000us:2;burst@150000us:0.4;burst-end@220000us;reset@250000us:2");
+  ASSERT_TRUE(plan.has_value());
+  c.fault_plan = *plan;
+  c.watchdog_interval = SimTime::Millis(10);
+  ScenarioResult r = RunScenario(c);
+  EXPECT_EQ(r.fault.radio_resets, 2u);
+  EXPECT_EQ(r.fault.bursts, 1u);
+  EXPECT_EQ(r.watchdog.trips, 0u);
+  EXPECT_EQ(r.crc_failures, 0u);
+  EXPECT_GT(r.aggregate_goodput_mbps, 0.0);
+}
+
+TEST(FaultScenarioTest, FixedSeedRandomPlansAllSurvive) {
+  // A miniature of tools/fault_fuzz.cc kept inside the default suite: a
+  // handful of generated plans across both transports, zero trips.
+  for (uint64_t i = 1; i <= 6; ++i) {
+    ScenarioConfig c =
+        BaseConfig(6, i % 2 == 0 ? TransportProto::kUdp : TransportProto::kTcp,
+                   i % 3 == 0 ? HackVariant::kMoreData : HackVariant::kOff);
+    c.duration = SimTime::Millis(250);
+    c.seed = i;
+    c.fault_plan = FaultPlan::Generate(1000 + i, c.n_clients, c.duration);
+    c.watchdog_interval = SimTime::Millis(5);
+    ScenarioResult r = RunScenario(c);
+    EXPECT_EQ(r.watchdog.trips, 0u) << "plan: " << c.fault_plan.ToString();
+    EXPECT_EQ(r.crc_failures, 0u) << "plan: " << c.fault_plan.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace hacksim

@@ -382,6 +382,105 @@ TEST(MacTest, AssociatePreInternsWithoutCreatingWork) {
   EXPECT_EQ(pair.mac_a->station_count(), 2u);
 }
 
+// A sender MAC restart at a small sequence number: the receiver's reorder
+// window sits near the stream head, so the restarted peer's fresh seq 0
+// lands in the duplicate-discard zone. Reassociation (the receiver's
+// Associate toward the peer) must tear the stale window down so the new
+// stream flows instead of blackholing.
+TEST(MacTest, ReassociationAfterPeerRestartResetsRxWindow) {
+  MacPair pair(WifiStandard::k80211n, 150);
+  for (uint32_t i = 0; i < 100; ++i) {
+    pair.mac_a->Enqueue(MakeUdpPacket(200 + i), MacAddress::ForStation(1));
+  }
+  pair.sched.RunUntil(SimTime::Millis(50));
+  ASSERT_EQ(pair.received_at_b.size(), 100u);
+
+  // A's MAC "restarts": drop all state toward B, then re-associate both
+  // ways (what the scenario layer does on an AP restart).
+  pair.mac_a->Disassociate(MacAddress::ForStation(1));
+  pair.mac_a->Associate(MacAddress::ForStation(1));
+  pair.mac_b->Associate(MacAddress::ForStation(0));
+  for (uint32_t i = 0; i < 50; ++i) {
+    pair.mac_a->Enqueue(MakeUdpPacket(500 + i), MacAddress::ForStation(1));
+  }
+  pair.sched.RunUntil(SimTime::Millis(100));
+  // Everything after the restart is delivered in order from seq 0; no
+  // hard-resync needed because reassociation already reset the window.
+  ASSERT_EQ(pair.received_at_b.size(), 150u);
+  for (uint32_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(pair.received_at_b[100 + i].payload_bytes(), 500 + i);
+  }
+  EXPECT_EQ(pair.mac_b->stats().rx_window_resyncs, 0u);
+  EXPECT_EQ(pair.mac_b->stats().duplicate_mpdus_discarded, 0u);
+}
+
+// The same restart *without* the receiver hearing about it, at a sequence
+// number far past the window: the receiver must detect the impossible
+// backward jump (> 4x the A-MPDU window) and hard-resync instead of
+// discarding the restarted peer's stream as duplicates forever.
+TEST(MacTest, SilentPeerRestartTriggersRxWindowResync) {
+  MacPair pair(WifiStandard::k80211n, 150);
+  // Paced batches: a single 300-deep burst would overflow the drop-tail
+  // queue; what matters is only that B's window advances past 256.
+  for (uint32_t batch = 0; batch < 6; ++batch) {
+    for (uint32_t i = 0; i < 50; ++i) {
+      pair.mac_a->Enqueue(MakeUdpPacket(1000), MacAddress::ForStation(1));
+    }
+    pair.sched.RunUntil(SimTime::Millis(20 * (batch + 1)));
+  }
+  ASSERT_EQ(pair.received_at_b.size(), 300u);
+
+  // Silent restart: B keeps its reorder window at ~300 while A's fresh
+  // TxState restarts the stream at seq 0 — 300 behind, far outside any
+  // legitimate retransmission lag.
+  pair.mac_a->Disassociate(MacAddress::ForStation(1));
+  for (uint32_t i = 0; i < 50; ++i) {
+    pair.mac_a->Enqueue(MakeUdpPacket(700 + i), MacAddress::ForStation(1));
+  }
+  pair.sched.RunUntil(SimTime::Millis(200));
+  ASSERT_EQ(pair.received_at_b.size(), 350u);
+  for (uint32_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(pair.received_at_b[300 + i].payload_bytes(), 700 + i);
+  }
+  EXPECT_EQ(pair.mac_b->stats().rx_window_resyncs, 1u);
+}
+
+// Disassociate returns the peer's dense id to the recycle pool; the next
+// new peer takes it over. The recycled id must start from a clean TX seq
+// ring and scoreboard — nothing of the departed station's stream may leak
+// into the successor's.
+TEST(MacTest, RecycledStationIdStartsWithFreshSeqState) {
+  MacPair pair(WifiStandard::k80211n, 150);
+  for (uint32_t i = 0; i < 100; ++i) {
+    pair.mac_a->Enqueue(MakeUdpPacket(1000), MacAddress::ForStation(1));
+  }
+  pair.sched.RunUntil(SimTime::Millis(50));
+  ASSERT_EQ(pair.received_at_b.size(), 100u);
+  ASSERT_EQ(pair.mac_a->station_count(), 1u);
+
+  // B leaves and rejoins: the fresh association must take the recycled id
+  // (station_count stays flat — the dense footprint tracks live members).
+  pair.mac_a->Disassociate(MacAddress::ForStation(1));
+  pair.mac_a->Associate(MacAddress::ForStation(1));
+  EXPECT_EQ(pair.mac_a->station_count(), 1u);
+
+  // The rejoined stream starts at seq 0 on the recycled id: B (fresh
+  // window after its own reassociation) receives every frame exactly once,
+  // which fails if the recycled TxState kept the old next-seq or a dirty
+  // scoreboard held frames back.
+  pair.mac_b->Associate(MacAddress::ForStation(0));
+  for (uint32_t i = 0; i < 80; ++i) {
+    pair.mac_a->Enqueue(MakeUdpPacket(300 + i), MacAddress::ForStation(1));
+  }
+  pair.sched.RunUntil(SimTime::Millis(150));
+  ASSERT_EQ(pair.received_at_b.size(), 180u);
+  for (uint32_t i = 0; i < 80; ++i) {
+    EXPECT_EQ(pair.received_at_b[100 + i].payload_bytes(), 300 + i);
+  }
+  EXPECT_EQ(pair.mac_b->stats().duplicate_mpdus_discarded, 0u);
+  EXPECT_EQ(pair.mac_a->stats().mpdus_dropped_retry_limit, 0u);
+}
+
 // Passive PHY listener that records every decodable PPDU on the air —
 // frame type and PHY rate — without ever transmitting. Used to pin
 // over-the-air protocol properties (control-response rates, RTS/CTS

@@ -135,6 +135,26 @@ TEST(LegacyBitIdentityPin, FixedLossScenarioOutputsPinned) {
   EXPECT_EQ(r.ap_phy.overlap_losses, 0u);
 }
 
+TEST(LegacyBitIdentityPin, FaultMachineryOffStillHitsTheGoldenValues) {
+  // The fault-injection engine and the liveness watchdog must be free when
+  // unused: an empty plan installs no loss gates, draws nothing from any
+  // RNG stream, and leaves flow wiring untouched; the watchdog only adds
+  // its own kOther audit events. Same golden values as above — if this
+  // drifts while the test above still passes, the fault plumbing itself
+  // perturbed the legacy path.
+  ScenarioConfig c =
+      BaseConfig(3, TransportProto::kTcp, HackVariant::kMoreData);
+  c.fault_plan = FaultPlan{};  // explicitly empty
+  c.watchdog_interval = SimTime::Millis(5);
+  c.watchdog_abort_on_trip = true;  // a trip would abort the test binary
+  ScenarioResult r = RunScenario(c);
+  EXPECT_EQ(r.airtime.ppdus, 901u);
+  EXPECT_EQ(r.aggregate_goodput_mbps, 116.30534609523809);
+  EXPECT_EQ(r.fault, FaultStats{});
+  EXPECT_EQ(r.watchdog.trips, 0u);
+  EXPECT_GT(r.watchdog.checks, 0u);
+}
+
 TEST(HiddenTerminalScenarioTest, RtsRecoversGoodputLostToHiddenCollisions) {
   ScenarioResult plain = RunScenario(HiddenConfig(10, /*rts_threshold=*/0));
   ScenarioResult rts = RunScenario(HiddenConfig(10, /*rts_threshold=*/500));

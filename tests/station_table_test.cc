@@ -5,6 +5,8 @@
 // bit-identical-behaviour guarantee rests on).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -38,6 +40,72 @@ TEST(StationTableTest, AddressOfRoundTrips) {
   for (uint32_t i = 0; i < 300; ++i) {
     StationId id = table.Intern(MacAddress::ForStation(i * 17));
     EXPECT_EQ(table.AddressOf(id), MacAddress::ForStation(i * 17));
+  }
+}
+
+TEST(StationTableTest, DisassociateRecyclesIdsLifo) {
+  StationTable table;
+  StationId a = table.Intern(MacAddress::ForStation(1));
+  StationId b = table.Intern(MacAddress::ForStation(2));
+  StationId c = table.Intern(MacAddress::ForStation(3));
+  EXPECT_EQ(table.live_count(), 3u);
+
+  table.Disassociate(MacAddress::ForStation(2));
+  EXPECT_EQ(table.Find(MacAddress::ForStation(2)), kInvalidStationId);
+  EXPECT_EQ(table.live_count(), 2u);
+  // size() is the high-water mark: flat per-id vectors must not shrink.
+  EXPECT_EQ(table.size(), 3u);
+
+  // LIFO recycle: the next new address takes the freed id, and the dense
+  // footprint does not grow.
+  StationId d = table.Intern(MacAddress::ForStation(9));
+  EXPECT_EQ(d, b);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.live_count(), 3u);
+  EXPECT_EQ(table.AddressOf(d), MacAddress::ForStation(9));
+  // Untouched stations keep their ids across the churn.
+  EXPECT_EQ(table.Find(MacAddress::ForStation(1)), a);
+  EXPECT_EQ(table.Find(MacAddress::ForStation(3)), c);
+
+  // Re-associating the departed address is a fresh intern: new slot only
+  // because none is free.
+  EXPECT_EQ(table.Intern(MacAddress::ForStation(2)), 3u);
+  EXPECT_EQ(table.size(), 4u);
+}
+
+TEST(StationTableTest, RandomizedChurnStaysDenseAndConsistent) {
+  StationTable table;
+  std::map<uint32_t, StationId> live;  // station number -> expected id
+  Random rng(99);
+  size_t high_water = 0;
+  for (int step = 0; step < 5000; ++step) {
+    uint32_t station = rng.NextBounded(64);
+    MacAddress addr = MacAddress::ForStation(station);
+    if (live.count(station) != 0 && rng.NextBool(0.5)) {
+      table.Disassociate(addr);
+      live.erase(station);
+    } else {
+      StationId id = table.Intern(addr);
+      if (live.count(station) != 0) {
+        ASSERT_EQ(id, live[station]) << "re-intern moved a live station";
+      } else {
+        // Ids stay dense: recycled or the next fresh index, never beyond
+        // the high-water mark + 1.
+        ASSERT_LE(id, high_water) << "step " << step;
+        live[station] = id;
+      }
+    }
+    high_water = std::max(high_water, table.size());
+    ASSERT_EQ(table.live_count(), live.size());
+    ASSERT_EQ(table.size(), high_water) << "flat vectors must not shrink";
+  }
+  // Full cross-check at the end: every live station finds its id and the
+  // id maps back; ids are unique.
+  std::map<StationId, uint32_t> by_id;
+  for (const auto& [station, id] : live) {
+    EXPECT_EQ(table.Find(MacAddress::ForStation(station)), id);
+    EXPECT_EQ(table.AddressOf(id), MacAddress::ForStation(station));
+    EXPECT_TRUE(by_id.emplace(id, station).second) << "duplicate id " << id;
   }
 }
 
@@ -109,6 +177,43 @@ TEST(ActiveSlotRingTest, WorksAcrossWordAndSummaryBoundaries) {
   EXPECT_EQ(ring.active_count(), 4u);
 }
 
+TEST(ActiveSlotRingTest, ReleasedSlotsRecycleWithoutGrowingTheRing) {
+  ActiveSlotRing ring;
+  EXPECT_EQ(ring.AddSlot(), 0u);
+  EXPECT_EQ(ring.AddSlot(), 1u);
+  EXPECT_EQ(ring.AddSlot(), 2u);
+  ring.Set(1, true);
+  ring.Set(1, false);
+  ring.ReleaseSlot(1);
+  EXPECT_EQ(ring.size(), 3u);  // released, not shrunk: cursor math stable
+  // LIFO recycle, and the recycled slot comes back inactive.
+  EXPECT_EQ(ring.AddSlot(), 1u);
+  EXPECT_FALSE(ring.Test(1));
+  EXPECT_EQ(ring.size(), 3u);
+  // With the pool drained, AddSlot appends again.
+  EXPECT_EQ(ring.AddSlot(), 3u);
+  EXPECT_EQ(ring.size(), 4u);
+}
+
+TEST(ActiveSlotRingTest, ReleasedSlotIsSkippedByThePick) {
+  ActiveSlotRing ring;
+  for (int i = 0; i < 3; ++i) {
+    ring.AddSlot();
+  }
+  ring.Set(0, true);
+  ring.Set(1, true);
+  ring.Set(2, true);
+  ring.Set(1, false);
+  ring.ReleaseSlot(1);
+  size_t slot;
+  ASSERT_TRUE(ring.PickNext(&slot));
+  EXPECT_EQ(slot, 0u);
+  ASSERT_TRUE(ring.PickNext(&slot));
+  EXPECT_EQ(slot, 2u);  // straight past the released slot
+  ASSERT_TRUE(ring.PickNext(&slot));
+  EXPECT_EQ(slot, 0u);
+}
+
 // Reference model: the legacy WifiMac::PickNextDest scan over a vector of
 // destinations with a wrap-around cursor.
 class LegacyRoundRobin {
@@ -171,6 +276,88 @@ TEST(ActiveSlotRingTest, RandomizedEquivalenceWithLegacyScan) {
         break;
       }
     }
+  }
+}
+
+// Same equivalence property with station churn in the op mix: slots are
+// released (Disassociate) and recycled (a later join re-Adds them). In the
+// legacy model a released slot is simply a destination that never becomes
+// active again until the recycled AddSlot hands it back — the ring must
+// pick and advance identically through arbitrary interleavings of that.
+TEST(ActiveSlotRingTest, RandomizedEquivalenceUnderChurn) {
+  ActiveSlotRing ring;
+  LegacyRoundRobin legacy;
+  Random rng(4321);
+  // Per-slot lifecycle the driver tracks: live+active, live+idle, released.
+  std::vector<char> active;
+  std::vector<char> released;
+  auto pick_slot_where = [&](auto pred) -> std::optional<size_t> {
+    std::vector<size_t> candidates;
+    for (size_t s = 0; s < active.size(); ++s) {
+      if (pred(s)) {
+        candidates.push_back(s);
+      }
+    }
+    if (candidates.empty()) {
+      return std::nullopt;
+    }
+    return candidates[rng.NextBounded(
+        static_cast<uint32_t>(candidates.size()))];
+  };
+  for (int step = 0; step < 20000; ++step) {
+    switch (rng.NextBounded(6)) {
+      case 0: {  // join: recycled slot if any, else fresh append
+        size_t slot = ring.AddSlot();
+        if (slot == active.size()) {
+          legacy.AddSlot();
+          active.push_back(false);
+          released.push_back(false);
+        } else {
+          ASSERT_TRUE(released[slot]) << "recycled a live slot";
+          released[slot] = false;
+          ASSERT_FALSE(ring.Test(slot)) << "recycled slot came back active";
+        }
+        break;
+      }
+      case 1: {  // backlog arrives
+        if (auto s = pick_slot_where(
+                [&](size_t i) { return !released[i] && !active[i]; })) {
+          ring.Set(*s, true);
+          legacy.Set(*s, true);
+          active[*s] = true;
+        }
+        break;
+      }
+      case 2: {  // backlog drains
+        if (auto s = pick_slot_where(
+                [&](size_t i) { return !released[i] && active[i]; })) {
+          ring.Set(*s, false);
+          legacy.Set(*s, false);
+          active[*s] = false;
+        }
+        break;
+      }
+      case 3: {  // leave: only an idle live slot can be released
+        if (auto s = pick_slot_where(
+                [&](size_t i) { return !released[i] && !active[i]; })) {
+          ring.ReleaseSlot(*s);
+          released[*s] = true;
+          // Legacy: nothing — the slot just stays inactive forever.
+        }
+        break;
+      }
+      default: {
+        size_t got = 0;
+        bool ok = ring.PickNext(&got);
+        std::optional<size_t> want = legacy.PickNext();
+        ASSERT_EQ(ok, want.has_value()) << "step " << step;
+        if (ok) {
+          ASSERT_EQ(got, *want) << "step " << step;
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(ring.size(), active.size());
   }
 }
 

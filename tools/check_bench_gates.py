@@ -32,6 +32,24 @@ Three gates, all keyed to the committed Release references in the repo root:
    committed artifact always (missing rows fail) and on a fresh scale JSON
    whenever it carries the rows (quick mode's 10/100-station sweep
    included, so pushes exercise this gate end-to-end).
+5. Zero-byte guard: every scale row must have delivered bytes, except the
+   rows named in ZERO_BYTE_EXEMPT where collapse IS the measured physics
+   (today only "udp-hidden": at scale every frame dies blind at the AP).
+   The exemption is an explicit allow-list cross-checked against the
+   artifact — if an exempt row is renamed, the stale entry fails the gate
+   instead of silently widening it. bench_scale itself enforces the same
+   per-row policy at generation time; this gate re-checks the committed
+   artifact so a hand-edited or stale JSON cannot slip through. The fault
+   rows (udp-churn, udp-apout) are deliberately NOT exempt: a faulted cell
+   that delivers nothing is a robustness bug, not measured physics.
+6. Post-fault recovery: at every station count carrying the fault rows,
+   "udp-churn" and "udp-apout" must report post_fault_goodput_mbps (the
+   goodput over the window after the last recovery event) of at least
+   --post-fault-ratio (default 0.5) x the matching fault-free "udp" row.
+   This is the survivability contract: after a fifth of the stations
+   churn or the AP dies and restarts, the cell must climb back to at
+   least half its fault-free rate. Committed artifact must carry the
+   rows; fresh is checked whenever it does (quick mode included).
 
 Usage:
   check_bench_gates.py --committed-micro BENCH_micro.json \
@@ -43,6 +61,15 @@ Usage:
 import argparse
 import json
 import sys
+
+# Rows allowed to deliver zero bytes because collapse is the measured
+# physics, not a bug. Explicit allow-list: renaming a row leaves a stale
+# entry here that fails the gate loudly (see check below) instead of
+# silently skipping the guard for the renamed row.
+ZERO_BYTE_EXEMPT = frozenset({"udp-hidden"})
+
+# Fault rows and the fault-free baseline each must recover against.
+POST_FAULT_ROWS = {"udp-churn": "udp", "udp-apout": "udp"}
 
 
 def cancel_heavy_ns(path):
@@ -79,6 +106,7 @@ def main():
     ap.add_argument("--goodput-ratio", type=float, default=2.0)
     ap.add_argument("--hidden-ratio", type=float, default=2.0)
     ap.add_argument("--hidden-min-mbps", type=float, default=10.0)
+    ap.add_argument("--post-fault-ratio", type=float, default=0.5)
     args = ap.parse_args()
 
     failed = False
@@ -96,6 +124,61 @@ def main():
         if not path:
             continue
         all_rows = scale_rows(path)
+
+        # Zero-byte guard: any non-exempt row delivering nothing is a
+        # simulator bug surfacing as a bench number.
+        for r in all_rows:
+            if int(r["bytes"]) == 0 and r["proto"] not in ZERO_BYTE_EXEMPT:
+                print(f"[FAIL] {label} {r['stations']}-station "
+                      f"{r['proto']}/{r['hack']}: zero bytes delivered and "
+                      "not in the zero-byte exempt-list")
+                failed = True
+        # A stale exempt entry means the row it covered was renamed and the
+        # renamed row now runs un-guarded at generation time — fail loudly.
+        if label == "committed":
+            present = {r["proto"] for r in all_rows}
+            for name in sorted(ZERO_BYTE_EXEMPT - present):
+                print(f"[FAIL] {path}: zero-byte exempt row \"{name}\" does "
+                      "not exist in the artifact (renamed? update "
+                      "ZERO_BYTE_EXEMPT)")
+                failed = True
+
+        # Post-fault recovery gate: after churn / an AP outage the cell
+        # must climb back to >= the configured fraction of its fault-free
+        # goodput, at every station count carrying the fault rows.
+        by_count = {}
+        for r in all_rows:
+            by_count.setdefault(r["stations"], {})[r["proto"]] = r
+        fault_pairs = 0
+        for n in sorted(by_count):
+            protos = by_count[n]
+            for fault_proto, base_proto in sorted(POST_FAULT_ROWS.items()):
+                if fault_proto not in protos or base_proto not in protos:
+                    continue
+                fault_pairs += 1
+                fr = protos[fault_proto]
+                if "post_fault_goodput_mbps" not in fr:
+                    print(f"[FAIL] {label} {n}-station {fault_proto}: fault "
+                          "row missing post_fault_goodput_mbps")
+                    failed = True
+                    continue
+                got = float(fr["post_fault_goodput_mbps"])
+                base = float(protos[base_proto]["goodput_mbps"])
+                floor = base * args.post_fault_ratio
+                ok = got >= floor
+                verdict = "OK" if ok else "FAIL"
+                print(f"[{verdict}] {label} {n}-station {fault_proto} "
+                      f"post-fault goodput: {got:.1f} Mbps vs fault-free "
+                      f"{base_proto} {base:.1f} Mbps (floor {floor:.1f} = "
+                      f"{args.post_fault_ratio:.2f}x)")
+                failed |= not ok
+        if fault_pairs == 0:
+            if label == "committed":
+                print(f"[FAIL] {path}: no udp-churn / udp-apout fault rows "
+                      "— the post-fault recovery gate has nothing to check")
+                failed = True
+            else:
+                print(f"[SKIP] {path}: no fault rows")
 
         # Hidden-terminal recovery gate: udp-hidden-rts vs udp-hidden at
         # every station count carrying both rows (quick runs stop at 100

@@ -38,6 +38,10 @@ struct Flags {
   // "ring" (legacy fixed-loss broadcast), or the geometric-channel layouts
   // "disk" / "hidden" (log-distance propagation + SINR capture).
   std::string topology = "ring";
+  // Fault injection + liveness auditing (docs/robustness.md).
+  std::string fault_plan;
+  int watchdog_ms = 0;
+  bool watchdog_no_abort = false;
   bool verbose = false;
 };
 
@@ -73,6 +77,12 @@ void Usage() {
                "                        ring: legacy broadcast medium;\n"
                "                        disk/hidden: geometric channel with\n"
                "                        range-limited decode + SINR capture\n"
+               "  --fault-plan=<plan>   timed fault events, e.g.\n"
+               "                        'crash@120000us:3;join@250000us:3;"
+               "ap-down@300000us;ap-up@350000us'\n"
+               "  --watchdog-ms=<ms>    liveness audit cadence (0=off)\n"
+               "  --watchdog-no-abort   record watchdog trips instead of\n"
+               "                        aborting\n"
                "  --verbose             print per-client counters\n");
 }
 
@@ -107,6 +117,12 @@ bool Parse(int argc, char** argv, Flags* flags) {
       flags->rts_threshold = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "topology", &value)) {
       flags->topology = value;
+    } else if (ParseFlag(argv[i], "fault-plan", &value)) {
+      flags->fault_plan = value;
+    } else if (ParseFlag(argv[i], "watchdog-ms", &value)) {
+      flags->watchdog_ms = std::atoi(value.c_str());
+    } else if (std::strcmp(argv[i], "--watchdog-no-abort") == 0) {
+      flags->watchdog_no_abort = true;
     } else if (std::strcmp(argv[i], "--rate-adapt") == 0) {
       flags->rate_adapt = true;
     } else if (std::strcmp(argv[i], "--upload") == 0) {
@@ -199,6 +215,17 @@ int main(int argc, char** argv) {
   if (flags.snr_distance > 0) {
     config.snr = SnrLossModel::Params{};
   }
+  if (!flags.fault_plan.empty()) {
+    auto plan = FaultPlan::Parse(flags.fault_plan);
+    if (!plan.has_value()) {
+      std::fprintf(stderr, "malformed --fault-plan: %s\n",
+                   flags.fault_plan.c_str());
+      return 2;
+    }
+    config.fault_plan = *plan;
+  }
+  config.watchdog_interval = SimTime::Millis(flags.watchdog_ms);
+  config.watchdog_abort_on_trip = !flags.watchdog_no_abort;
 
   ScenarioResult r = RunScenario(config);
 
@@ -220,6 +247,21 @@ int main(int argc, char** argv) {
   std::printf("out_of_range_pairs=%llu\n", u(r.airtime.out_of_range));
   std::printf("ap_rate_moves=%llu/%llu\n", u(r.ap_mac.rate_up_moves),
               u(r.ap_mac.rate_down_moves));
+  if (!config.fault_plan.empty()) {
+    std::printf("fault_crashes=%llu\n", u(r.fault.crashes));
+    std::printf("fault_leaves=%llu\n", u(r.fault.leaves));
+    std::printf("fault_joins=%llu\n", u(r.fault.joins));
+    std::printf("fault_radio_resets=%llu\n", u(r.fault.radio_resets));
+    std::printf("fault_ap_outages=%llu\n", u(r.fault.ap_outages));
+    std::printf("fault_ap_restarts=%llu\n", u(r.fault.ap_restarts));
+    std::printf("fault_bursts=%llu\n", u(r.fault.bursts));
+    std::printf("post_fault_goodput_mbps=%.2f\n", r.post_fault_goodput_mbps);
+  }
+  if (!config.watchdog_interval.IsZero()) {
+    std::printf("watchdog_checks=%llu\n", u(r.watchdog.checks));
+    std::printf("watchdog_trips=%llu\n", u(r.watchdog.trips));
+    std::printf("final_pending_events=%llu\n", u(r.final_pending_events));
+  }
   for (size_t i = 0; i < r.clients.size(); ++i) {
     std::printf("client%zu_goodput_mbps=%.2f\n", i + 1,
                 r.clients[i].goodput_mbps);

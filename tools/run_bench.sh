@@ -13,6 +13,9 @@
 #   build_dir  defaults to ./build (must be configured with -DHACKSIM_BENCH=ON)
 #   out_dir    defaults to the repo root
 # Honours HACKSIM_QUICK=1 for a fast smoke pass (CI).
+# Each bench runs under a hard timeout (HACKSIM_BENCH_TIMEOUT, seconds;
+# default 1800, 600 in quick mode) so a wedged simulation fails the job
+# with a named culprit instead of hanging it until the CI runner is killed.
 #
 # docs/perf.md describes how to read BENCH_micro.json and which entries the
 # perf trajectory tracks across PRs.
@@ -51,12 +54,36 @@ if [[ "$build_type" != "Release" || "$sanitize" == "ON" ]]; then
 fi
 
 repetitions="${BENCH_REPETITIONS:-5}"
+bench_timeout="${HACKSIM_BENCH_TIMEOUT:-1800}"
 if [[ "${HACKSIM_QUICK:-0}" == "1" ]]; then
   repetitions=1
+  bench_timeout="${HACKSIM_BENCH_TIMEOUT:-600}"
 fi
 
-echo "== bench_micro (repetitions=$repetitions) =="
-"$build_dir/bench_micro" \
+# Hard wall-clock bound around one bench invocation. A liveness bug (stalled
+# queue, NAV leak, event-loop wedge) that slips past the in-sim watchdog
+# shows up here as an infinite bench run; kill it (SIGTERM, then SIGKILL
+# after 30 s of grace) and name the culprit instead of hanging CI.
+run_with_timeout() {
+  local name="$1"
+  shift
+  local rc=0
+  timeout --kill-after=30 "$bench_timeout" "$@" || rc=$?
+  if (( rc == 124 || rc == 137 )); then
+    echo "error: $name exceeded the ${bench_timeout}s bench timeout and was" \
+         "killed — the simulation wedged or the run is drastically slower" \
+         "than the perf trajectory allows. Reproduce locally with:" \
+         "$*" >&2
+    exit 1
+  fi
+  if (( rc != 0 )); then
+    echo "error: $name failed with exit code $rc" >&2
+    exit "$rc"
+  fi
+}
+
+echo "== bench_micro (repetitions=$repetitions, timeout=${bench_timeout}s) =="
+run_with_timeout bench_micro "$build_dir/bench_micro" \
   --benchmark_repetitions="$repetitions" \
   --benchmark_report_aggregates_only=true \
   --benchmark_format=json \
@@ -73,14 +100,16 @@ fi
 echo
 echo "== bench_fig10_goodput =="
 start_ns=$(date +%s%N)
-"$build_dir/bench_fig10_goodput" | tee "$out_dir/BENCH_fig10.txt"
+run_with_timeout bench_fig10_goodput "$build_dir/bench_fig10_goodput" \
+  | tee "$out_dir/BENCH_fig10.txt"
 end_ns=$(date +%s%N)
 wall_ms=$(( (end_ns - start_ns) / 1000000 ))
 echo "wall_clock_ms=$wall_ms" | tee -a "$out_dir/BENCH_fig10.txt"
 
 echo
-echo "== bench_scale =="
-"$build_dir/bench_scale" --json "$out_dir/BENCH_scale.json"
+echo "== bench_scale (timeout=${bench_timeout}s) =="
+run_with_timeout bench_scale \
+  "$build_dir/bench_scale" --json "$out_dir/BENCH_scale.json"
 
 echo
 echo "wrote $out_dir/BENCH_micro.json, $out_dir/BENCH_fig10.txt and $out_dir/BENCH_scale.json"
