@@ -22,14 +22,30 @@
 //   wall       host milliseconds
 //   ev/s       events per wall-clock second (engine throughput)
 //
-// Usage: bench_scale [--json PATH]
+// Usage: bench_scale [--json PATH] [--jobs=N] [--repeats=N]
+//   --jobs=N     fan independent runs across N workers (0 = all hardware
+//                threads, the default). Every run's output is bit-identical
+//                at any jobs level — the campaign engine derives run seeds
+//                from the matrix position, never from scheduling.
+//   --repeats=N  replicate seeds per 10/100-station row (default 5);
+//                1000-station rows always run single-seed for wall-clock.
+//                Repeat 0 is the legacy seed=1 run and fills the legacy
+//                columns byte-identically; repeats > 1 add
+//                goodput_mean_mbps / goodput_ci95_mbps (and a post-fault
+//                mean on fault rows) across the replicates.
 // Honours HACKSIM_QUICK=1 (CI): 10/100 stations only, shorter runs.
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/scenario/campaign.h"
+#include "src/sim/random.h"
+#include "src/util/stats.h"
 
 using namespace hacksim;
 
@@ -90,9 +106,19 @@ struct ScaleRow {
   bool has_fault = false;
   uint64_t fault_events = 0;
   double post_fault_goodput_mbps = 0.0;
+  // Validated on the main thread after the parallel fan-out (a worker must
+  // not std::exit while its siblings run).
+  uint64_t crc_failures = 0;
+  // Replicate-seed aggregation (repeat 0 = the legacy seed=1 run, which
+  // alone fills the legacy columns above). Emitted only when repeats > 1 so
+  // single-seed output stays byte-identical to the historical format.
+  int repeats = 1;
+  double goodput_mean_mbps = 0.0;
+  double goodput_ci95_mbps = 0.0;
+  double post_fault_goodput_mean_mbps = 0.0;
 };
 
-ScaleRow RunOne(int stations, const Workload& w) {
+ScaleRow RunOne(int stations, const Workload& w, uint64_t seed) {
   ScenarioConfig c;
   c.standard = WifiStandard::k80211n;
   c.data_rate_mbps = 150.0;
@@ -121,7 +147,7 @@ ScaleRow RunOne(int stations, const Workload& w) {
   // The default 250 ms stagger assumes a handful of clients; pack starts
   // into the first fifth of the run instead.
   c.start_stagger = SimTime::Nanos(millis * 1'000'000 / (5 * stations));
-  c.seed = 1;
+  c.seed = seed;
   if (w.fault != nullptr) {
     c.fault_plan = std::strcmp(w.fault, "apout") == 0
                        ? FaultPlan::ApOutage(c.duration)
@@ -174,19 +200,30 @@ ScaleRow RunOne(int stations, const Workload& w) {
             : 0.0;
   }
 
+  row.crc_failures = r.crc_failures;
+  return row;
+}
+
+// Per-run guards, evaluated on the main thread in matrix order once the
+// parallel fan-out has delivered the row.
+void CheckRow(const ScaleRow& r, const Workload& w, uint64_t seed) {
   if (r.crc_failures != 0) {
-    std::fprintf(stderr, "FAIL: %d-station %s/%s run had %llu CRC failures\n",
-                 stations, row.proto, row.hack,
+    std::fprintf(stderr,
+                 "FAIL: %d-station %s/%s run (seed %llu) had %llu CRC "
+                 "failures\n",
+                 r.stations, r.proto, r.hack,
+                 static_cast<unsigned long long>(seed),
                  static_cast<unsigned long long>(r.crc_failures));
     std::exit(1);
   }
-  if (row.bytes == 0 && !w.allow_zero_bytes) {
+  if (r.bytes == 0 && !w.allow_zero_bytes) {
     std::fprintf(stderr,
-                 "FAIL: %d-station %s/%s run delivered zero bytes\n",
-                 stations, row.proto, row.hack);
+                 "FAIL: %d-station %s/%s run (seed %llu) delivered zero "
+                 "bytes\n",
+                 r.stations, r.proto, r.hack,
+                 static_cast<unsigned long long>(seed));
     std::exit(1);
   }
-  return row;
 }
 
 void WriteJson(const std::string& path, const std::vector<ScaleRow>& rows) {
@@ -221,6 +258,21 @@ void WriteJson(const std::string& path, const std::vector<ScaleRow>& rows) {
         static_cast<unsigned long long>(r.captures),
         static_cast<unsigned long long>(r.overlap_losses),
         static_cast<unsigned long long>(r.out_of_range));
+    if (r.repeats > 1) {
+      // Replicate-seed statistics; emitted only when the row actually ran
+      // repeats, so single-seed artifacts stay byte-identical to the
+      // historical format. The legacy goodput_mbps above is always the
+      // repeat-0 (seed=1) point value. check_bench_gates.py prefers the
+      // mean whenever these columns are present.
+      std::fprintf(f,
+                   "\"repeats\": %d, \"goodput_mean_mbps\": %.3f, "
+                   "\"goodput_ci95_mbps\": %.3f, ",
+                   r.repeats, r.goodput_mean_mbps, r.goodput_ci95_mbps);
+      if (r.has_fault) {
+        std::fprintf(f, "\"post_fault_goodput_mean_mbps\": %.3f, ",
+                     r.post_fault_goodput_mean_mbps);
+      }
+    }
     if (r.has_fault) {
       // Emitted only on fault rows so the legacy rows' JSON text stays
       // byte-identical across PRs.
@@ -241,10 +293,19 @@ void WriteJson(const std::string& path, const std::vector<ScaleRow>& rows) {
 
 int main(int argc, char** argv) {
   std::string json_path;
+  int jobs = 0;     // 0 = hardware_concurrency
+  int repeats = 5;  // replicate seeds per 10/100-station row
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--repeats=", 10) == 0) {
+      repeats = std::atoi(argv[i] + 10);
     }
+  }
+  if (repeats < 1) {
+    repeats = 1;
   }
 
   PrintHeader("bench_scale",
@@ -294,37 +355,95 @@ int main(int argc, char** argv) {
        /*fault=*/"apout"},
   };
 
+  // Flatten the matrix: each (stations, workload) cell expands to `reps`
+  // replicate runs. Repeat 0 is the historical seed=1 run and alone feeds
+  // the legacy columns; repeats r > 0 draw their seed from the cell's
+  // stable identity (stations, workload index) and r — never from the
+  // enumeration order — so quick and full sweeps, at any --jobs level,
+  // give every replicate the same RNG streams.
+  struct RunSpec {
+    int stations;
+    size_t workload;
+    int repeat;
+    uint64_t seed;
+    size_t cell;  // index into the emitted per-cell row vector
+  };
+  constexpr size_t kNumWorkloads = std::size(workloads);
+  std::vector<RunSpec> specs;
+  size_t n_cells = 0;
+  for (int n : station_counts) {
+    for (size_t wi = 0; wi < kNumWorkloads; ++wi) {
+      // 1000-station rows stay single-seed: five replicates of the dense
+      // cell would dominate the sweep's wall clock for a CI that is only
+      // mean-gated on the smaller rows.
+      int reps = n >= 1000 ? 1 : repeats;
+      for (int r = 0; r < reps; ++r) {
+        uint64_t seed =
+            r == 0 ? 1
+                   : DeriveRunSeed(static_cast<uint64_t>(n) * 64 + wi,
+                                   static_cast<uint64_t>(r));
+        specs.push_back(RunSpec{n, wi, r, seed, n_cells});
+      }
+      ++n_cells;
+    }
+  }
+
+  std::vector<ScaleRow> all_runs(specs.size());
+  ParallelFor(specs.size(), jobs, [&](size_t i) {
+    const RunSpec& s = specs[i];
+    all_runs[i] = RunOne(s.stations, workloads[s.workload], s.seed);
+  });
+
   std::printf(
       "%-9s %-13s %-9s %9s %12s %9s %9s %7s %7s %7s %7s %7s %8s %8s %8s "
       "%10s %10s\n",
       "stations", "proto", "hack", "goodput", "events", "ppdus", "ev/ppdu",
       "chan", "dcf", "nav", "mac", "tpt", "collis", "cts_to", "ovl",
       "wall_ms", "ev/s");
-  std::vector<ScaleRow> rows;
-  for (int n : station_counts) {
-    for (const Workload& w : workloads) {
-      ScaleRow r = RunOne(n, w);
-      double evps = r.wall_ms > 0 ? r.events / (r.wall_ms / 1000.0) : 0;
-      std::printf(
-          "%-9d %-13s %-9s %9.1f %12llu %9llu %9.1f %7.1f %7.1f %7.1f %7.1f "
-          "%7.1f %8llu %8llu %8llu %10.1f %9.2fM\n",
-          r.stations, r.proto, r.hack, r.goodput_mbps,
-          static_cast<unsigned long long>(r.events),
-          static_cast<unsigned long long>(r.ppdus), r.events_per_ppdu,
-          r.per_ppdu_class[1], r.per_ppdu_class[2], r.per_ppdu_class[3],
-          r.per_ppdu_class[4], r.per_ppdu_class[5],
-          static_cast<unsigned long long>(r.collisions),
-          static_cast<unsigned long long>(r.cts_timeouts),
-          static_cast<unsigned long long>(r.overlap_losses), r.wall_ms,
-          evps / 1e6);
-      if (r.has_fault) {
-        std::printf("          ^ %s plan (%llu events): post-fault goodput "
-                    "%.1f Mbps\n",
-                    w.fault,
-                    static_cast<unsigned long long>(r.fault_events),
-                    r.post_fault_goodput_mbps);
-      }
-      rows.push_back(r);
+  std::vector<ScaleRow> rows(n_cells);
+  std::vector<RunningStats> cell_goodput(n_cells);
+  std::vector<RunningStats> cell_post_fault(n_cells);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const RunSpec& s = specs[i];
+    const ScaleRow& run = all_runs[i];
+    CheckRow(run, workloads[s.workload], s.seed);
+    cell_goodput[s.cell].Add(run.goodput_mbps);
+    cell_post_fault[s.cell].Add(run.post_fault_goodput_mbps);
+    if (s.repeat == 0) {
+      rows[s.cell] = run;  // legacy columns come from the seed=1 run
+    }
+  }
+  for (size_t cell = 0; cell < n_cells; ++cell) {
+    ScaleRow& r = rows[cell];
+    r.repeats = static_cast<int>(cell_goodput[cell].count());
+    r.goodput_mean_mbps = cell_goodput[cell].mean();
+    r.goodput_ci95_mbps = cell_goodput[cell].Ci95HalfWidth();
+    r.post_fault_goodput_mean_mbps = cell_post_fault[cell].mean();
+
+    double evps = r.wall_ms > 0 ? r.events / (r.wall_ms / 1000.0) : 0;
+    std::printf(
+        "%-9d %-13s %-9s %9.1f %12llu %9llu %9.1f %7.1f %7.1f %7.1f %7.1f "
+        "%7.1f %8llu %8llu %8llu %10.1f %9.2fM\n",
+        r.stations, r.proto, r.hack, r.goodput_mbps,
+        static_cast<unsigned long long>(r.events),
+        static_cast<unsigned long long>(r.ppdus), r.events_per_ppdu,
+        r.per_ppdu_class[1], r.per_ppdu_class[2], r.per_ppdu_class[3],
+        r.per_ppdu_class[4], r.per_ppdu_class[5],
+        static_cast<unsigned long long>(r.collisions),
+        static_cast<unsigned long long>(r.cts_timeouts),
+        static_cast<unsigned long long>(r.overlap_losses), r.wall_ms,
+        evps / 1e6);
+    if (r.repeats > 1) {
+      std::printf("          ~ %d seeds: goodput %.1f +/- %.1f Mbps "
+                  "(mean +/- 95%% CI)\n",
+                  r.repeats, r.goodput_mean_mbps, r.goodput_ci95_mbps);
+    }
+    if (r.has_fault) {
+      std::printf("          ^ %s plan (%llu events): post-fault goodput "
+                  "%.1f Mbps\n",
+                  workloads[cell % kNumWorkloads].fault,
+                  static_cast<unsigned long long>(r.fault_events),
+                  r.post_fault_goodput_mbps);
     }
   }
   if (!json_path.empty()) {

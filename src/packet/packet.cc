@@ -1,22 +1,44 @@
 #include "src/packet/packet.h"
 
+#include <mutex>
 #include <sstream>
+#include <vector>
 
 #include "src/util/logging.h"
 
 namespace hacksim {
+namespace {
 
-constinit uint64_t Packet::next_uid_ = 1;
-constinit Packet::HeaderBlock* Packet::free_blocks_ = nullptr;
+// Every slab ever carved, by any thread, stays registered here for the
+// whole process lifetime. This is what makes the thread_local free list
+// safe: a worker thread's slabs outlive the thread (its unreturned blocks
+// are merely lost capacity, not dangling memory), and LeakSanitizer sees
+// the allocations as reachable. Only slab carving — once per 256 blocks —
+// takes the lock; the per-packet alloc/release path never does.
+std::mutex g_slab_registry_mu;
+std::vector<void*>& SlabRegistry() {
+  static std::vector<void*>* registry = new std::vector<void*>();  // immortal
+  return *registry;
+}
+
+}  // namespace
+
+constinit thread_local uint64_t Packet::next_uid_ = 1;
+constinit thread_local Packet::HeaderBlock* Packet::free_blocks_ = nullptr;
 
 Packet::HeaderBlock* Packet::AllocBlock() {
   if (free_blocks_ == nullptr) {
-    // Carve a fresh slab and thread it onto the free list. Slabs live for
-    // the whole process (reachable through the list, so not a leak to
-    // LeakSanitizer); in steady state every Make* call is satisfied from
-    // recycled blocks with zero heap traffic.
+    // Carve a fresh slab and thread it onto this thread's free list. Slabs
+    // live for the whole process (registered above, so not a leak to
+    // LeakSanitizer even after the carving thread exits); in steady state
+    // every Make* call is satisfied from recycled blocks with zero heap
+    // traffic.
     constexpr size_t kSlabBlocks = 256;
     HeaderBlock* slab = new HeaderBlock[kSlabBlocks];
+    {
+      std::lock_guard<std::mutex> lock(g_slab_registry_mu);
+      SlabRegistry().push_back(slab);
+    }
     for (size_t i = 0; i < kSlabBlocks; ++i) {
       slab[i].next_free = free_blocks_;
       free_blocks_ = &slab[i];

@@ -14,6 +14,12 @@
 // MakeUdp are allocation-free in steady state (SACK blocks are inline in
 // the TCP header — see SackList — so a block has no secondary
 // allocations). A Packet itself is four words; moves swap one pointer.
+//
+// The free list and the uid counter are thread_local: each thread owns a
+// private pool, so concurrent RunScenario calls (the campaign engine,
+// src/scenario/campaign.h) never contend or interleave. A Packet must be
+// released on the thread that built it — true by construction, since a
+// simulation run lives entirely on one worker thread.
 #ifndef SRC_PACKET_PACKET_H_
 #define SRC_PACKET_PACKET_H_
 
@@ -103,11 +109,12 @@ class Packet {
   std::string ToString() const;
 
  private:
-  // Pooled header storage. Blocks come from slabs that are reachable via
-  // the free list for the whole process lifetime (deliberately never
-  // deallocated), so static-destruction order can never invalidate a live
-  // Packet. Plain (non-atomic) free list because the simulator is
-  // single-threaded by design; see docs/perf.md before adding threads.
+  // Pooled header storage. Blocks come from slabs that stay reachable (via
+  // a process-lifetime slab registry — see packet.cc) forever, so neither
+  // static-destruction order nor a worker thread exiting can invalidate a
+  // live Packet. The free list itself is thread_local: every thread recycles
+  // only its own blocks, so N concurrent simulation runs share nothing and
+  // need no atomics on this path.
   struct HeaderBlock {
     std::optional<Ipv4Header> ip;
     std::optional<TcpHeader> tcp;
@@ -116,7 +123,7 @@ class Packet {
   };
 
   static HeaderBlock* AllocBlock();
-  static constinit HeaderBlock* free_blocks_;
+  static constinit thread_local HeaderBlock* free_blocks_;
 
   void ReleaseBlock() {
     if (block_ != nullptr) {
@@ -148,8 +155,11 @@ class Packet {
   // Monotonic uid source for the builders. `constinit` proves constant
   // initialisation — no static-initialisation-order hazard even when a
   // Packet is built from another translation unit's static initialiser.
-  // Plain (non-atomic) because the simulator is single-threaded by design.
-  static constinit uint64_t next_uid_;
+  // thread_local: uids are unique within a thread (which is all the code
+  // ever relies on — uids only back same-run equality checks, never
+  // ordering), so concurrent runs need no atomic increment and a run's
+  // behaviour is identical whether it executes serially or on a worker.
+  static constinit thread_local uint64_t next_uid_;
 
   uint64_t uid_ = 0;
   SimTime created_at_;

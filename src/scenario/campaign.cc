@@ -1,0 +1,103 @@
+#include "src/scenario/campaign.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "src/util/logging.h"
+
+namespace hacksim {
+
+int ResolveJobs(int jobs) {
+  if (jobs > 0) {
+    return jobs;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void ParallelFor(size_t n, int jobs, const std::function<void(size_t)>& run) {
+  ParallelForOrdered(n, jobs, run, {});
+}
+
+void ParallelForOrdered(size_t n, int jobs,
+                        const std::function<void(size_t)>& run,
+                        const std::function<void(size_t)>& consume) {
+  CHECK(run);
+  int workers = ResolveJobs(jobs);
+  if (n < static_cast<size_t>(workers)) {
+    workers = static_cast<int>(n);
+  }
+  if (workers <= 1) {
+    // Serial reference path: no pool, no synchronisation — byte-for-byte
+    // the legacy single-threaded execution.
+    for (size_t i = 0; i < n; ++i) {
+      run(i);
+      if (consume) {
+        consume(i);
+      }
+    }
+    return;
+  }
+
+  // Work is claimed through one atomic counter; completion flags feed the
+  // in-order consumer on the calling thread. Determinism does not depend on
+  // any of this machinery — each run's output is a pure function of its
+  // index — it only decides wall-clock packing.
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::vector<char> done(n, 0);
+
+  auto worker = [&]() {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      run(i);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        done[i] = 1;
+      }
+      done_cv.notify_one();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    pool.emplace_back(worker);
+  }
+
+  // The calling thread drains the contiguous completed prefix in index
+  // order. Without a consumer it just waits for the tail.
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    for (size_t i = 0; i < n; ++i) {
+      done_cv.wait(lock, [&]() { return done[i] != 0; });
+      if (consume) {
+        // Consumers may print/aggregate at length; drop the lock so
+        // workers finishing other runs never block on the consumer.
+        lock.unlock();
+        consume(i);
+        lock.lock();
+      }
+    }
+  }
+
+  for (std::thread& t : pool) {
+    t.join();
+  }
+}
+
+std::vector<ScenarioResult> RunCampaign(
+    const std::vector<ScenarioConfig>& configs, int jobs) {
+  std::vector<ScenarioResult> results(configs.size());
+  ParallelFor(configs.size(), jobs,
+              [&](size_t i) { results[i] = RunScenario(configs[i]); });
+  return results;
+}
+
+}  // namespace hacksim

@@ -1,0 +1,59 @@
+// Parallel campaign engine: fans independent simulation runs across a
+// worker pool with deterministic, worker-independent results.
+//
+// The simulator core is thread-clean per run — a Scheduler, its nodes and
+// every RNG stream live inside one RunScenario call, and the few pieces of
+// process-global mutable state (the Packet header slab and uid counter,
+// the abort-context repro string) are thread_local — so N concurrent
+// RunScenario calls are fully isolated. On top of that, this engine
+// guarantees the *campaign* is deterministic:
+//
+//  * Run seeds come from DeriveRunSeed(base_seed, matrix_index) — a pure
+//    function of the matrix position, never of thread identity or
+//    scheduling order.
+//  * Results land in caller-owned per-index storage; nothing about a run's
+//    output depends on which worker executed it or when.
+//  * --jobs=1 executes inline on the calling thread with no pool at all,
+//    so the serial path is exactly the legacy single-threaded behaviour.
+//
+// tests/campaign_test.cc pins the contract: the same matrix run serially
+// and with 8 workers must produce bit-identical per-run results.
+#ifndef SRC_SCENARIO_CAMPAIGN_H_
+#define SRC_SCENARIO_CAMPAIGN_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "src/scenario/download_scenario.h"
+
+namespace hacksim {
+
+// Resolves a --jobs value: positive is taken literally, zero or negative
+// means "all hardware threads" (hardware_concurrency, at least 1).
+int ResolveJobs(int jobs);
+
+// Executes run(i) for every i in [0, n) across `jobs` workers (resolved via
+// ResolveJobs; capped at n). Work is handed out through an atomic counter,
+// so workers stay busy regardless of per-run cost skew. `run` must write
+// its result into caller-owned per-index storage and must not touch another
+// index's state. jobs <= 1 runs inline with no threads.
+void ParallelFor(size_t n, int jobs, const std::function<void(size_t)>& run);
+
+// Like ParallelFor, but additionally calls consume(i) on the *calling*
+// thread, in strict index order, as soon as runs 0..i have all completed —
+// a campaign driver can stream per-run report lines live while later runs
+// are still executing, and the output text is byte-identical at any --jobs.
+void ParallelForOrdered(size_t n, int jobs,
+                        const std::function<void(size_t)>& run,
+                        const std::function<void(size_t)>& consume);
+
+// Runs every configuration across `jobs` workers; results are positional.
+// Each config should carry a seed derived via DeriveRunSeed so the matrix
+// is reproducible from (base_seed, index) alone.
+std::vector<ScenarioResult> RunCampaign(
+    const std::vector<ScenarioConfig>& configs, int jobs);
+
+}  // namespace hacksim
+
+#endif  // SRC_SCENARIO_CAMPAIGN_H_

@@ -82,4 +82,12 @@ double Random::NextExponential(double mean) {
 
 Random Random::Fork() { return Random(NextU64()); }
 
+uint64_t DeriveRunSeed(uint64_t base_seed, uint64_t run_index) {
+  // Position the splitmix state run_index golden-ratio steps past the base
+  // seed, then take one mixed output. SplitMix64 adds the increment before
+  // mixing, so index 0 still produces a mixed (not raw) seed.
+  uint64_t sm = base_seed + run_index * 0x9E3779B97F4A7C15ull;
+  return SplitMix64(&sm);
+}
+
 }  // namespace hacksim

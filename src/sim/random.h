@@ -43,6 +43,16 @@ class Random {
   uint64_t state_[4];
 };
 
+// Derives the seed for run `run_index` of a campaign rooted at `base_seed`
+// via the golden-ratio splitmix scheme Random::Seed itself uses: the base
+// seed is advanced `run_index` golden-ratio increments and mixed. The
+// result depends only on (base_seed, run_index) — never on which worker
+// thread executes the run or in what order — so a campaign's per-run RNG
+// streams are identical at any --jobs level. Streams for distinct indices
+// are as independent as splitmix64 outputs (the same guarantee Fork()
+// gives per-station streams).
+uint64_t DeriveRunSeed(uint64_t base_seed, uint64_t run_index);
+
 }  // namespace hacksim
 
 #endif  // SRC_SIM_RANDOM_H_

@@ -39,7 +39,10 @@
 // is placement-built in the arena with no intermediate copies and no heap
 // allocation.
 //
-// Single-threaded by design, like the rest of the simulator.
+// Single-threaded *per instance*, like the rest of the simulator: one
+// Scheduler lives inside one RunScenario call and is never shared across
+// threads. The campaign engine (src/scenario/campaign.h) runs one
+// independent instance per worker.
 #ifndef SRC_SIM_SCHEDULER_H_
 #define SRC_SIM_SCHEDULER_H_
 

@@ -30,7 +30,9 @@ void SetLogLevel(LogLevel level);
 // One-line run context (seed, topology, fault plan, ...) emitted right
 // before any FATAL abort, so a CHECK death in CI is reproducible from the
 // log alone. Harnesses (RunScenario, the fuzz driver) overwrite it at the
-// start of every run; empty means "print nothing extra".
+// start of every run; empty means "print nothing extra". The context is
+// thread-local: each campaign worker holds the repro of the run it is
+// executing, so an abort on any worker names the right run.
 void SetAbortContext(std::string context);
 const std::string& GetAbortContext();
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <sstream>
 
 #include "src/util/logging.h"
@@ -26,6 +27,22 @@ double RunningStats::variance() const {
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::Ci95HalfWidth() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  // Two-sided 95% Student-t critical values, indexed by degrees of freedom
+  // (n-1); df >= 31 uses the normal-approximation tail value.
+  static constexpr double kT975[] = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+      2.306,  2.262,  2.228, 2.201, 2.179, 2.160, 2.145, 2.131,
+      2.120,  2.110,  2.101, 2.093, 2.086, 2.080, 2.074, 2.069,
+      2.064,  2.060,  2.056, 2.052, 2.048, 2.045, 2.042};
+  int64_t df = count_ - 1;
+  double t = df < static_cast<int64_t>(std::size(kT975)) ? kT975[df] : 1.960;
+  return t * stddev() / std::sqrt(static_cast<double>(count_));
+}
 
 void RunningStats::Merge(const RunningStats& other) {
   if (other.count_ == 0) {

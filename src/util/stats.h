@@ -29,6 +29,13 @@ class RunningStats {
   // Merges another summary into this one (parallel Welford combine).
   void Merge(const RunningStats& other);
 
+  // Half-width of the two-sided 95% confidence interval on the mean:
+  // t_{0.975, n-1} * stddev / sqrt(n). Student-t critical values for the
+  // small sample counts campaigns actually use (exact for n <= 31, the
+  // normal 1.96 beyond); 0 for fewer than two samples. The campaign engine
+  // reports mean +/- this per matrix cell.
+  double Ci95HalfWidth() const;
+
  private:
   int64_t count_ = 0;
   double mean_ = 0.0;

@@ -20,6 +20,10 @@ Three gates, all keyed to the committed Release references in the repo root:
    the handshake — the direct A/B whose collisions RTS/CTS removes).
    Goodput is simulator-deterministic, so unlike the CancelHeavy gate this
    one is machine-independent. Same committed/fresh policy as gate 2.
+   All goodput gates (3, 4, 6) evaluate the replicate mean
+   (goodput_mean_mbps / post_fault_goodput_mean_mbps) whenever the row
+   carries the --repeats statistics, falling back to the legacy
+   single-seed point value otherwise.
 4. Hidden-terminal recovery: on the two-cluster topology (geometric
    channel: the clusters cannot carrier-sense each other and collide blind
    at the AP), "udp-hidden-rts" goodput must clear BOTH
@@ -95,6 +99,23 @@ def scale_rows(path):
         return json.load(f)["rows"]
 
 
+def goodput(row):
+    """Gate-facing goodput: the replicate mean when the row carries one.
+
+    bench_scale --repeats=N emits goodput_mean_mbps / goodput_ci95_mbps
+    across N seeds; gating on the mean makes the goodput gates robust to
+    single-seed luck. Single-seed artifacts (and older committed ones)
+    fall back to the legacy point value.
+    """
+    return float(row.get("goodput_mean_mbps", row["goodput_mbps"]))
+
+
+def post_fault_goodput(row):
+    """Same mean-preferring policy for the post-fault recovery window."""
+    return float(row.get("post_fault_goodput_mean_mbps",
+                         row["post_fault_goodput_mbps"]))
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--committed-micro", required=True)
@@ -162,8 +183,8 @@ def main():
                           "row missing post_fault_goodput_mbps")
                     failed = True
                     continue
-                got = float(fr["post_fault_goodput_mbps"])
-                base = float(protos[base_proto]["goodput_mbps"])
+                got = post_fault_goodput(fr)
+                base = goodput(protos[base_proto])
                 floor = base * args.post_fault_ratio
                 ok = got >= floor
                 verdict = "OK" if ok else "FAIL"
@@ -197,8 +218,8 @@ def main():
             else:
                 print(f"[SKIP] {path}: no hidden-terminal row pairs")
         for n in sorted(pairs):
-            base = float(pairs[n]["udp-hidden"]["goodput_mbps"])
-            got = float(pairs[n]["udp-hidden-rts"]["goodput_mbps"])
+            base = goodput(pairs[n]["udp-hidden"])
+            got = goodput(pairs[n]["udp-hidden-rts"])
             floor = max(base * args.hidden_ratio, args.hidden_min_mbps)
             ok = got >= floor
             verdict = "OK" if ok else "FAIL"
@@ -237,9 +258,9 @@ def main():
                   "— the dense-cell goodput gate has nothing to check")
             failed = True
             continue
-        got = float(recovered["goodput_mbps"])
+        got = goodput(recovered)
         for proto in baselines:
-            base = float(by_proto[proto]["goodput_mbps"])
+            base = goodput(by_proto[proto])
             floor = base * args.goodput_ratio
             ok = got >= floor
             verdict = "OK" if ok else "FAIL"

@@ -7,13 +7,21 @@
 // additionally asserts zero CRC failures, zero recorded trips and a bounded
 // scheduler arena at sim end. Exit 0 means every plan survived.
 //
-//   fault_fuzz --plans=24 --base-seed=1     # CI quick gate
-//   fault_fuzz --plans=240 --base-seed=1000 # weekly campaign
+// Plans fan out across a worker pool (--jobs=N, default all hardware
+// threads; --jobs=1 is the legacy serial path). Every plan's scenario and
+// fault plan derive purely from (base_seed + plan index), and the repro
+// line is built from that derivation — so a FAIL line names the exact plan
+// seed regardless of which worker ran it, and per-plan results (and the
+// output text, streamed in plan order) are identical at any --jobs level.
+//
+//   fault_fuzz --plans=24 --base-seed=1              # CI quick gate
+//   fault_fuzz --plans=240 --base-seed=1000 --jobs=8 # weekly campaign
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
-#include "src/scenario/download_scenario.h"
+#include "src/scenario/campaign.h"
 #include "src/scenario/fault_plan.h"
 #include "src/sim/random.h"
 
@@ -21,24 +29,37 @@ using namespace hacksim;
 
 int main(int argc, char** argv) {
   int plans = 24;
+  int jobs = 0;  // 0 = hardware_concurrency
   uint64_t base_seed = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--plans=", 8) == 0) {
       plans = std::atoi(argv[i] + 8);
     } else if (std::strncmp(argv[i], "--base-seed=", 12) == 0) {
       base_seed = std::strtoull(argv[i] + 12, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = std::atoi(argv[i] + 7);
     } else {
       std::fprintf(stderr,
-                   "usage: fault_fuzz [--plans=N] [--base-seed=S]\n");
+                   "usage: fault_fuzz [--plans=N] [--base-seed=S] "
+                   "[--jobs=N]\n");
       return 2;
     }
   }
 
-  int failures = 0;
+  // Derive every plan's scenario up front, on the main thread, in plan
+  // order: the derivation itself draws from the per-plan meta RNG, and
+  // doing it here keeps the worker pool a pure RunScenario executor.
+  struct Plan {
+    ScenarioConfig config;
+    const char* topo_name = "ring";
+    const char* workload = "udp";
+  };
+  std::vector<Plan> specs(static_cast<size_t>(plans));
   for (int i = 0; i < plans; ++i) {
+    Plan& p = specs[static_cast<size_t>(i)];
     Random meta(base_seed + static_cast<uint64_t>(i));
 
-    ScenarioConfig c;
+    ScenarioConfig& c = p.config;
     c.standard = WifiStandard::k80211n;
     c.data_rate_mbps = 150.0;
     c.n_clients = static_cast<int>(4 + meta.NextBounded(13));  // 4..16
@@ -47,24 +68,22 @@ int main(int argc, char** argv) {
     c.start_stagger = SimTime::Millis(2);
     c.seed = meta.NextU64();
 
-    const char* topo_name = "ring";
     switch (meta.NextBounded(3)) {
       case 0:
         break;  // legacy ring / fixed-loss broadcast medium
       case 1:
-        topo_name = "disk";
+        p.topo_name = "disk";
         c.topology = Topology::kUniformDisk;
         c.propagation = LogDistancePropagation::Params{};
         break;
       default:
-        topo_name = "hidden";
+        p.topo_name = "hidden";
         c.topology = Topology::kTwoClusterHidden;
         c.propagation = LogDistancePropagation::Params{};
         c.rts_threshold = meta.NextBool(0.5) ? 500 : 0;
         break;
     }
 
-    const char* workload = "udp";
     switch (meta.NextBounded(3)) {
       case 0:
         c.proto = TransportProto::kUdp;
@@ -72,11 +91,11 @@ int main(int argc, char** argv) {
         c.udp_rate_bps = 1.2e8;
         break;
       case 1:
-        workload = "tcp";
+        p.workload = "tcp";
         c.proto = TransportProto::kTcp;
         break;
       default:
-        workload = "tcp+hack";
+        p.workload = "tcp+hack";
         c.proto = TransportProto::kTcp;
         c.hack = HackVariant::kMoreData;
         break;
@@ -86,39 +105,50 @@ int main(int argc, char** argv) {
     c.fault_plan = FaultPlan::Generate(plan_seed, c.n_clients, c.duration);
     c.watchdog_interval = SimTime::Millis(10);
     c.watchdog_abort_on_trip = true;  // a wedge aborts with the repro line
-
-    ScenarioResult r = RunScenario(c);
-
-    // A stopped flow strands at most a few timers per client; anything
-    // beyond this bound means some subsystem leaks scheduler slots.
-    uint64_t pending_bound = 64 + 32 * static_cast<uint64_t>(c.n_clients);
-    bool ok = r.watchdog.trips == 0 && r.crc_failures == 0 &&
-              r.final_pending_events <= pending_bound;
-    if (!ok) {
-      ++failures;
-      std::fprintf(stderr,
-                   "FAIL plan %d: trips=%llu crc=%llu pending=%llu "
-                   "(bound %llu)\n  repro: seed=%llu topo=%s proto=%s n=%d "
-                   "dur_us=%lld plan=\"%s\"\n",
-                   i, static_cast<unsigned long long>(r.watchdog.trips),
-                   static_cast<unsigned long long>(r.crc_failures),
-                   static_cast<unsigned long long>(r.final_pending_events),
-                   static_cast<unsigned long long>(pending_bound),
-                   static_cast<unsigned long long>(c.seed), topo_name,
-                   workload, c.n_clients,
-                   static_cast<long long>(c.duration.ns() / 1000),
-                   c.fault_plan.ToString().c_str());
-      continue;
-    }
-    std::printf("ok plan %3d/%d  topo=%-6s proto=%-8s n=%2d  faults=%llu "
-                "checks=%llu goodput=%.1f\n",
-                i + 1, plans, topo_name, workload, c.n_clients,
-                static_cast<unsigned long long>(
-                    c.fault_plan.events.size()),
-                static_cast<unsigned long long>(r.watchdog.checks),
-                r.aggregate_goodput_mbps);
-    std::fflush(stdout);
   }
+
+  int failures = 0;
+  std::vector<ScenarioResult> results(specs.size());
+  ParallelForOrdered(
+      specs.size(), jobs,
+      [&](size_t i) { results[i] = RunScenario(specs[i].config); },
+      [&](size_t idx) {
+        int i = static_cast<int>(idx);
+        const Plan& p = specs[idx];
+        const ScenarioConfig& c = p.config;
+        const ScenarioResult& r = results[idx];
+        // A stopped flow strands at most a few timers per client; anything
+        // beyond this bound means some subsystem leaks scheduler slots.
+        uint64_t pending_bound =
+            64 + 32 * static_cast<uint64_t>(c.n_clients);
+        bool ok = r.watchdog.trips == 0 && r.crc_failures == 0 &&
+                  r.final_pending_events <= pending_bound;
+        if (!ok) {
+          ++failures;
+          std::fprintf(stderr,
+                       "FAIL plan %d: trips=%llu crc=%llu pending=%llu "
+                       "(bound %llu)\n  repro: seed=%llu topo=%s proto=%s "
+                       "n=%d dur_us=%lld plan=\"%s\"\n",
+                       i, static_cast<unsigned long long>(r.watchdog.trips),
+                       static_cast<unsigned long long>(r.crc_failures),
+                       static_cast<unsigned long long>(
+                           r.final_pending_events),
+                       static_cast<unsigned long long>(pending_bound),
+                       static_cast<unsigned long long>(c.seed), p.topo_name,
+                       p.workload, c.n_clients,
+                       static_cast<long long>(c.duration.ns() / 1000),
+                       c.fault_plan.ToString().c_str());
+          return;
+        }
+        std::printf("ok plan %3d/%d  topo=%-6s proto=%-8s n=%2d  "
+                    "faults=%llu checks=%llu goodput=%.1f\n",
+                    i + 1, plans, p.topo_name, p.workload, c.n_clients,
+                    static_cast<unsigned long long>(
+                        c.fault_plan.events.size()),
+                    static_cast<unsigned long long>(r.watchdog.checks),
+                    r.aggregate_goodput_mbps);
+        std::fflush(stdout);
+      });
 
   if (failures != 0) {
     std::fprintf(stderr, "fault_fuzz: %d/%d plans FAILED\n", failures, plans);

@@ -38,7 +38,7 @@ fi
 # the output is then loudly marked and must not be committed.
 build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$build_dir/CMakeCache.txt" 2>/dev/null || true)"
 sanitize="$(sed -n 's/^HACKSIM_SANITIZE:[^=]*=//p' "$build_dir/CMakeCache.txt" 2>/dev/null || true)"
-if [[ "$build_type" != "Release" || "$sanitize" == "ON" ]]; then
+if [[ "$build_type" != "Release" || ( -n "$sanitize" && "$sanitize" != "OFF" ) ]]; then
   if [[ "${HACKSIM_ALLOW_NON_RELEASE:-0}" != "1" ]]; then
     echo "error: build dir '$build_dir' is CMAKE_BUILD_TYPE='$build_type'" \
          "HACKSIM_SANITIZE='${sanitize:-OFF}' — benchmarks must come from a" \
