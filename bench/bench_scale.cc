@@ -27,10 +27,9 @@
 //                threads, the default). Every run's output is bit-identical
 //                at any jobs level — the campaign engine derives run seeds
 //                from the matrix position, never from scheduling.
-//   --repeats=N  replicate seeds per 10/100-station row (default 5);
-//                1000-station rows always run single-seed for wall-clock.
-//                Repeat 0 is the legacy seed=1 run and fills the legacy
-//                columns byte-identically; repeats > 1 add
+//   --repeats=N  replicate seeds per row (default 5), 1000-station rows
+//                included. Repeat 0 is the legacy seed=1 run and fills the
+//                legacy columns byte-identically; repeats > 1 add
 //                goodput_mean_mbps / goodput_ci95_mbps (and a post-fault
 //                mean on fault rows) across the replicates.
 // Honours HACKSIM_QUICK=1 (CI): 10/100 stations only, shorter runs.
@@ -130,6 +129,15 @@ ScaleRow RunOne(int stations, const Workload& w, uint64_t seed) {
   c.rate_adaptation = w.rate_adapt;
   if (w.udp_rate_bps > 0.0) {
     c.udp_rate_bps = w.udp_rate_bps;
+  }
+  if (w.proto == TransportProto::kUdp && w.upload) {
+    // Token-bucket app pacing on the saturated uplink rows: one transport
+    // refill per 16 ms window per station instead of one event per packet
+    // (burst size adapts to each station's CBR interval). The downlink
+    // rows keep the classic chain: their per-flow interval at depth is
+    // near/above the window, and their replicate CIs are pinned across
+    // PRs.
+    c.udp_burst_window = SimTime::Millis(16);
   }
   c.topology = w.topology;
   if (w.topology != Topology::kRing) {
@@ -373,10 +381,12 @@ int main(int argc, char** argv) {
   size_t n_cells = 0;
   for (int n : station_counts) {
     for (size_t wi = 0; wi < kNumWorkloads; ++wi) {
-      // 1000-station rows stay single-seed: five replicates of the dense
-      // cell would dominate the sweep's wall clock for a CI that is only
-      // mean-gated on the smaller rows.
-      int reps = n >= 1000 ? 1 : repeats;
+      // Every row replicates, 1000-station cells included: since the
+      // parallel campaign engine fans replicates across cores, the dense
+      // rows' replicates ride along at roughly the wall cost of the
+      // slowest single run, and the mean/CI gates cover the rows that
+      // actually move in perf PRs.
+      int reps = repeats;
       for (int r = 0; r < reps; ++r) {
         uint64_t seed =
             r == 0 ? 1

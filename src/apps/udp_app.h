@@ -19,6 +19,16 @@ class UdpCbrSource {
     uint32_t payload_bytes = 1472;
     SimTime start;
     SimTime stop = SimTime::Max();
+    // Token-bucket pacing. Zero (default) keeps the classic chain: one
+    // kTransportTimer event per packet. A window longer than the packet
+    // interval switches to bucket mode: one refill event per window
+    // releases every CBR tick accrued since the last refill, so the event
+    // count drops by the burst factor while byte totals match the classic
+    // chain at every refill boundary and at Stop() (which flushes).
+    SimTime burst_window;
+    // Cap on packets released per refill (bounds the burst a single event
+    // injects into the MAC queue; the window shrinks to cap * interval).
+    uint32_t max_burst_packets = 64;
   };
 
   UdpCbrSource(Scheduler* scheduler, Config config, FiveTuple flow,
@@ -37,12 +47,19 @@ class UdpCbrSource {
 
  private:
   void EmitNext(uint64_t epoch);
+  void Refill(uint64_t epoch);
+  void EmitOne();
 
   Scheduler* scheduler_;
   Config config_;
   FiveTuple flow_;
   std::function<void(Packet)> send_;
   SimTime interval_;
+  // Bucket mode (burst_packets_ > 1): the virtual CBR clock. The next
+  // unreleased tick; Max() until Start()/Resume() arms a chain.
+  SimTime next_emit_ = SimTime::Max();
+  SimTime period_;             // refill cadence = interval_ * burst_packets_
+  uint32_t burst_packets_ = 1;  // 1 = classic one-event-per-packet chain
   uint64_t packets_sent_ = 0;
   uint64_t epoch_ = 0;
 };

@@ -17,7 +17,7 @@ SimTime EifsExtra(const PhyTimings& timings) {
 bool IsResponseFrame(const Ppdu& ppdu) {
   WifiFrameType t = ppdu.first().type;
   return t == WifiFrameType::kAck || t == WifiFrameType::kBlockAck ||
-         t == WifiFrameType::kCts;
+         t == WifiFrameType::kCts || t == WifiFrameType::kCfEnd;
 }
 
 // IP-datagram airtime of the MPDUs at the PPDU's rate (no preamble, no MAC
@@ -182,6 +182,7 @@ void WifiMac::ResetRadioState() {
   cts_timeout_event_ = kInvalidEventId;
   scheduler_->Cancel(nav_reset_probe_event_);
   nav_reset_probe_event_ = kInvalidEventId;
+  nav_provisional_ = false;
   // Strand every SIFS-delayed closure (responses, the CTS→data hop) still
   // in the wheel: they check the epoch and die quietly.
   ++reset_epoch_;
@@ -574,6 +575,8 @@ void WifiMac::OnTxEnd(const Ppdu& ppdu) {
   tx_end_time_ = scheduler_->Now();
   if (ppdu.first().type == WifiFrameType::kRts) {
     phase_ = TxPhase::kAwaitingCts;
+    rts_reservation_until_ =
+        scheduler_->Now() + ppdu.first().duration_field;
     cts_timeout_event_ = scheduler_->ScheduleIn(
         CtsTimeoutDelay(),
         [this]() {
@@ -623,6 +626,11 @@ void WifiMac::HandleCtsTimeout() {
   CHECK(phase_ == TxPhase::kAwaitingCts);
   ++stats_.cts_timeouts;
   pending_data_ppdu_.reset();
+  // The reservation we advertised is dead air from here to its horizon.
+  // Overhearers' NAV-reset probes only reclaim it if their probe window
+  // passed in silence — any unrelated PHY activity makes a probe stand
+  // down — so, when enabled, broadcast a CF-End to release everyone now.
+  MaybeSendCfEnd();
   if (current_dest_gone_) {
     // Peer removed mid-exchange: its TxState was already reset (and may
     // belong to a new peer) — abandon without touching it.
@@ -655,6 +663,33 @@ void WifiMac::HandleCtsTimeout() {
   UpdateServiceRing(st);
   phase_ = TxPhase::kIdle;
   MaybeRequestAccess();
+}
+
+void WifiMac::MaybeSendCfEnd() {
+  if (!config_.enable_cf_end) {
+    return;
+  }
+  WifiMode cf_mode = ControlResponseMode(current_data_mode_);
+  SimTime air = FrameDuration(cf_mode, kCfEndBytes);
+  if (scheduler_->Now() + air >= rts_reservation_until_) {
+    return;  // the reservation runs out before the truncation could land
+  }
+  WifiFrame cf;
+  cf.type = WifiFrameType::kCfEnd;
+  cf.ta = address_;
+  cf.ra = MacAddress::Broadcast();
+  // duration_field stays zero: a CF-End reserves nothing, it only releases.
+  Ppdu ppdu;
+  ppdu.aggregated = false;
+  ppdu.mode = cf_mode;
+  ppdu.mpdus.push_back(std::move(cf));
+  if (phy_->Send(std::move(ppdu))) {
+    ++stats_.cf_ends_sent;
+  } else {
+    // Half-duplex PHY mid-arrival at the exact timeout instant: rare, and
+    // the per-overhearer probes remain the backstop.
+    ++stats_.tx_dropped_phy_busy;
+  }
 }
 
 void WifiMac::NotifyRateOutcome(StationId sid, bool success) {
@@ -869,6 +904,7 @@ void WifiMac::FinishExchange() {
 
 void WifiMac::OnPpduReceived(const Ppdu& ppdu,
                              const std::vector<bool>& mpdu_ok) {
+  ResolveNavProbe();
   dcf_.NotifyRxOk();
   size_t first_ok = 0;
   while (first_ok < mpdu_ok.size() && !mpdu_ok[first_ok]) {
@@ -877,16 +913,49 @@ void WifiMac::OnPpduReceived(const Ppdu& ppdu,
   CHECK_LT(first_ok, mpdu_ok.size());
   const WifiFrame& first = ppdu.mpdus[first_ok];
 
+  if (first.type == WifiFrameType::kCfEnd) {
+    // NAV truncation: the reservation holder announces the exchange is
+    // over. Broadcast-addressed, so it is handled before the ra check.
+    nav_provisional_ = false;
+    if (scheduler_->Now() < nav_until_) {
+      ++stats_.cf_end_truncations;
+      nav_until_ = scheduler_->Now();
+      if (!medium_busy_reported_) {
+        // Re-date the announced idle start to now with a zero-length busy
+        // pulse — the announcement machinery only ever extends on its own.
+        dcf_.NotifyMediumBusy();
+        reported_idle_from_ = scheduler_->Now();
+        dcf_.NotifyMediumIdleFrom(reported_idle_from_);
+      }
+    }
+    return;
+  }
+
   if (first.ra != address_) {
     // Not for us: honour the NAV reservation.
     if (!first.duration_field.IsZero()) {
       SimTime until = scheduler_->Now() + first.duration_field;
-      SetNav(until);
       if (first.type == WifiFrameType::kRts) {
         // 802.11 NAV-reset rule: an RTS reservation is provisional until
         // the exchange actually starts. If the probe window passes in
         // silence, the CTS never came and the reservation is dead air.
+        // Armed BEFORE SetNav so the coalesced path's idle announcement
+        // below advertises the probe deadline, not the full RTS horizon.
         ArmNavResetProbe(until, ppdu.mode);
+      }
+      SetNav(until);
+      if (nav_provisional_ && nav_probe_value_ == until &&
+          !medium_busy_reported_ &&
+          reported_idle_from_ != nav_probe_deadline_) {
+        // SetNav's pulse missed the provisional deadline (equal-horizon
+        // no-op, or a standing reservation already announced further out):
+        // re-date explicitly. This is the same zero-length pulse the eager
+        // probe delivers at its deadline, moved to decode time; it cannot
+        // draw backoff (pending access here implies an earlier busy edge
+        // already drew it).
+        dcf_.NotifyMediumBusy();
+        reported_idle_from_ = nav_probe_deadline_;
+        dcf_.NotifyMediumIdleFrom(nav_probe_deadline_);
       }
     }
     return;
@@ -917,6 +986,8 @@ void WifiMac::OnPpduReceived(const Ppdu& ppdu,
     case WifiFrameType::kCts:
       HandleCts(first);
       break;
+    case WifiFrameType::kCfEnd:
+      break;  // handled above (broadcast ra never reaches this switch)
   }
 }
 
@@ -1194,14 +1265,24 @@ void WifiMac::OnRxCorrupted() {
 }
 
 void WifiMac::OnCcaBusy() {
+  if (nav_provisional_) {
+    if (scheduler_->Now() < nav_probe_deadline_) {
+      // PHY activity inside the probe window: the reserved exchange is
+      // happening, the reservation stands and the provisional marker dies.
+      nav_provisional_ = false;
+    } else {
+      // The window closed in silence before this edge arrived. Deliver the
+      // verdict first — the eager probe event, inserted at RTS decode and
+      // therefore ahead in FIFO order, fires before a same-nanosecond edge.
+      FinishNavProbe();
+    }
+  }
   phy_busy_ = true;
   ++cca_busy_edges_;
   if (nav_reset_probe_event_ != kInvalidEventId) {
-    // PHY activity inside the probe window: the reserved exchange is
-    // happening, the reservation stands. Cancelling here (O(1) lazy wheel
-    // retire) is what keeps the probe off the executed-event path — in a
-    // dense cell every station would otherwise fire one no-op probe per
-    // overheard RTS, the exact per-PPDU fan-out the lazy NAV work removed.
+    // Legacy mode: PHY activity inside the probe window cancels the armed
+    // probe (O(1) lazy wheel retire), keeping it off the executed-event
+    // path. The coalesced default above needs no event to cancel at all.
     scheduler_->Cancel(nav_reset_probe_event_);
     nav_reset_probe_event_ = kInvalidEventId;
   }
@@ -1209,6 +1290,11 @@ void WifiMac::OnCcaBusy() {
 }
 
 void WifiMac::OnCcaIdle() {
+  // Resolve a matured provisional probe against the pre-edge carrier state:
+  // with the carrier busy continuously since before the arm (no edge in
+  // between), the eager probe fired mid-carrier and stood down — the
+  // verdict must see phy_busy_ the same way.
+  ResolveNavProbe();
   phy_busy_ = false;
   UpdateMediumState();
 }
@@ -1230,6 +1316,18 @@ void WifiMac::ArmNavResetProbe(SimTime rts_nav_until,
                    2 * timings_.slot;
   if (scheduler_->Now() + window >= rts_nav_until) {
     return;  // nothing left to reclaim by the time the probe could fire
+  }
+  if (!config_.legacy_nav_probe_events) {
+    // Coalesced form (default): no event at all. The probe is a deadline
+    // consulted lazily — any CCA busy edge before it confirms the
+    // reservation, and the first state read past it delivers the verdict.
+    // This is the PR 3 lazy-NAV trick applied to the last NAV event storm:
+    // at 1000 stations the armed form cost one scheduled probe per
+    // overhearer per RTS even though almost all were cancelled.
+    nav_provisional_ = true;
+    nav_probe_deadline_ = scheduler_->Now() + window;
+    nav_probe_value_ = rts_nav_until;
+    return;
   }
   if (nav_reset_probe_event_ != kInvalidEventId) {
     scheduler_->Cancel(nav_reset_probe_event_);
@@ -1267,6 +1365,31 @@ void WifiMac::HandleNavResetProbe(SimTime armed_nav_value,
   }
 }
 
+void WifiMac::ResolveNavProbe() {
+  if (nav_provisional_ && scheduler_->Now() > nav_probe_deadline_) {
+    FinishNavProbe();
+  }
+}
+
+void WifiMac::FinishNavProbe() {
+  // The probe window has closed: same verdict the armed probe event
+  // delivers in legacy mode. phy_busy_ here means the carrier has been
+  // busy continuously since before the arm (an edge would have resolved
+  // the probe already), so the reservation stands.
+  nav_provisional_ = false;
+  if (phy_busy_) {
+    return;
+  }
+  if (nav_until_ != nav_probe_value_) {
+    return;  // another frame moved the NAV since; not ours to reclaim
+  }
+  ++stats_.nav_resets;
+  // NAV collapses to the instant the eager probe would have reset it at.
+  // No engine pulse is needed: while the provisional probe stood, every
+  // idle announcement already carried the deadline as its horizon.
+  nav_until_ = nav_probe_deadline_;
+}
+
 // Medium-state reporting, lazy-NAV form. The DCF engine sees the same busy
 // edges, at the same times, as the historical eager path — that keeps its
 // backoff-draw points (and therefore the RNG stream) identical — but idle
@@ -1275,6 +1398,7 @@ void WifiMac::HandleNavResetProbe(SimTime armed_nav_value,
 // that event used to fire once per station per overheard PPDU and was the
 // dominant ev/PPDU term (see docs/perf.md).
 void WifiMac::UpdateMediumState() {
+  ResolveNavProbe();
   SimTime now = scheduler_->Now();
   if (phy_busy_ || responses_pending_ > 0) {
     if (!medium_busy_reported_) {
@@ -1283,8 +1407,16 @@ void WifiMac::UpdateMediumState() {
     }
     return;
   }
-  bool nav_busy = now < nav_until_;
-  SimTime idle_from = nav_busy ? nav_until_ : now;
+  // A standing provisional probe caps the horizon at its deadline: if the
+  // window passes in silence the NAV collapses there, and if the exchange
+  // does start, its own busy edge arrives before any grant armed off the
+  // optimistic announcement could fire (the edge is at most SIFS + CTS
+  // into a window that is 2*SIFS + CTS + 2 slots long).
+  SimTime horizon = (nav_provisional_ && nav_until_ == nav_probe_value_)
+                        ? nav_probe_deadline_
+                        : nav_until_;
+  bool nav_busy = now < horizon;
+  SimTime idle_from = nav_busy ? horizon : now;
   if (!medium_busy_reported_ && nav_busy &&
       idle_from > reported_idle_from_) {
     // NAV extended past the previously announced idle start without a CCA

@@ -62,6 +62,19 @@ struct WifiMacConfig {
   // Consecutive CTS timeouts for one destination after which a single
   // exchange is sent unprotected (forward progress past a CTS-deaf peer).
   int rts_retry_limit = 7;
+  // NAV-reset probe implementation. false (default) = coalesced: the probe
+  // is one provisional deadline per overheard RTS reservation, consulted
+  // lazily from dated CCA edges — zero scheduled events per overhearer.
+  // true = the historical armed-probe event per overheard RTS, kept as the
+  // pick-for-pick reference the coalesced path is tested against
+  // (docs/mac.md).
+  bool legacy_nav_probe_events = false;
+  // CF-End truncation: after a CTS timeout the RTS originator broadcasts a
+  // CF-End frame releasing the remainder of its dead reservation at every
+  // overhearer — reclaiming reservations the per-station probes would miss
+  // (any PHY activity in the probe window makes a probe stand down). Off by
+  // default: the legacy bit-identical path sends nothing.
+  bool enable_cf_end = false;
   // Per-station ARF rate adaptation over the standard's mode table;
   // data_mode becomes the starting rate. Off by default: every data PPDU
   // then goes out at data_mode exactly as before.
@@ -113,7 +126,17 @@ class WifiMac final : public WifiPhyListener {
   bool HasBacklog() const {
     return !service_ring_.Empty() || phase_ != TxPhase::kIdle;
   }
-  SimTime nav_until() const { return nav_until_; }
+  // Effective NAV horizon: a matured-but-unresolved coalesced probe counts
+  // as already reclaimed (the MAC would resolve it on its next state read),
+  // so the watchdog's NAV-leak check sees the same horizon either probe
+  // implementation yields.
+  SimTime nav_until() const {
+    if (nav_provisional_ && !phy_busy_ && nav_until_ == nav_probe_value_ &&
+        scheduler_->Now() > nav_probe_deadline_) {
+      return nav_probe_deadline_;
+    }
+    return nav_until_;
+  }
 
   // Upper-layer interface. Takes ownership: the packet is moved into the
   // per-destination queue (or dropped), never copied.
@@ -137,8 +160,19 @@ class WifiMac final : public WifiPhyListener {
   MacAddress address() const { return address_; }
   const WifiMacConfig& config() const { return config_; }
   const PhyTimings& timings() const { return timings_; }
-  MacStats& stats() { return stats_; }
-  const MacStats& stats() const { return stats_; }
+  // Reading the counters is a state read: it delivers any matured
+  // coalesced-probe verdict first, so nav_resets does not depend on which
+  // probe implementation ran (a reservation dying right at sim end would
+  // otherwise count only in legacy mode, where the armed event fires
+  // unconditionally).
+  MacStats& stats() {
+    ResolveNavProbe();
+    return stats_;
+  }
+  const MacStats& stats() const {
+    const_cast<WifiMac*>(this)->ResolveNavProbe();
+    return stats_;
+  }
 
   // WifiPhyListener:
   void OnPpduReceived(const Ppdu& ppdu,
@@ -274,6 +308,15 @@ class WifiMac final : public WifiPhyListener {
   // reclaimed.
   void ArmNavResetProbe(SimTime rts_nav_until, const WifiMode& rts_mode);
   void HandleNavResetProbe(SimTime armed_nav_value, uint64_t armed_edges);
+  // Coalesced-probe resolution (default mode). ResolveNavProbe is the
+  // passive form called from every state read: delivers the verdict once
+  // the deadline has passed. FinishNavProbe is the verdict itself — the
+  // same decision the armed probe event makes in legacy mode.
+  void ResolveNavProbe();
+  void FinishNavProbe();
+  // Broadcasts a CF-End truncation after a CTS timeout if enabled and the
+  // dead reservation still has enough air left to be worth reclaiming.
+  void MaybeSendCfEnd();
 
   Scheduler* scheduler_;
   WifiPhy* phy_;
@@ -332,6 +375,16 @@ class WifiMac final : public WifiPhyListener {
   // "did any PHY activity follow the RTS?" without tracking timestamps.
   uint64_t cca_busy_edges_ = 0;
   EventId nav_reset_probe_event_ = kInvalidEventId;
+  // Coalesced NAV-reset probe (default mode): one provisional deadline per
+  // overheard RTS reservation instead of an armed event. A CCA busy edge
+  // inside the window confirms the reservation (the exchange started); the
+  // first state read past the deadline delivers the reclaim verdict.
+  bool nav_provisional_ = false;
+  SimTime nav_probe_deadline_;
+  SimTime nav_probe_value_;  // the nav_until_ the probe would reclaim
+  // End of the reservation advertised by the last RTS this MAC sent; a
+  // CF-End truncation is only worth the air while it is still future.
+  SimTime rts_reservation_until_;
   bool medium_busy_reported_ = false;
   // Idle start last announced to the DCF engine (Now() or a future
   // nav_until_). NAV expiry is never a scheduled event: the engine arms its

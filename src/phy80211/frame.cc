@@ -20,6 +20,8 @@ size_t WifiFrame::SizeBytes() const {
       return kRtsBytes;
     case WifiFrameType::kCts:
       return kCtsBytes;
+    case WifiFrameType::kCfEnd:
+      return kCfEndBytes;
   }
   return 0;
 }

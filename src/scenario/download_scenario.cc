@@ -106,6 +106,8 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   ap_mac_cfg.extra_ack_delay = config.extra_ack_delay;
   ap_mac_cfg.extra_ack_timeout = config.extra_ack_timeout;
   ap_mac_cfg.rts_threshold = config.rts_threshold;
+  ap_mac_cfg.legacy_nav_probe_events = config.legacy_nav_probe_events;
+  ap_mac_cfg.enable_cf_end = config.enable_cf_end;
   ap_mac_cfg.enable_rate_adaptation = config.rate_adaptation;
   ap_mac_cfg.rate_adapt = config.rate_adapt;
   if (config.hack != HackVariant::kOff) {
@@ -271,6 +273,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
       src_cfg.payload_bytes = config.udp_payload_bytes;
       src_cfg.start = specs[i].start_offset;
       src_cfg.stop = config.duration;
+      src_cfg.burst_window = config.udp_burst_window;
       if (!config.upload) {
         FiveTuple flow{server_ip, client_ip(i), server_port, client_port,
                        kIpProtoUdp};

@@ -107,6 +107,17 @@ struct ScenarioConfig {
   TcpConfig tcp;
   uint32_t udp_payload_bytes = 1472;
   double udp_rate_bps = 250e6;
+  // Token-bucket pacing window for the UDP CBR sources: one refill event
+  // per window instead of one event per packet (UdpCbrSource::Config).
+  // Zero (default) keeps the classic per-packet chain bit-identical.
+  SimTime udp_burst_window;
+
+  // NAV-reset probes as armed per-overhearer events (the historical form)
+  // instead of the default coalesced provisional deadline. Only the
+  // equivalence tests should turn this on — see WifiMacConfig.
+  bool legacy_nav_probe_events = false;
+  // CF-End truncation after CTS timeouts on every MAC (WifiMacConfig).
+  bool enable_cf_end = false;
 
   HackAgentConfig hack_config;  // variant is overwritten from `hack`
   uint64_t seed = 1;

@@ -690,11 +690,15 @@ TEST(MacRtsTest, OverheardRtsSetsNavSuppressesCtsThenProbeReclaims) {
   sched.RunUntil(SimTime::Micros(150));
   EXPECT_EQ(mac.stats().cts_sent, 0u);
   // The probe window (2*SIFS + CTS + 2*slot ~ 78 us) passed with no PHY
-  // activity: the dead reservation must have been reclaimed...
-  EXPECT_EQ(mac.stats().nav_resets, 1u);
+  // activity: the dead reservation must read as reclaimed. (The default
+  // coalesced probe resolves lazily — the effective NAV view collapses at
+  // the deadline, and the nav_resets counter lands at the next state
+  // read, here the RTS below.)
+  EXPECT_LE(mac.nav_until(), SimTime::Micros(150));
   // ...so an RTS to us at t=150us (still inside the original 500 us
   // horizon) now gets its CTS.
   mac.OnPpduReceived(make_rts(3, 2, SimTime::Micros(200)), ok);
+  EXPECT_EQ(mac.stats().nav_resets, 1u);
   sched.RunUntil(SimTime::Micros(400));
   EXPECT_EQ(mac.stats().rts_ignored_busy, 1u);
   EXPECT_EQ(mac.stats().cts_sent, 1u);
@@ -851,6 +855,207 @@ TEST(MacTest, ContendersEventuallyCollideAndRecover) {
   uint64_t timeouts = pair.mac_a->stats().response_timeouts +
                       pair.mac_b->stats().response_timeouts;
   EXPECT_GT(timeouts, 0u) << "saturated contenders should collide sometimes";
+}
+
+// Drives a legacy-probe MAC (one armed scheduler event per overheard RTS)
+// and a default coalesced-probe MAC through the same scripted overhearer
+// trace — decoded RTSes, raw CCA edges, a CF-End — and demands the same
+// effective NAV view at every checkpoint plus identical stats at the end.
+// This pick-for-pick contract is what lets the coalesced form be the
+// default: same reclaim decisions, at the same instants, from zero events.
+TEST(MacRtsTest, CoalescedProbeMatchesLegacyPickForPick) {
+  WifiMacConfig cfg;
+  cfg.standard = WifiStandard::k80211n;
+  cfg.data_mode = ModeForRate(Modes80211n(), 150);
+  cfg.rts_threshold = 500;
+  WifiMacConfig legacy_cfg = cfg;
+  legacy_cfg.legacy_nav_probe_events = true;
+
+  Scheduler sched;
+  // Separate channels: the scripted CCA edges below are injected directly
+  // into each MAC and must not leak between the two stacks.
+  WirelessChannel chan_l(&sched);
+  WirelessChannel chan_c(&sched);
+  WifiPhy phy_l(&sched, Random(1));
+  WifiPhy phy_c(&sched, Random(1));
+  phy_l.AttachTo(&chan_l);
+  phy_c.AttachTo(&chan_c);
+  WifiMac legacy(&sched, &phy_l, MacAddress::ForStation(9), legacy_cfg,
+                 Random(7));
+  WifiMac coalesced(&sched, &phy_c, MacAddress::ForStation(9), cfg,
+                    Random(7));
+
+  WifiMode rts_mode = ControlResponseMode(cfg.data_mode);
+  auto make_frame = [&](WifiFrameType type, uint32_t from, uint32_t to,
+                        SimTime duration) {
+    Ppdu ppdu;
+    ppdu.aggregated = false;
+    ppdu.mode = rts_mode;
+    WifiFrame f;
+    f.type = type;
+    f.ta = MacAddress::ForStation(from);
+    f.ra = to == 0xff ? MacAddress::Broadcast() : MacAddress::ForStation(to);
+    f.duration_field = duration;
+    ppdu.mpdus.push_back(std::move(f));
+    return ppdu;
+  };
+  std::vector<bool> ok = {true};
+  auto inject = [&](const Ppdu& p) {
+    legacy.OnPpduReceived(p, ok);
+    coalesced.OnPpduReceived(p, ok);
+  };
+  auto cca_pulse = [&]() {
+    legacy.OnCcaBusy();
+    coalesced.OnCcaBusy();
+    legacy.OnCcaIdle();
+    coalesced.OnCcaIdle();
+  };
+  auto check = [&](const char* what) {
+    EXPECT_EQ(legacy.nav_until().ns(), coalesced.nav_until().ns()) << what;
+    EXPECT_EQ(legacy.stats().nav_resets, coalesced.stats().nav_resets)
+        << what;
+  };
+
+  // Phase 1 — activity confirms: a CCA pulse inside the probe window means
+  // the reserved exchange is happening; NAV stands to the full horizon.
+  inject(make_frame(WifiFrameType::kRts, 0, 1, SimTime::Micros(500)));
+  sched.RunUntil(SimTime::Micros(30));
+  cca_pulse();
+  sched.RunUntil(SimTime::Micros(120));  // past the ~78 us probe deadline
+  check("activity inside the window must confirm the reservation");
+  EXPECT_EQ(coalesced.nav_until(), SimTime::Micros(500));
+  sched.RunUntil(SimTime::Micros(600));
+  check("NAV expired naturally");
+
+  // Phase 2 — dead reservation: the window passes in silence, both reclaim
+  // at the deadline (the coalesced one delivers the verdict at the next
+  // state read; nav_until() reports the deadline either way).
+  sched.RunUntil(SimTime::Millis(1));
+  inject(make_frame(WifiFrameType::kRts, 0, 1, SimTime::Micros(400)));
+  sched.RunUntil(SimTime::Millis(1) + SimTime::Micros(150));
+  check("dead reservation reclaimed at the probe deadline");
+  EXPECT_EQ(coalesced.stats().nav_resets, 1u);
+  EXPECT_LT(coalesced.nav_until(), SimTime::Millis(1) + SimTime::Micros(100));
+
+  // Phase 3 — NAV moved on: a later not-for-us data frame extends the NAV
+  // past the RTS horizon. The probe (armed or provisional) reserved a
+  // different value and must not reclaim what it does not own.
+  sched.RunUntil(SimTime::Millis(2));
+  inject(make_frame(WifiFrameType::kRts, 0, 1, SimTime::Micros(300)));
+  sched.RunUntil(SimTime::Millis(2) + SimTime::Micros(40));
+  inject(make_frame(WifiFrameType::kData, 3, 4, SimTime::Micros(600)));
+  sched.RunUntil(SimTime::Millis(2) + SimTime::Micros(200));
+  check("probe must not reclaim a NAV another frame moved");
+  EXPECT_EQ(coalesced.nav_until(),
+            SimTime::Millis(2) + SimTime::Micros(640));
+  EXPECT_EQ(coalesced.stats().nav_resets, 1u);
+  sched.RunUntil(SimTime::Millis(3));
+
+  // Phase 4 — CF-End: activity first confirms the reservation (both probes
+  // die), then the originator's broadcast truncation releases the rest.
+  sched.RunUntil(SimTime::Millis(4));
+  inject(make_frame(WifiFrameType::kRts, 0, 1, SimTime::Micros(800)));
+  sched.RunUntil(SimTime::Millis(4) + SimTime::Micros(30));
+  cca_pulse();
+  sched.RunUntil(SimTime::Millis(4) + SimTime::Micros(100));
+  inject(make_frame(WifiFrameType::kCfEnd, 0, 0xff, SimTime()));
+  check("CF-End truncation");
+  EXPECT_EQ(coalesced.stats().cf_end_truncations, 1u);
+  EXPECT_EQ(coalesced.nav_until(), SimTime::Millis(4) + SimTime::Micros(100));
+
+  EXPECT_TRUE(legacy.stats() == coalesced.stats())
+      << "full stats must match after the scripted trace";
+}
+
+// Receiver side of the truncation: an overheard-and-confirmed reservation
+// (CCA activity killed the probe, so nothing else would reclaim it) is
+// released the instant the originator's CF-End arrives, and the station
+// answers the next RTS addressed to it instead of sitting NAV-bound.
+TEST(MacRtsTest, CfEndReleasesConfirmedReservationImmediately) {
+  WifiMacConfig cfg;
+  cfg.standard = WifiStandard::k80211n;
+  cfg.data_mode = ModeForRate(Modes80211n(), 150);
+  cfg.rts_threshold = 500;
+  Scheduler sched;
+  WirelessChannel channel(&sched);
+  WifiPhy phy(&sched, Random(1));
+  phy.AttachTo(&channel);
+  WifiMac mac(&sched, &phy, MacAddress::ForStation(2), cfg, Random(13));
+
+  WifiMode rts_mode = ControlResponseMode(cfg.data_mode);
+  auto make_frame = [&](WifiFrameType type, uint32_t from, uint32_t to,
+                        SimTime duration) {
+    Ppdu ppdu;
+    ppdu.aggregated = false;
+    ppdu.mode = rts_mode;
+    WifiFrame f;
+    f.type = type;
+    f.ta = MacAddress::ForStation(from);
+    f.ra = to == 0xff ? MacAddress::Broadcast() : MacAddress::ForStation(to);
+    f.duration_field = duration;
+    ppdu.mpdus.push_back(std::move(f));
+    return ppdu;
+  };
+  std::vector<bool> ok = {true};
+
+  // t=0: overhear an RTS 0->1 reserving a full millisecond.
+  mac.OnPpduReceived(make_frame(WifiFrameType::kRts, 0, 1, SimTime::Millis(1)),
+                     ok);
+  // t=30us: CCA activity inside the probe window — the exchange started,
+  // the probe dies, the reservation is confirmed to the whole horizon.
+  sched.RunUntil(SimTime::Micros(30));
+  mac.OnCcaBusy();
+  mac.OnCcaIdle();
+  sched.RunUntil(SimTime::Micros(100));
+  EXPECT_EQ(mac.nav_until(), SimTime::Millis(1));
+  // t=100us: the originator declares the exchange over.
+  mac.OnPpduReceived(
+      make_frame(WifiFrameType::kCfEnd, 0, 0xff, SimTime()), ok);
+  EXPECT_EQ(mac.stats().cf_end_truncations, 1u);
+  EXPECT_EQ(mac.nav_until(), SimTime::Micros(100));
+  // t=120us: an RTS addressed to us — answered, 880 us early.
+  sched.RunUntil(SimTime::Micros(120));
+  mac.OnPpduReceived(
+      make_frame(WifiFrameType::kRts, 3, 2, SimTime::Micros(200)), ok);
+  sched.RunUntil(SimTime::Micros(400));
+  EXPECT_EQ(mac.stats().rts_ignored_busy, 0u);
+  EXPECT_EQ(mac.stats().cts_sent, 1u);
+}
+
+// Originator side: with enable_cf_end, a CTS timeout (the reservation is
+// dead air) makes the RTS sender broadcast a CF-End truncation over the
+// real PHY path — the sniffer sees it on the air after the unanswered RTS.
+TEST(MacRtsTest, CtsTimeoutBroadcastsCfEndTruncation) {
+  WifiMacConfig cfg;
+  cfg.standard = WifiStandard::k80211n;
+  cfg.data_mode = ModeForRate(Modes80211n(), 150);
+  cfg.rts_threshold = 500;
+  cfg.enable_cf_end = true;
+  SniffedPair s(cfg);
+  // B hears nothing: every RTS times out and its reservation is dead air.
+  s.pair.phy_b->set_loss_model(
+      std::make_unique<BernoulliLossModel>(1.0, 1.0));
+
+  s.pair.mac_a->Enqueue(MakeUdpPacket(1460), MacAddress::ForStation(1));
+  s.pair.sched.RunUntil(SimTime::Millis(10));
+
+  EXPECT_GT(s.pair.mac_a->stats().cts_timeouts, 0u);
+  EXPECT_GT(s.pair.mac_a->stats().cf_ends_sent, 0u);
+  // On the air: at least one CF-End, each after an RTS, never before the
+  // first RTS; CF-Ends reserve nothing.
+  bool saw_rts = false;
+  size_t cf_ends = 0;
+  for (const auto& f : s.sniffer.frames) {
+    if (f.type == WifiFrameType::kRts) {
+      saw_rts = true;
+    }
+    if (f.type == WifiFrameType::kCfEnd) {
+      EXPECT_TRUE(saw_rts) << "CF-End before any RTS";
+      EXPECT_TRUE(f.duration_field.IsZero());
+      ++cf_ends;
+    }
+  }
+  EXPECT_EQ(cf_ends, s.pair.mac_a->stats().cf_ends_sent);
 }
 
 }  // namespace

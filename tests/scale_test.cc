@@ -121,6 +121,43 @@ TEST(BatchedDeliveryEquivalenceTest, HiddenTwoClusterRtsProtected) {
   ExpectModesEquivalent(HiddenConfig(6, /*rts_threshold=*/500));
 }
 
+// Same contract for the coalesced NAV-reset probe: the default (zero-event
+// provisional deadline) and the historical armed-per-overhearer form must
+// produce bit-identical scenario behaviour. Run on the hidden-terminal RTS
+// cell — the probe-heavy workload where reservations actually go dead and
+// get reclaimed, not just cancelled — and from fewer-or-equal events.
+void ExpectProbeModesEquivalent(ScenarioConfig config) {
+  config.legacy_nav_probe_events = true;
+  ScenarioResult legacy = RunScenario(config);
+  config.legacy_nav_probe_events = false;
+  ScenarioResult coalesced = RunScenario(config);
+
+  EXPECT_TRUE(coalesced.BehaviourEquals(legacy))
+      << "coalesced NAV probe diverged: goodput "
+      << coalesced.aggregate_goodput_mbps << " vs "
+      << legacy.aggregate_goodput_mbps << ", airtime ppdus "
+      << coalesced.airtime.ppdus << " vs " << legacy.airtime.ppdus;
+  ASSERT_EQ(coalesced.clients.size(), legacy.clients.size());
+  for (size_t i = 0; i < coalesced.clients.size(); ++i) {
+    EXPECT_EQ(coalesced.clients[i], legacy.clients[i]) << "client " << i;
+  }
+  EXPECT_LE(coalesced.events_executed, legacy.events_executed);
+}
+
+TEST(NavProbeEquivalenceTest, HiddenTwoClusterRtsProtected) {
+  ExpectProbeModesEquivalent(HiddenConfig(6, /*rts_threshold=*/500));
+}
+
+TEST(NavProbeEquivalenceTest, DenseUplinkRtsCell) {
+  ScenarioConfig c = BaseConfig(10, TransportProto::kUdp, HackVariant::kOff);
+  c.upload = true;
+  c.rts_threshold = 500;
+  c.udp_rate_bps = 2.5e8;
+  c.duration = SimTime::Millis(300);
+  c.start_stagger = SimTime::Millis(5);
+  ExpectProbeModesEquivalent(c);
+}
+
 TEST(LegacyBitIdentityPin, FixedLossScenarioOutputsPinned) {
   // Golden values recorded when the propagation layer landed; the run is
   // fully deterministic from (config, seed), so any drift here means the

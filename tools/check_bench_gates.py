@@ -8,10 +8,21 @@ Three gates, all keyed to the committed Release references in the repo root:
    BENCH_micro.json. This is the cancel-dominated MAC-timeout pattern the
    timing wheel exists for.
 2. Dense-cell event cost: 1000-station rows in BENCH_scale.json must keep
-   events_per_ppdu below --ev-ppdu-ceiling (default 250, vs ~525 before the
-   lazy NAV/DCF re-arm work). The committed artifact is always checked; a
-   freshly generated scale JSON is checked too when it contains 1000-station
-   rows (CI's quick mode stops at 100 stations).
+   events_per_ppdu below --ev-ppdu-ceiling (default 100, vs ~525 before the
+   lazy NAV/DCF re-arm work and ~250 before the coalesced NAV probes +
+   token-bucket pacing). Two per-class sub-gates pin the storms that were
+   actually killed, so a regression is attributed on sight instead of
+   hiding inside the total: per_ppdu_nav <= --nav-ppdu-ceiling (default
+   2.0 — the per-overhearer probe storm peaked at 82 on udp-hidden-rts)
+   and per_ppdu_transport <= --transport-ppdu-ceiling (default 15 — the
+   per-packet CBR chain peaked at 243 on a 10-station uplink). The
+   committed artifact is always checked; a freshly generated scale JSON is
+   checked too when it contains 1000-station rows (CI's quick mode stops
+   at 100 stations). The storm rows additionally get the per-class
+   sub-gates at the LARGEST station count each artifact carries —
+   per_ppdu_nav on udp-hidden-rts, per_ppdu_transport on udp-up/udp-rts —
+   so every quick push artifact exercises them, not just the weekly full
+   sweep.
 3. Dense-cell goodput floor: the 1000-station "udp-rts" row (saturated
    uplink contenders protected by RTS/CTS + rate adaptation) must beat
    BOTH 1000-station collapse baselines by at least --goodput-ratio
@@ -123,7 +134,9 @@ def main():
     ap.add_argument("--committed-scale", required=True)
     ap.add_argument("--fresh-scale")
     ap.add_argument("--max-regress", type=float, default=0.25)
-    ap.add_argument("--ev-ppdu-ceiling", type=float, default=250.0)
+    ap.add_argument("--ev-ppdu-ceiling", type=float, default=100.0)
+    ap.add_argument("--nav-ppdu-ceiling", type=float, default=2.0)
+    ap.add_argument("--transport-ppdu-ceiling", type=float, default=15.0)
     ap.add_argument("--goodput-ratio", type=float, default=2.0)
     ap.add_argument("--hidden-ratio", type=float, default=2.0)
     ap.add_argument("--hidden-min-mbps", type=float, default=10.0)
@@ -229,6 +242,37 @@ def main():
                   f"{args.hidden_min_mbps:.0f} Mbps))")
             failed |= not ok
 
+        # Storm-row gates at the largest station count the artifact
+        # carries. The 1000-station per-class gates below never run on a
+        # quick (10/100-station) push artifact, so without this the two
+        # event storms this script exists to pin — per-overhearer NAV
+        # probes on the hidden-terminal RTS row, per-packet CBR pacing on
+        # the uplink rows — could regrow unnoticed between weekly full
+        # sweeps. The ceilings are the same as at 1000 stations: both
+        # storms scaled with station count (probe fan-out) or inversely
+        # with per-station rate (pacing), so the dense ceilings are
+        # conservative at 10/100 stations.
+        max_n = max(r["stations"] for r in all_rows)
+        top = {r["proto"]: r for r in all_rows if r["stations"] == max_n}
+        for proto, field, ceiling, what in (
+                ("udp-hidden-rts", "per_ppdu_nav", args.nav_ppdu_ceiling,
+                 "NAV-reset probes"),
+                ("udp-up", "per_ppdu_transport",
+                 args.transport_ppdu_ceiling, "transport pacing"),
+                ("udp-rts", "per_ppdu_transport",
+                 args.transport_ppdu_ceiling, "transport pacing")):
+            if proto not in top or field not in top[proto]:
+                print(f"[FAIL] {label} {max_n}-station {proto}: storm row "
+                      f"or its {field} field missing")
+                failed = True
+                continue
+            val = float(top[proto][field])
+            ok = val <= ceiling
+            verdict = "OK" if ok else "FAIL"
+            print(f"[{verdict}] {label} {max_n}-station {proto}: "
+                  f"{val:.2f} {field} (ceiling {ceiling:.1f}, {what})")
+            failed |= not ok
+
         rows = [r for r in all_rows if r["stations"] == 1000]
         if label == "committed" and not rows:
             print(f"[FAIL] {path}: no 1000-station rows in committed "
@@ -245,6 +289,28 @@ def main():
             print(f"[{verdict}] {label} 1000-station {r['proto']}/{r['hack']}: "
                   f"{ev:.1f} ev/PPDU (ceiling {args.ev_ppdu_ceiling:.0f})")
             failed |= not ok
+            # Per-class storm gates. Older artifacts (pre-class-split) do
+            # not carry the fields — that is a hard failure on the
+            # committed artifact, never a silent skip.
+            for field, ceiling, what in (
+                    ("per_ppdu_nav", args.nav_ppdu_ceiling,
+                     "NAV-reset probes"),
+                    ("per_ppdu_transport", args.transport_ppdu_ceiling,
+                     "transport pacing")):
+                if field not in r:
+                    print(f"[FAIL] {label} 1000-station "
+                          f"{r['proto']}/{r['hack']}: missing {field} "
+                          "(regenerate the artifact with the per-class "
+                          "event split)")
+                    failed = True
+                    continue
+                val = float(r[field])
+                ok = val <= ceiling
+                verdict = "OK" if ok else "FAIL"
+                print(f"[{verdict}] {label} 1000-station "
+                      f"{r['proto']}/{r['hack']}: {val:.2f} {field} "
+                      f"(ceiling {ceiling:.1f}, {what})")
+                failed |= not ok
 
         # Dense-cell goodput floor: udp-rts must beat both collapse
         # baselines (downlink "udp" and unprotected-uplink "udp-up") by
