@@ -76,6 +76,14 @@ struct Workload {
   // run with the liveness watchdog armed in abort mode, so a wedged cell
   // fails the bench loudly instead of producing a quiet bad number.
   const char* fault = nullptr;
+  // Mixed-workload traffic zoo: replaces the uniform CBR sources with a
+  // voice/web mix (10% VO-tagged voice stations, 90% heavy-tailed web) and
+  // turns on the per-AC latency columns. The rate scale keeps the web
+  // offered load saturating (~128 Mbps) at every station count.
+  bool mixed_traffic = false;
+  // 802.11e EDCA on every MAC (four per-AC engines + queues). The VO-p99
+  // gate compares the mixed row pair with this off vs on.
+  bool edca = false;
 };
 
 struct ScaleRow {
@@ -105,6 +113,10 @@ struct ScaleRow {
   bool has_fault = false;
   uint64_t fault_events = 0;
   double post_fault_goodput_mbps = 0.0;
+  // Mixed-traffic rows only: per-AC enqueue→delivery latency (ms). Emitted
+  // to JSON per AC with samples, so legacy rows stay byte-identical.
+  bool has_latency = false;
+  LatencySummary ac_latency[kNumAcs];
   // Validated on the main thread after the parallel fan-out (a worker must
   // not std::exit while its siblings run).
   uint64_t crc_failures = 0;
@@ -142,6 +154,20 @@ ScaleRow RunOne(int stations, const Workload& w, uint64_t seed) {
   c.topology = w.topology;
   if (w.topology != Topology::kRing) {
     c.propagation = LogDistancePropagation::Params{};
+  }
+  c.edca_enabled = w.edca;
+  if (w.mixed_traffic) {
+    // A voice tithe sharing the cell with heavy-tailed web bulk. The scale
+    // keeps the aggregate web load at ~128 Mbps (saturating a 150 Mbps
+    // cell) and the aggregate voice load at ~6.4 Mbps at every station
+    // count, so the rows compare QoS policy, not offered load. Voice rides
+    // the LAST mix row (highest station indices): client IPv4 addresses
+    // truncate to one octet, so past 256 stations only the last 256 are
+    // routable — a tail tithe keeps every voice sink live at 1000 stations
+    // while the ghost web flows still saturate the air.
+    c.traffic_mix = {{TrafficModel::kParetoWeb, 0.9},
+                     {TrafficModel::kCbrVoice, 0.1}};
+    c.traffic_rate_scale = 1000.0 / stations;
   }
   if (w.fault != nullptr) {
     // Watchdog armed in abort mode: a churn/outage row that wedges the
@@ -206,6 +232,13 @@ ScaleRow RunOne(int stations, const Workload& w, uint64_t seed) {
             ? static_cast<double>(r.events_by_class[i]) /
                   static_cast<double>(r.airtime.ppdus)
             : 0.0;
+  }
+
+  if (w.mixed_traffic) {
+    row.has_latency = true;
+    for (uint8_t ac = 0; ac < kNumAcs; ++ac) {
+      row.ac_latency[ac] = r.ac_latency[ac];
+    }
   }
 
   row.crc_failures = r.crc_failures;
@@ -290,6 +323,23 @@ void WriteJson(const std::string& path, const std::vector<ScaleRow>& rows) {
                    static_cast<unsigned long long>(r.fault_events),
                    r.post_fault_goodput_mbps);
     }
+    if (r.has_latency) {
+      // Per-AC latency columns, mixed-traffic rows only (legacy rows stay
+      // byte-identical). Only ACs that actually carried samples appear.
+      static const char* kAcKeys[kNumAcs] = {"vo", "vi", "be", "bk"};
+      for (uint8_t ac = 0; ac < kNumAcs; ++ac) {
+        const LatencySummary& s = r.ac_latency[ac];
+        if (s.count == 0) {
+          continue;
+        }
+        std::fprintf(f,
+                     "\"lat_%s_count\": %llu, \"lat_%s_p50_ms\": %.3f, "
+                     "\"lat_%s_p99_ms\": %.3f, \"lat_%s_jitter_ms\": %.3f, ",
+                     kAcKeys[ac], static_cast<unsigned long long>(s.count),
+                     kAcKeys[ac], s.p50_ms, kAcKeys[ac], s.p99_ms,
+                     kAcKeys[ac], s.jitter_ms);
+      }
+    }
     std::fprintf(f, "\"wall_ms\": %.1f, \"sim_seconds\": %.3f}%s\n",
                  r.wall_ms, r.sim_seconds, i + 1 < rows.size() ? "," : "");
   }
@@ -361,6 +411,17 @@ int main(int argc, char** argv) {
        /*upload=*/false, /*rts_threshold=*/0, /*rate_adapt=*/false,
        /*udp_rate_bps=*/0.0, Topology::kRing, /*allow_zero_bytes=*/false,
        /*fault=*/"apout"},
+      // QoS pair: the same saturated voice+web mix without and with EDCA.
+      // check_bench_gates.py requires the EDCA row's VO p99 to undercut
+      // the no-EDCA baseline by >= 2x at the largest station count.
+      {"udp-mix", TransportProto::kUdp, HackVariant::kOff,
+       /*upload=*/false, /*rts_threshold=*/0, /*rate_adapt=*/false,
+       /*udp_rate_bps=*/0.0, Topology::kRing, /*allow_zero_bytes=*/false,
+       /*fault=*/nullptr, /*mixed_traffic=*/true, /*edca=*/false},
+      {"udp-mix-edca", TransportProto::kUdp, HackVariant::kOff,
+       /*upload=*/false, /*rts_threshold=*/0, /*rate_adapt=*/false,
+       /*udp_rate_bps=*/0.0, Topology::kRing, /*allow_zero_bytes=*/false,
+       /*fault=*/nullptr, /*mixed_traffic=*/true, /*edca=*/true},
   };
 
   // Flatten the matrix: each (stations, workload) cell expands to `reps`
@@ -454,6 +515,13 @@ int main(int argc, char** argv) {
                   workloads[cell % kNumWorkloads].fault,
                   static_cast<unsigned long long>(r.fault_events),
                   r.post_fault_goodput_mbps);
+    }
+    if (r.has_latency) {
+      std::printf("          ~ latency ms p50/p99/jitter: VO %.2f/%.2f/%.2f"
+                  "  BE %.2f/%.2f/%.2f\n",
+                  r.ac_latency[kAcVo].p50_ms, r.ac_latency[kAcVo].p99_ms,
+                  r.ac_latency[kAcVo].jitter_ms, r.ac_latency[kAcBe].p50_ms,
+                  r.ac_latency[kAcBe].p99_ms, r.ac_latency[kAcBe].jitter_ms);
     }
   }
   if (!json_path.empty()) {

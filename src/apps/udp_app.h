@@ -73,10 +73,22 @@ class UdpSink {
   uint64_t bytes_received() const { return bytes_received_; }
   const GoodputTracker& tracker() const { return tracker_; }
 
+  // Per-AC latency collection: when set, every delivery records its
+  // enqueue→delivery delay (Packet::created_at is stamped at the source)
+  // under the packet's DSCP-derived access category, plus the consecutive
+  // same-sink delay delta for jitter. Recording only — no events, no RNG —
+  // so wiring a recorder cannot perturb a run.
+  void set_latency_recorder(LatencyRecorder* recorder) {
+    latency_ = recorder;
+  }
+
  private:
   Scheduler* scheduler_;
   uint64_t bytes_received_ = 0;
   GoodputTracker tracker_;
+  LatencyRecorder* latency_ = nullptr;
+  SimTime last_delay_;
+  bool has_last_delay_ = false;
 };
 
 }  // namespace hacksim

@@ -117,6 +117,7 @@ void DcfEngine::Evaluate() {
     // frame may go as soon as AIFS has been satisfied.
     grant_time = std::max(now, countdown_start);
   }
+  grant_time_ = grant_time;
   grant_event_ = scheduler_->ScheduleAt(
       grant_time,
       [this]() {
@@ -140,6 +141,15 @@ void DcfEngine::NotifyTxFailure() {
 }
 
 void DcfEngine::NotifyTxSuccess() { cw_ = config_.cw_min; }
+
+void DcfEngine::NotifyInternalCollision() {
+  cw_ = std::min(cw_ * 2 + 1, config_.cw_max);
+  backoff_slots_ = DrawBackoff();
+  // The request is still pending (the losing grant never fired, or was
+  // re-requested); re-arm it for the fresh draw. Evaluate() cancels the
+  // stale same-instant grant event before scheduling the new one.
+  Evaluate();
+}
 
 void DcfEngine::Reset() {
   CancelGrantEvent();

@@ -88,6 +88,22 @@ class DcfEngine {
   // Post-transmission backoff: drawn after every transmission completes.
   void DrawPostTxBackoff();
 
+  // --- EDCA internal contention ----------------------------------------------
+  // When several per-AC engines inside one MAC would be granted access at
+  // the same instant, only the highest-priority AC transmits; each loser
+  // suffers a *virtual collision*: CW doubles, a fresh backoff is drawn
+  // from the doubled window, and the still-pending grant is re-armed for
+  // the new countdown. Identical to NotifyTxFailure except the request
+  // stays pending (the loser never got to transmit, so nothing consumed
+  // its access request).
+  void NotifyInternalCollision();
+  // True while a grant timer is armed (access granted but not yet fired).
+  bool has_armed_grant() const { return grant_event_ != kInvalidEventId; }
+  // The instant the armed grant will fire; only meaningful while
+  // has_armed_grant(). The owning MAC compares this against Now() to
+  // detect same-instant grants across its AC engines.
+  SimTime armed_grant_time() const { return grant_time_; }
+
   uint32_t cw() const { return cw_; }
   int backoff_slots() const { return backoff_slots_; }
 
@@ -134,6 +150,8 @@ class DcfEngine {
   // time that already passed.
   SimTime backoff_valid_from_;
   EventId grant_event_ = kInvalidEventId;
+  // Fire time of the armed grant event; valid only while grant_event_ is.
+  SimTime grant_time_;
   uint32_t cw_;
 };
 

@@ -35,6 +35,25 @@ SimTime PayloadAirtime(const Ppdu& ppdu) {
 
 }  // namespace
 
+// --- EDCA parameter table -----------------------------------------------------
+
+std::array<EdcaAcParams, kNumAcs> DefaultEdcaTable() {
+  std::array<EdcaAcParams, kNumAcs> table{};
+  table[kAcVo] = EdcaAcParams{2, 3, 7, SimTime::Micros(1504)};
+  table[kAcVi] = EdcaAcParams{2, 7, 15, SimTime::Micros(3008)};
+  // BE mirrors the base PhyTimings (aifsn 3 == DIFS for 11n, CW 15/1023);
+  // informational only — dcf_ is the BE engine and reads PhyTimings
+  // directly, which is what pins legacy behaviour. Zero TXOP rows fall
+  // back to WifiMacConfig::txop_limit.
+  table[kAcBe] = EdcaAcParams{3, 15, 1023, SimTime::Zero()};
+  table[kAcBk] = EdcaAcParams{7, 15, 1023, SimTime::Zero()};
+  return table;
+}
+
+uint8_t ClassifyAc(const Packet& packet) {
+  return packet.has_ip() ? AcForTos(packet.ip().tos) : kAcBe;
+}
+
 // --- TxState outstanding ring -------------------------------------------------
 
 WifiMac::OutstandingMpdu* WifiMac::TxState::FindOutstanding(uint16_t seq) {
@@ -91,7 +110,27 @@ WifiMac::WifiMac(Scheduler* scheduler, WifiPhy* phy, MacAddress address,
                              EifsExtra(TimingsFor(config.standard))}),
       current_data_mode_(config.data_mode) {
   phy_->set_listener(this);
-  dcf_.on_grant = [this]() { OnAccessGranted(); };
+  dcf_.on_grant = [this]() { OnAccessGranted(kAcBe); };
+  if (config_.edca_enabled) {
+    // Per-AC engines for VO/VI/BK, each with its own fork of the MAC's RNG
+    // (taken here, in declaration order, AFTER dcf_'s member-init fork —
+    // legacy mode takes none of these forks, so dcf_'s stream is untouched).
+    // BE needs no engine: dcf_ already runs AIFS[BE]/CW[BE] (= DIFS and the
+    // PHY's CW bounds), see EngineFor().
+    for (uint8_t ac = 0; ac < kNumAcs; ++ac) {
+      if (ac == kAcBe) {
+        continue;
+      }
+      const EdcaAcParams& params = config_.edca[ac];
+      edca_engines_[ac] = std::make_unique<DcfEngine>(
+          scheduler, rng.Fork(),
+          DcfEngine::Config{timings_.slot,
+                            timings_.sifs + timings_.slot * params.aifsn,
+                            params.cw_min, params.cw_max,
+                            EifsExtra(timings_)});
+      edca_engines_[ac]->on_grant = [this, ac]() { OnAccessGranted(ac); };
+    }
+  }
   if (config_.standard == WifiStandard::k80211a) {
     config_.enable_ampdu = false;
   }
@@ -131,6 +170,11 @@ void WifiMac::Associate(MacAddress peer) {
     st.service_slot = slot;
     if (slot != TxState::kNoServiceSlot) {
       service_ring_.Set(slot, false);
+      if (config_.edca_enabled) {
+        for (ActiveSlotRing& ring : ac_rings_) {
+          ring.Set(slot, false);
+        }
+      }
     }
   }
   RxFor(sid) = RxState{};
@@ -139,6 +183,12 @@ void WifiMac::Associate(MacAddress peer) {
 size_t WifiMac::FlushStation(TxState& st) {
   size_t flushed = st.queue.size();
   st.queue.clear();
+  if (st.edca_queues != nullptr) {
+    for (std::deque<Packet>& q : *st.edca_queues) {
+      flushed += q.size();
+      q.clear();
+    }
+  }
   flushed += st.outstanding_count;
   st.ClearOutstanding();
   if (st.single_inflight.has_value()) {
@@ -167,6 +217,12 @@ void WifiMac::Disassociate(MacAddress peer) {
     if (slot != TxState::kNoServiceSlot) {
       service_ring_.Set(slot, false);
       service_ring_.ReleaseSlot(slot);
+      if (config_.edca_enabled) {
+        for (ActiveSlotRing& ring : ac_rings_) {
+          ring.Set(slot, false);
+          ring.ReleaseSlot(slot);
+        }
+      }
     }
   }
   if (sid < rx_.size()) {
@@ -196,6 +252,10 @@ void WifiMac::ResetRadioState() {
   rx_.clear();
   stations_ = StationTable{};
   service_ring_ = ActiveSlotRing{};
+  for (ActiveSlotRing& ring : ac_rings_) {
+    ring = ActiveSlotRing{};
+  }
+  current_ac_ = kAcBe;
   service_slot_station_.clear();
   // Callers power the radio down before resetting (and maybe back up
   // after), so no arrival can be in progress here: the medium is idle from
@@ -204,7 +264,7 @@ void WifiMac::ResetRadioState() {
   nav_until_ = scheduler_->Now();
   medium_busy_reported_ = false;
   reported_idle_from_ = scheduler_->Now();
-  dcf_.Reset();
+  ForEachEngine([](DcfEngine& engine) { engine.Reset(); });
 }
 
 void WifiMac::EnsureServiceSlot(StationId sid, TxState& st) {
@@ -212,6 +272,14 @@ void WifiMac::EnsureServiceSlot(StationId sid, TxState& st) {
     return;
   }
   size_t slot = service_ring_.AddSlot();
+  if (config_.edca_enabled) {
+    // Lockstep: every ring sees the same AddSlot/ReleaseSlot history (both
+    // recycle LIFO), so slot indices agree across all of them.
+    for (ActiveSlotRing& ring : ac_rings_) {
+      size_t ac_slot = ring.AddSlot();
+      CHECK(ac_slot == slot);
+    }
+  }
   st.service_slot = static_cast<uint32_t>(slot);
   if (slot == service_slot_station_.size()) {
     service_slot_station_.push_back(sid);
@@ -225,6 +293,43 @@ void WifiMac::UpdateServiceRing(TxState& st) {
     return;  // never enqueued to: cannot have work
   }
   service_ring_.Set(st.service_slot, st.HasWork());
+  if (config_.edca_enabled) {
+    for (uint8_t ac = 0; ac < kNumAcs; ++ac) {
+      ac_rings_[ac].Set(st.service_slot, AcHasWork(st, ac));
+    }
+  }
+}
+
+bool WifiMac::AcHasWork(const TxState& st, uint8_t ac) const {
+  // Recovery work (BAR, un-acked outstanding MPDUs, a single in flight)
+  // belongs to the AC that originally transmitted it.
+  bool recovery = st.bar_pending || st.outstanding_count > 0 ||
+                  st.single_inflight.has_value();
+  if (recovery && st.recovery_ac == ac) {
+    return true;
+  }
+  if (ac == kAcBe) {
+    return !st.queue.empty();
+  }
+  return st.edca_queues != nullptr && !(*st.edca_queues)[ac].empty();
+}
+
+std::deque<Packet>& WifiMac::SendQueue(TxState& st, uint8_t ac) {
+  if (!config_.edca_enabled || ac == kAcBe) {
+    return st.queue;
+  }
+  if (st.edca_queues == nullptr) {
+    st.edca_queues =
+        std::make_unique<std::array<std::deque<Packet>, kNumAcs>>();
+  }
+  return (*st.edca_queues)[ac];
+}
+
+SimTime WifiMac::TxopLimitFor(uint8_t ac) const {
+  if (!config_.edca_enabled || config_.edca[ac].txop_limit.IsZero()) {
+    return config_.txop_limit;
+  }
+  return config_.edca[ac].txop_limit;
 }
 
 void WifiMac::Enqueue(Packet&& packet, MacAddress dest) {
@@ -237,12 +342,15 @@ void WifiMac::Enqueue(Packet&& packet, MacAddress dest) {
   StationId sid = stations_.Intern(dest);
   TxState& st = TxFor(sid);
   EnsureServiceSlot(sid, st);
-  if (st.queue.size() >= config_.per_dest_queue_limit) {
-    // Drop-tail: TCP's congestion control depends on this signal.
+  uint8_t ac = config_.edca_enabled ? ClassifyAc(packet) : kAcBe;
+  std::deque<Packet>& q = SendQueue(st, ac);
+  if (q.size() >= config_.per_dest_queue_limit) {
+    // Drop-tail: TCP's congestion control depends on this signal. Under
+    // EDCA the limit applies per (destination, AC) queue.
     ++stats_.queue_drops;
     return;
   }
-  st.queue.push_back(std::move(packet));
+  q.push_back(std::move(packet));
   UpdateServiceRing(st);
   MaybeRequestAccess();
 }
@@ -252,7 +360,14 @@ size_t WifiMac::QueueDepth(MacAddress dest) const {
   if (sid == kInvalidStationId || sid >= tx_.size()) {
     return 0;
   }
-  return tx_[sid].queue.size();
+  const TxState& st = tx_[sid];
+  size_t depth = st.queue.size();
+  if (st.edca_queues != nullptr) {
+    for (const std::deque<Packet>& q : *st.edca_queues) {
+      depth += q.size();
+    }
+  }
+  return depth;
 }
 
 size_t WifiMac::RemoveQueued(MacAddress dest,
@@ -262,11 +377,22 @@ size_t WifiMac::RemoveQueued(MacAddress dest,
     return 0;
   }
   TxState& st = tx_[sid];
-  std::deque<Packet>& q = st.queue;
-  size_t before = q.size();
-  q.erase(std::remove_if(q.begin(), q.end(), pred), q.end());
+  size_t removed = 0;
+  auto remove_from = [&](std::deque<Packet>& q) {
+    size_t before = q.size();
+    q.erase(std::remove_if(q.begin(), q.end(), pred), q.end());
+    removed += before - q.size();
+  };
+  remove_from(st.queue);
+  if (st.edca_queues != nullptr) {
+    // HACK pulls vanilla TCP ACKs, which classify BE (tos 0) and live in
+    // st.queue — but stay correct for any predicate.
+    for (std::deque<Packet>& q : *st.edca_queues) {
+      remove_from(q);
+    }
+  }
   UpdateServiceRing(st);
-  return before - q.size();
+  return removed;
 }
 
 // --- originator pipeline --------------------------------------------------------
@@ -275,15 +401,31 @@ void WifiMac::MaybeRequestAccess() {
   if (phase_ != TxPhase::kIdle || service_ring_.Empty()) {
     return;
   }
-  if (!dcf_.access_pending()) {
-    access_request_time_ = scheduler_->Now();
-    dcf_.RequestAccess();
+  if (!config_.edca_enabled) {
+    if (!dcf_.access_pending()) {
+      access_request_time_ = scheduler_->Now();
+      dcf_.RequestAccess();
+    }
+    return;
+  }
+  // EDCA: every AC with work contends independently; the internal
+  // contention in OnAccessGranted resolves same-instant winners.
+  for (uint8_t ac = 0; ac < kNumAcs; ++ac) {
+    if (ac_rings_[ac].Empty()) {
+      continue;
+    }
+    DcfEngine& engine = EngineFor(ac);
+    if (!engine.access_pending()) {
+      ac_request_time_[ac] = scheduler_->Now();
+      engine.RequestAccess();
+    }
   }
 }
 
-WifiMac::TxState* WifiMac::PickNextDest(StationId* sid_out) {
+WifiMac::TxState* WifiMac::PickNextDest(uint8_t ac, StationId* sid_out) {
+  ActiveSlotRing& ring = config_.edca_enabled ? ac_rings_[ac] : service_ring_;
   size_t slot;
-  if (!service_ring_.PickNext(&slot)) {
+  if (!ring.PickNext(&slot)) {
     return nullptr;
   }
   StationId sid = service_slot_station_[slot];
@@ -291,10 +433,49 @@ WifiMac::TxState* WifiMac::PickNextDest(StationId* sid_out) {
   return &tx_[sid];
 }
 
-void WifiMac::OnAccessGranted() {
-  CHECK(phase_ == TxPhase::kIdle);
+void WifiMac::OnAccessGranted(uint8_t ac) {
+  if (phase_ != TxPhase::kIdle) {
+    // EDCA only: another AC's exchange is mid-flight (its grant can fire
+    // while we await a response on an idle medium — AIFS + backoff can
+    // elapse inside the response-timeout window). The request was consumed
+    // when this grant fired; MaybeRequestAccess at exchange end re-requests
+    // for every AC that still has work. Deliberately NO RequestAccess here:
+    // backoff_slots_ is -1 after a fired grant, so an immediate re-request
+    // could re-grant this same nanosecond, forever.
+    CHECK(config_.edca_enabled);
+    return;
+  }
+  if (config_.edca_enabled) {
+    SimTime now = scheduler_->Now();
+    // Internal contention (802.11e 9.9.1.3): of the engines granted at the
+    // same instant, only the highest-priority AC transmits; every loser
+    // suffers a virtual collision. Same-nanosecond grants may fire in any
+    // FIFO order, so both directions are handled: if a HIGHER-priority
+    // engine's grant is armed for this instant (it fires later this ns),
+    // *we* are the loser and stand down; any LOWER-priority engine armed
+    // for this instant loses to us.
+    for (uint8_t hi = 0; hi < ac; ++hi) {
+      DcfEngine& high = EngineFor(hi);
+      if (high.has_armed_grant() && high.armed_grant_time() == now) {
+        ++stats_.virtual_collisions;
+        DcfEngine& self = EngineFor(ac);
+        self.NotifyTxFailure();
+        self.RequestAccess();
+        return;
+      }
+    }
+    for (uint8_t lo = ac + 1; lo < kNumAcs; ++lo) {
+      DcfEngine& low = EngineFor(lo);
+      if (low.has_armed_grant() && low.armed_grant_time() == now) {
+        ++stats_.virtual_collisions;
+        low.NotifyInternalCollision();
+      }
+    }
+    access_request_time_ = ac_request_time_[ac];
+  }
+  current_ac_ = ac;
   StationId sid = kInvalidStationId;
-  TxState* st = PickNextDest(&sid);
+  TxState* st = PickNextDest(ac, &sid);
   if (st == nullptr) {
     return;  // work disappeared (e.g. opportunistic HACK removed ACKs)
   }
@@ -429,11 +610,16 @@ void WifiMac::TransmitDataPpdu(Ppdu ppdu) {
         (wait + ppdu.Duration() - payload_air).ns();
   }
 
+  if (config_.edca_enabled) {
+    ++stats_.ac_ppdus_sent[current_ac_];
+  }
   bool sent = phy_->Send(std::move(ppdu));
   CHECK(sent) << "data transmission while PHY busy should be impossible";
 }
 
 Ppdu WifiMac::BuildDataPpdu(MacAddress dest, TxState& st) {
+  std::deque<Packet>& queue = SendQueue(st, current_ac_);
+  const SimTime txop_limit = TxopLimitFor(current_ac_);
   Ppdu ppdu;
   if (rate_ctrl_.has_value()) {
     current_mode_index_ = rate_ctrl_->PickModeIndex(current_dest_sid_);
@@ -447,7 +633,7 @@ Ppdu WifiMac::BuildDataPpdu(MacAddress dest, TxState& st) {
   if (!config_.enable_ampdu) {
     // Stop-and-wait single MPDU.
     if (!st.single_inflight.has_value()) {
-      if (st.queue.empty()) {
+      if (queue.empty()) {
         return ppdu;
       }
       WifiFrame frame;
@@ -456,14 +642,15 @@ Ppdu WifiMac::BuildDataPpdu(MacAddress dest, TxState& st) {
       frame.ra = dest;
       frame.seq = st.next_seq;
       st.next_seq = SeqAdd(st.next_seq, 1);
-      frame.packet = std::move(st.queue.front());
-      st.queue.pop_front();
+      frame.packet = std::move(queue.front());
+      queue.pop_front();
       st.single_inflight = OutstandingMpdu{std::move(frame), 0};
+      st.recovery_ac = current_ac_;
     } else {
       st.single_inflight->frame.retry = true;
     }
     WifiFrame frame = st.single_inflight->frame;
-    frame.more_data = !st.queue.empty();
+    frame.more_data = !queue.empty();
     frame.sync = st.sync_pending;
     frame.duration_field =
         timings_.sifs + FrameDuration(resp_mode, kAckBytes);
@@ -489,7 +676,7 @@ Ppdu WifiMac::BuildDataPpdu(MacAddress dest, TxState& st) {
         ppdu.mpdus.size() + 1 > kMaxAmpduMpdus) {
       return false;
     }
-    return FrameDuration(ppdu.mode, new_bytes) <= config_.txop_limit;
+    return FrameDuration(ppdu.mode, new_bytes) <= txop_limit;
   };
   auto add = [&](WifiFrame frame) {
     size_t padded = (frame.SizeBytes() + 3) & ~size_t{3};
@@ -516,11 +703,11 @@ Ppdu WifiMac::BuildDataPpdu(MacAddress dest, TxState& st) {
 
   // Fresh MPDUs: the Packet moves queue -> frame -> outstanding (the
   // retained copy for retransmission); the PPDU gets a copy of the frame.
-  while (!st.queue.empty() &&
+  while (!queue.empty() &&
          SeqInWindow(st.win_start, st.next_seq,
                      static_cast<uint16_t>(kMaxAmpduMpdus))) {
     size_t mpdu_bytes = kQosDataHeaderBytes + kLlcSnapBytes +
-                        st.queue.front().SizeBytes() + kFcsBytes;
+                        queue.front().SizeBytes() + kFcsBytes;
     if (!fits_bytes(mpdu_bytes)) {
       break;
     }
@@ -529,8 +716,8 @@ Ppdu WifiMac::BuildDataPpdu(MacAddress dest, TxState& st) {
     frame.ta = address_;
     frame.ra = dest;
     frame.seq = st.next_seq;
-    frame.packet = std::move(st.queue.front());
-    st.queue.pop_front();
+    frame.packet = std::move(queue.front());
+    queue.pop_front();
     st.next_seq = SeqAdd(st.next_seq, 1);
     OutstandingMpdu& stored =
         st.AddOutstanding(frame.seq, OutstandingMpdu{std::move(frame), 0});
@@ -540,10 +727,11 @@ Ppdu WifiMac::BuildDataPpdu(MacAddress dest, TxState& st) {
   if (ppdu.mpdus.empty()) {
     return ppdu;
   }
+  st.recovery_ac = current_ac_;
 
   // MORE DATA: more traffic for this destination is already queued (or held
   // back by the window) beyond this batch (§3.2).
-  bool more = !st.queue.empty() ||
+  bool more = !queue.empty() ||
               st.outstanding_count > ppdu.mpdus.size();
   bool sync = st.sync_pending;
   if (sync) {
@@ -635,7 +823,7 @@ void WifiMac::HandleCtsTimeout() {
     // Peer removed mid-exchange: its TxState was already reset (and may
     // belong to a new peer) — abandon without touching it.
     current_dest_gone_ = false;
-    dcf_.NotifyTxFailure();
+    EngineFor(current_ac_).NotifyTxFailure();
     phase_ = TxPhase::kIdle;
     MaybeRequestAccess();
     return;
@@ -650,7 +838,7 @@ void WifiMac::HandleCtsTimeout() {
   // signal, not a channel-quality signal — and the exchange never reached
   // the data rate at all. Feeding it to ARF recreates the classic
   // collision-triggered rate collapse RTS/CTS exists to prevent.
-  dcf_.NotifyTxFailure();
+  EngineFor(current_ac_).NotifyTxFailure();
   if (rate_ctrl_.has_value()) {
     // No data-rate outcome either way; a consumed probe slot is re-armed.
     rate_ctrl_->AbandonPick(current_dest_sid_);
@@ -727,7 +915,7 @@ void WifiMac::HandleBlockAck(const WifiFrame& frame) {
     // Response from a peer we removed mid-exchange (a clean leave can race
     // an in-flight Block ACK): the exchange ends, its state is gone.
     current_dest_gone_ = false;
-    dcf_.NotifyTxSuccess();
+    EngineFor(current_ac_).NotifyTxSuccess();
     FinishExchange();
     return;
   }
@@ -794,7 +982,7 @@ void WifiMac::HandleBlockAck(const WifiFrame& frame) {
   if (!current_is_bar_) {
     NotifyRateOutcome(current_dest_sid_, /*success=*/true);
   }
-  dcf_.NotifyTxSuccess();
+  EngineFor(current_ac_).NotifyTxSuccess();
   FinishExchange();
 }
 
@@ -806,7 +994,7 @@ void WifiMac::HandleAck(const WifiFrame& frame) {
   response_timeout_event_ = kInvalidEventId;
   if (current_dest_gone_) {
     current_dest_gone_ = false;
-    dcf_.NotifyTxSuccess();
+    EngineFor(current_ac_).NotifyTxSuccess();
     FinishExchange();
     return;
   }
@@ -823,14 +1011,14 @@ void WifiMac::HandleAck(const WifiFrame& frame) {
         (scheduler_->Now() - tx_end_time_).ns();
   }
   NotifyRateOutcome(current_dest_sid_, /*success=*/true);
-  dcf_.NotifyTxSuccess();
+  EngineFor(current_ac_).NotifyTxSuccess();
   FinishExchange();
 }
 
 void WifiMac::HandleResponseTimeout() {
   CHECK(phase_ == TxPhase::kAwaitingResponse);
   ++stats_.response_timeouts;
-  dcf_.NotifyTxFailure();
+  EngineFor(current_ac_).NotifyTxFailure();
   if (current_dest_gone_) {
     current_dest_gone_ = false;
     phase_ = TxPhase::kIdle;
@@ -896,7 +1084,7 @@ void WifiMac::NoteGiveUp(TxState& st) {
 
 void WifiMac::FinishExchange() {
   phase_ = TxPhase::kIdle;
-  dcf_.DrawPostTxBackoff();
+  EngineFor(current_ac_).DrawPostTxBackoff();
   MaybeRequestAccess();
 }
 
@@ -905,7 +1093,7 @@ void WifiMac::FinishExchange() {
 void WifiMac::OnPpduReceived(const Ppdu& ppdu,
                              const std::vector<bool>& mpdu_ok) {
   ResolveNavProbe();
-  dcf_.NotifyRxOk();
+  ForEachEngine([](DcfEngine& engine) { engine.NotifyRxOk(); });
   size_t first_ok = 0;
   while (first_ok < mpdu_ok.size() && !mpdu_ok[first_ok]) {
     ++first_ok;
@@ -923,9 +1111,11 @@ void WifiMac::OnPpduReceived(const Ppdu& ppdu,
       if (!medium_busy_reported_) {
         // Re-date the announced idle start to now with a zero-length busy
         // pulse — the announcement machinery only ever extends on its own.
-        dcf_.NotifyMediumBusy();
         reported_idle_from_ = scheduler_->Now();
-        dcf_.NotifyMediumIdleFrom(reported_idle_from_);
+        ForEachEngine([this](DcfEngine& engine) {
+          engine.NotifyMediumBusy();
+          engine.NotifyMediumIdleFrom(reported_idle_from_);
+        });
       }
     }
     return;
@@ -953,9 +1143,11 @@ void WifiMac::OnPpduReceived(const Ppdu& ppdu,
         // probe delivers at its deadline, moved to decode time; it cannot
         // draw backoff (pending access here implies an earlier busy edge
         // already drew it).
-        dcf_.NotifyMediumBusy();
         reported_idle_from_ = nav_probe_deadline_;
-        dcf_.NotifyMediumIdleFrom(nav_probe_deadline_);
+        ForEachEngine([this](DcfEngine& engine) {
+          engine.NotifyMediumBusy();
+          engine.NotifyMediumIdleFrom(nav_probe_deadline_);
+        });
       }
     }
     return;
@@ -1261,7 +1453,7 @@ void WifiMac::ScheduleResponse(WifiFrame response,
 
 void WifiMac::OnRxCorrupted() {
   ++stats_.rx_corrupted_events;
-  dcf_.NotifyRxFailed();
+  ForEachEngine([](DcfEngine& engine) { engine.NotifyRxFailed(); });
 }
 
 void WifiMac::OnCcaBusy() {
@@ -1359,9 +1551,11 @@ void WifiMac::HandleNavResetProbe(SimTime armed_nav_value,
     // The engine was told "idle from <RTS horizon>"; re-date that to now
     // with a zero-length busy pulse (a busy edge followed by an immediate
     // idle edge) — the medium-state change the eager path would have seen.
-    dcf_.NotifyMediumBusy();
     reported_idle_from_ = scheduler_->Now();
-    dcf_.NotifyMediumIdleFrom(reported_idle_from_);
+    ForEachEngine([this](DcfEngine& engine) {
+      engine.NotifyMediumBusy();
+      engine.NotifyMediumIdleFrom(reported_idle_from_);
+    });
   }
 }
 
@@ -1403,7 +1597,7 @@ void WifiMac::UpdateMediumState() {
   if (phy_busy_ || responses_pending_ > 0) {
     if (!medium_busy_reported_) {
       medium_busy_reported_ = true;
-      dcf_.NotifyMediumBusy();
+      ForEachEngine([](DcfEngine& engine) { engine.NotifyMediumBusy(); });
     }
     return;
   }
@@ -1423,12 +1617,13 @@ void WifiMac::UpdateMediumState() {
     // edge in between (SetNav right after a delivery): the eager path
     // produced a busy edge here, and it is a backoff-draw point — keep it.
     medium_busy_reported_ = true;
-    dcf_.NotifyMediumBusy();
+    ForEachEngine([](DcfEngine& engine) { engine.NotifyMediumBusy(); });
   }
   if (medium_busy_reported_) {
     medium_busy_reported_ = false;
     reported_idle_from_ = idle_from;
-    dcf_.NotifyMediumIdleFrom(idle_from);
+    ForEachEngine(
+        [idle_from](DcfEngine& engine) { engine.NotifyMediumIdleFrom(idle_from); });
   }
 }
 

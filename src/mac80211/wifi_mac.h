@@ -31,8 +31,10 @@
 #ifndef SRC_MAC80211_WIFI_MAC_H_
 #define SRC_MAC80211_WIFI_MAC_H_
 
+#include <array>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -44,6 +46,29 @@
 #include "src/stats/mac_stats.h"
 
 namespace hacksim {
+
+// Per-access-category EDCA parameter row (802.11e): AIFS = SIFS + aifsn
+// slots, contention window bounds, and the TXOP limit the A-MPDU builder
+// sizes batches against. See docs/qos.md for the default table and the
+// internal-contention rule.
+struct EdcaAcParams {
+  uint8_t aifsn = 3;
+  uint32_t cw_min = 15;
+  uint32_t cw_max = 1023;
+  // Zero means "use WifiMacConfig::txop_limit" (the legacy global limit).
+  SimTime txop_limit;
+};
+
+// 802.11e-2005 Table 7-37 defaults (for a CWmin 15 / CWmax 1023 PHY):
+// VO {aifsn 2, CW 3/7, TXOP 1.504 ms}, VI {aifsn 2, CW 7/15, TXOP 3.008 ms},
+// BE {aifsn 3, CW 15/1023}, BK {aifsn 7, CW 15/1023}. The BE row is pinned
+// to the standard's base timings — the legacy DCF engine *is* the BE engine,
+// which is the core of the edca_enabled=false bit-identity argument.
+std::array<EdcaAcParams, kNumAcs> DefaultEdcaTable();
+
+// Maps a packet to its access category via the IP precedence bits
+// (AcForTos); packets without an IP header ride best-effort.
+uint8_t ClassifyAc(const Packet& packet);
 
 struct WifiMacConfig {
   WifiStandard standard = WifiStandard::k80211n;
@@ -94,6 +119,15 @@ struct WifiMacConfig {
   // streak. 0 disables — the default, and the legacy bit-identical path
   // (hidden-terminal runs legitimately hit give-ups on live peers).
   int dead_peer_flush_threshold = 0;
+  // 802.11e EDCA. Off (default): one DCF engine, one queue per destination,
+  // and every legacy output stays bit-identical (no extra engines are
+  // constructed, no extra RNG forks are taken, no extra events fire). On:
+  // four access categories (VO/VI/BE/BK) each with its own DCF engine
+  // parameterised from `edca`, per-(destination, AC) queues, and internal
+  // contention — same-instant grants resolve to the highest-priority AC,
+  // losers re-draw as virtual collisions (docs/qos.md).
+  bool edca_enabled = false;
+  std::array<EdcaAcParams, kNumAcs> edca = DefaultEdcaTable();
 };
 
 class WifiMac final : public WifiPhyListener {
@@ -214,10 +248,30 @@ class WifiMac final : public WifiPhyListener {
     // Consecutive exchange give-ups with no delivery in between; feeds the
     // dead-peer flush (config.dead_peer_flush_threshold).
     int consecutive_give_ups = 0;
+    // EDCA: lazily created per-AC staging queues. BE traffic — and ALL
+    // traffic in legacy mode — stays in `queue` (the [kAcBe] slot is never
+    // touched), so legacy stations never pay the allocation.
+    std::unique_ptr<std::array<std::deque<Packet>, kNumAcs>> edca_queues;
+    // AC of the most recent data exchange toward this destination. The
+    // seq/Block-ACK window is shared across ACs (one agreement per peer, a
+    // documented simplification vs per-TID agreements — docs/qos.md), so
+    // BAR recovery and retransmission work is attributed to this AC.
+    uint8_t recovery_ac = kAcBe;
 
     bool HasWork() const {
       return bar_pending || !queue.empty() || outstanding_count > 0 ||
-             single_inflight.has_value();
+             single_inflight.has_value() || HasEdcaBacklog();
+    }
+    bool HasEdcaBacklog() const {
+      if (edca_queues == nullptr) {
+        return false;
+      }
+      for (const std::deque<Packet>& q : *edca_queues) {
+        if (!q.empty()) {
+          return true;
+        }
+      }
+      return false;
     }
     OutstandingMpdu* FindOutstanding(uint16_t seq);
     OutstandingMpdu& AddOutstanding(uint16_t seq, OutstandingMpdu mpdu);
@@ -260,10 +314,39 @@ class WifiMac final : public WifiPhyListener {
   // after any mutation that can change it.
   void UpdateServiceRing(TxState& st);
 
+  // --- EDCA ------------------------------------------------------------------
+  // The engine contending for `ac`: the dedicated per-AC engine, or dcf_
+  // for BE (and for every AC in legacy mode, where no per-AC engines
+  // exist). dcf_ doubling as the BE engine is what keeps legacy runs
+  // bit-identical: same engine, same RNG stream, same call sites.
+  DcfEngine& EngineFor(uint8_t ac) {
+    return edca_engines_[ac] != nullptr ? *edca_engines_[ac] : dcf_;
+  }
+  // Applies `fn` to every live engine — dcf_ plus any per-AC engines.
+  // Medium-state transitions (busy/idle edges, EIFS, radio reset) broadcast
+  // through this; exchange-lifecycle calls route through EngineFor().
+  template <typename Fn>
+  void ForEachEngine(Fn&& fn) {
+    fn(dcf_);
+    for (std::unique_ptr<DcfEngine>& engine : edca_engines_) {
+      if (engine != nullptr) {
+        fn(*engine);
+      }
+    }
+  }
+  // The staging queue for (station, ac): st.queue for BE and legacy mode,
+  // the lazily created per-AC queue otherwise.
+  std::deque<Packet>& SendQueue(TxState& st, uint8_t ac);
+  // Whether `ac`'s engine has a reason to contend for this station: fresh
+  // packets in its queue, or recovery work (BAR/outstanding/single) that
+  // the AC of the original exchange owns.
+  bool AcHasWork(const TxState& st, uint8_t ac) const;
+  SimTime TxopLimitFor(uint8_t ac) const;
+
   // --- originator pipeline ---------------------------------------------------
   void MaybeRequestAccess();
-  void OnAccessGranted();
-  TxState* PickNextDest(StationId* sid_out);
+  void OnAccessGranted(uint8_t ac);
+  TxState* PickNextDest(uint8_t ac, StationId* sid_out);
   void StartExchange(StationId sid, TxState& st);
   Ppdu BuildDataPpdu(MacAddress dest, TxState& st);
   // Counts the data-PPDU stats and puts `ppdu` on the air (directly, or
@@ -324,6 +407,9 @@ class WifiMac final : public WifiPhyListener {
   WifiMacConfig config_;
   PhyTimings timings_;
   DcfEngine dcf_;
+  // Per-AC engines, EDCA mode only. [kAcBe] stays null — dcf_ IS the BE
+  // engine (see EngineFor); in legacy mode the whole array is null.
+  std::array<std::unique_ptr<DcfEngine>, kNumAcs> edca_engines_;
   HackHooks* hack_hooks_ = nullptr;
   MacStats stats_;
 
@@ -338,6 +424,13 @@ class WifiMac final : public WifiPhyListener {
   // (the legacy round_robin_ vector order), picked via an O(1) cursor.
   ActiveSlotRing service_ring_;
   std::vector<StationId> service_slot_station_;
+  // EDCA: per-AC rings in slot lockstep with service_ring_ (same AddSlot /
+  // ReleaseSlot history, so slot s means the same station everywhere); a
+  // slot is active in ring[ac] iff AcHasWork(st, ac). Only maintained when
+  // edca_enabled. service_ring_ stays the master "any work at all" ring
+  // (HasBacklog, MaybeRequestAccess's cheap empty check).
+  std::array<ActiveSlotRing, kNumAcs> ac_rings_;
+  std::array<SimTime, kNumAcs> ac_request_time_{};
 
   // Rate adaptation (engaged only when config_.enable_rate_adaptation).
   std::span<const WifiMode> rate_table_;
@@ -345,6 +438,10 @@ class WifiMac final : public WifiPhyListener {
   std::optional<ArfRateController> rate_ctrl_;
 
   TxPhase phase_ = TxPhase::kIdle;
+  // AC of the exchange in flight (kAcBe always in legacy mode); exchange
+  // lifecycle feedback (TX success/failure, post-TX backoff, TXOP limit)
+  // routes to EngineFor(current_ac_).
+  uint8_t current_ac_ = kAcBe;
   MacAddress current_dest_;
   StationId current_dest_sid_ = kInvalidStationId;
   // The in-flight exchange's destination was disassociated mid-exchange:

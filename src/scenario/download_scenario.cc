@@ -108,6 +108,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   ap_mac_cfg.rts_threshold = config.rts_threshold;
   ap_mac_cfg.legacy_nav_probe_events = config.legacy_nav_probe_events;
   ap_mac_cfg.enable_cf_end = config.enable_cf_end;
+  ap_mac_cfg.edca_enabled = config.edca_enabled;
   ap_mac_cfg.enable_rate_adaptation = config.rate_adaptation;
   ap_mac_cfg.rate_adapt = config.rate_adapt;
   if (config.hack != HackVariant::kOff) {
@@ -155,6 +156,11 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   std::vector<std::unique_ptr<TcpSender>> server_senders;
   std::vector<std::unique_ptr<TcpReceiver>> server_receivers;
   std::vector<std::unique_ptr<UdpCbrSource>> udp_sources;
+  std::vector<std::unique_ptr<TrafficSource>> traffic_sources;
+  // Enqueue→delivery latency over every UDP sink, keyed by each packet's
+  // DSCP-derived AC. Pure recording (no events, no RNG), so wiring it
+  // unconditionally cannot perturb legacy runs.
+  LatencyRecorder latency;
 
   // Only the disk layout draws placement randomness; forking lazily keeps
   // every legacy configuration's RNG streams untouched.
@@ -258,6 +264,8 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   // their own retransmit timers).
   std::vector<UdpCbrSource*> client_udp_src(
       static_cast<size_t>(config.n_clients), nullptr);
+  std::vector<TrafficSource*> client_traffic_src(
+      static_cast<size_t>(config.n_clients), nullptr);
   std::vector<TcpSender*> client_tcp_src(
       static_cast<size_t>(config.n_clients), nullptr);
   std::vector<char> flow_started(static_cast<size_t>(config.n_clients), 0);
@@ -266,6 +274,56 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
     ClientEndpoint& ep = clients[i];
     uint16_t server_port = static_cast<uint16_t>(kServerPortBase + i);
     uint16_t client_port = static_cast<uint16_t>(kClientPortBase + i);
+
+    if (config.proto == TransportProto::kUdp && !config.traffic_mix.empty()) {
+      // Traffic zoo: one modelled flow per client in place of the uniform
+      // CBR source. Per-flow seeds live in a dedicated DeriveRunSeed index
+      // namespace (2^32 + i), so they can never collide with campaign run
+      // indices derived from the same base seed.
+      TrafficSource::Config src_cfg;
+      src_cfg.model = ModelForStation(config.traffic_mix,
+                                      static_cast<size_t>(i),
+                                      static_cast<size_t>(config.n_clients));
+      src_cfg.start = specs[i].start_offset;
+      src_cfg.stop = config.duration;
+      src_cfg.seed = DeriveRunSeed(config.seed,
+                                   (uint64_t{1} << 32) +
+                                       static_cast<uint64_t>(i));
+      src_cfg.rate_scale = config.traffic_rate_scale;
+      ep.udp_sink = std::make_unique<UdpSink>(&scheduler);
+      ep.udp_sink->set_latency_recorder(&latency);
+      std::unique_ptr<TrafficSource> source;
+      if (!config.upload) {
+        FiveTuple flow{server_ip, client_ip(i), server_port, client_port,
+                       kIpProtoUdp};
+        source = std::make_unique<TrafficSource>(
+            &scheduler, src_cfg, flow,
+            [node = server_node.get()](Packet p) {
+              node->Send(std::move(p));
+            });
+        ep.node->RegisterHandler(client_port,
+                                 [sink = ep.udp_sink.get()](const Packet& p) {
+                                   sink->OnPacket(p);
+                                 });
+      } else {
+        FiveTuple flow{client_ip(i), server_ip, client_port, server_port,
+                       kIpProtoUdp};
+        source = std::make_unique<TrafficSource>(
+            &scheduler, src_cfg, flow,
+            [node = ep.node.get()](Packet p) { node->Send(std::move(p)); });
+        server_node->RegisterHandler(
+            server_port, [sink = ep.udp_sink.get()](const Packet& p) {
+              sink->OnPacket(p);
+            });
+      }
+      client_traffic_src[static_cast<size_t>(i)] = source.get();
+      if (present[static_cast<size_t>(i)]) {
+        source->Start();
+        flow_started[static_cast<size_t>(i)] = 1;
+      }
+      traffic_sources.push_back(std::move(source));
+      continue;
+    }
 
     if (config.proto == TransportProto::kUdp) {
       UdpCbrSource::Config src_cfg;
@@ -283,6 +341,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
               node->Send(std::move(p));
             });
         ep.udp_sink = std::make_unique<UdpSink>(&scheduler);
+        ep.udp_sink->set_latency_recorder(&latency);
         ep.node->RegisterHandler(client_port,
                                  [sink = ep.udp_sink.get()](const Packet& p) {
                                    sink->OnPacket(p);
@@ -304,6 +363,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
             &scheduler, src_cfg, flow,
             [node = ep.node.get()](Packet p) { node->Send(std::move(p)); });
         ep.udp_sink = std::make_unique<UdpSink>(&scheduler);
+        ep.udp_sink->set_latency_recorder(&latency);
         server_node->RegisterHandler(
             server_port, [sink = ep.udp_sink.get()](const Packet& p) {
               sink->OnPacket(p);
@@ -427,6 +487,9 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
           if (client_udp_src[s] != nullptr) {
             client_udp_src[s]->Stop();
           }
+          if (client_traffic_src[s] != nullptr) {
+            client_traffic_src[s]->Stop();
+          }
           clients[s].device->phy().SetRadioOn(false);
           clients[s].device->mac().ResetRadioState();
           break;
@@ -444,6 +507,9 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
           clients[s].device->mac().Associate(ap_mac_addr);
           if (client_udp_src[s] != nullptr) {
             client_udp_src[s]->Resume(scheduler.Now(), config.duration);
+            flow_started[s] = 1;
+          } else if (client_traffic_src[s] != nullptr) {
+            client_traffic_src[s]->Resume(scheduler.Now(), config.duration);
             flow_started[s] = 1;
           } else if (client_tcp_src[s] != nullptr && !flow_started[s]) {
             flow_started[s] = 1;
@@ -622,6 +688,9 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   result.fault = fault_stats;
   result.watchdog = watchdog.stats();
   result.final_pending_events = scheduler.pending_events();
+  for (uint8_t ac = 0; ac < kNumAcs; ++ac) {
+    result.ac_latency[ac] = latency.Summarize(ac);
+  }
   // Recovery goodput: aggregate strictly after the plan's last recovery
   // event (the churn/outage bench gates this against the fault-free row).
   SimTime recovery = fault_stats.last_recovery_time;

@@ -21,6 +21,7 @@
 #include "src/phy80211/propagation.h"
 #include "src/phy80211/wifi_phy.h"
 #include "src/scenario/fault_plan.h"
+#include "src/scenario/traffic_model.h"
 #include "src/sim/sim_watchdog.h"
 #include "src/stats/experiment_stats.h"
 #include "src/tcp/tcp_receiver.h"
@@ -104,6 +105,20 @@ struct ScenarioConfig {
   SimTime extra_ack_delay;
   SimTime extra_ack_timeout;
 
+  // 802.11e EDCA on every MAC: four access categories (VO/VI/BE/BK) with
+  // per-AC contention parameters and queues, DSCP-classified at enqueue
+  // (docs/qos.md). False (default) keeps the single-DCF legacy MAC
+  // bit-identical.
+  bool edca_enabled = false;
+  // Mixed-workload traffic zoo (UDP scenarios only). Empty (default) keeps
+  // the classic uniform CBR sources; non-empty replaces every client's CBR
+  // source with a TrafficSource whose model comes from ModelForStation over
+  // these fractions. Each flow owns a DeriveRunSeed-derived RNG stream.
+  std::vector<TrafficMixEntry> traffic_mix;
+  // Scales every traffic-model flow's offered load (TrafficSource::Config::
+  // rate_scale); 1.0 = the models' natural rates.
+  double traffic_rate_scale = 1.0;
+
   TcpConfig tcp;
   uint32_t udp_payload_bytes = 1472;
   double udp_rate_bps = 250e6;
@@ -182,6 +197,11 @@ struct ScenarioResult {
   // driver bounds (stopped flows retain O(clients) stranded timers only).
   uint64_t final_pending_events = 0;
 
+  // Per-AC enqueue→delivery latency over every UDP sink (indexed by the
+  // kAcVo..kAcBk constants; all-zero counts on TCP scenarios). Legacy CBR
+  // traffic is untagged and lands entirely in [kAcBe].
+  std::array<LatencySummary, kNumAcs> ac_latency{};
+
   // Exact comparison backs the batched-delivery equivalence tests.
   // (events_executed intentionally participates *not* here: the two
   // delivery modes produce identical behaviour from fewer events.)
@@ -193,7 +213,8 @@ struct ScenarioResult {
            steady_aggregate_goodput_mbps ==
                other.steady_aggregate_goodput_mbps &&
            sim_end == other.sim_end && crc_failures == other.crc_failures &&
-           tcp_timeouts == other.tcp_timeouts;
+           tcp_timeouts == other.tcp_timeouts &&
+           ac_latency == other.ac_latency;
   }
 };
 

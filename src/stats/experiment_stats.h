@@ -4,6 +4,7 @@
 #ifndef SRC_STATS_EXPERIMENT_STATS_H_
 #define SRC_STATS_EXPERIMENT_STATS_H_
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -37,6 +38,41 @@ class GoodputTracker {
   uint64_t total_bytes_ = 0;
   SimTime first_ = SimTime::Max();
   SimTime last_;
+};
+
+// Per-AC enqueue→delivery latency digest for one run. Percentiles are over
+// every recorded sample; jitter is the mean absolute difference between
+// consecutive same-sink delays (RFC 3550-style, without the EWMA). All-zero
+// when nothing was recorded for the AC, so ScenarioResult comparisons of
+// legacy runs (whose sinks see only BE, or no UDP at all) stay exact.
+struct LatencySummary {
+  uint64_t count = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double jitter_ms = 0.0;
+
+  friend bool operator==(const LatencySummary&, const LatencySummary&) =
+      default;
+};
+
+// Collects per-packet delays bucketed by access category. One recorder per
+// scenario run; every UDP sink feeds it (delays via Record, consecutive
+// same-sink deltas via RecordJitter). Deterministic: sample order is event
+// order, and Summarize sorts a copy.
+class LatencyRecorder {
+ public:
+  void Record(uint8_t ac, SimTime delay);
+  void RecordJitter(uint8_t ac, SimTime delta);
+  LatencySummary Summarize(uint8_t ac) const;
+
+ private:
+  struct AcSamples {
+    std::vector<int64_t> delays_ns;
+    int64_t jitter_sum_ns = 0;
+    uint64_t jitter_count = 0;
+  };
+  std::array<AcSamples, kNumAcs> per_ac_;
 };
 
 // ROHC/HACK counters for Table 2 and the §3.4 robustness claims.

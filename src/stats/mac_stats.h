@@ -26,6 +26,38 @@ namespace hacksim {
 // the MAC's rate table.
 inline constexpr size_t kMaxRateTableSize = 12;
 
+// --- 802.11e access-category vocabulary --------------------------------------
+// Shared by the MAC (per-AC engines/queues), the apps layer (per-AC latency
+// recording at UDP sinks) and the bench JSON columns. Lower index = higher
+// priority; the internal-contention rule in WifiMac resolves same-instant
+// grants toward the lowest index.
+inline constexpr uint8_t kAcVo = 0;  // voice
+inline constexpr uint8_t kAcVi = 1;  // video
+inline constexpr uint8_t kAcBe = 2;  // best effort (the legacy DCF row)
+inline constexpr uint8_t kAcBk = 3;  // background
+inline constexpr size_t kNumAcs = 4;
+inline constexpr const char* kAcNames[kNumAcs] = {"VO", "VI", "BE", "BK"};
+
+// 802.1d user-priority mapping from the IP precedence bits (tos >> 5):
+// UP 6-7 -> VO, UP 4-5 -> VI, UP 1-2 -> BK, everything else (including the
+// default tos 0) -> BE. TCP ACKs carry tos 0, so HACK's vanilla-ACK pull
+// from the BE queue stays consistent under EDCA.
+inline constexpr uint8_t AcForTos(uint8_t tos) {
+  switch (tos >> 5) {
+    case 6:
+    case 7:
+      return kAcVo;
+    case 4:
+    case 5:
+      return kAcVi;
+    case 1:
+    case 2:
+      return kAcBk;
+    default:
+      return kAcBe;
+  }
+}
+
 struct MacStats {
   // --- data MPDU outcomes (originator side) --------------------------------
   uint64_t mpdus_delivered_first_try = 0;
@@ -84,6 +116,12 @@ struct MacStats {
   uint64_t radio_off_drops = 0;       // enqueues refused while the radio is off
   uint64_t rx_window_resyncs = 0;     // reorder window hard-reset after a
                                       // peer's MAC restarted mid-stream
+
+  // --- EDCA (only incremented while edca_enabled; all-zero in legacy mode,
+  // which is what keeps the MacStats equality pins of PR 2/5/6 intact) ------
+  uint64_t virtual_collisions = 0;  // internal-contention losses (CW doubled,
+                                    // backoff redrawn, request kept pending)
+  std::array<uint64_t, kNumAcs> ac_ppdus_sent{};  // data PPDUs per AC
 
   // --- recipient side --------------------------------------------------------
   uint64_t data_mpdus_received = 0;

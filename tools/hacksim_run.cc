@@ -25,6 +25,7 @@ struct Flags {
   std::string hack = "more-data";
   std::string proto = "tcp";
   double seconds = 4.0;
+  double stagger_ms = 250.0;
   uint64_t file_mb = 0;
   uint64_t seed = 1;
   bool upload = false;
@@ -35,6 +36,12 @@ struct Flags {
   int txop_ms = 4;
   size_t rts_threshold = 0;  // >0 enables RTS/CTS above this PSDU size
   bool rate_adapt = false;
+  // 802.11e QoS (docs/qos.md): four EDCA access categories at every MAC
+  // instead of the single legacy DCF, and a station→model traffic mix like
+  // "voice:0.1,web:0.9" (UDP only; models: voice, video, web, iot).
+  bool edca = false;
+  std::string traffic_mix;
+  double traffic_rate_scale = 1.0;
   // "ring" (legacy fixed-loss broadcast), or the geometric-channel layouts
   // "disk" / "hidden" (log-distance propagation + SINR capture).
   std::string topology = "ring";
@@ -62,17 +69,32 @@ void Usage() {
                "  --clients=<n>         number of stations (default 1)\n"
                "  --hack=off|more-data|opportunistic|timer|ts-echo\n"
                "  --proto=tcp|udp       workload (default tcp)\n"
-               "  --seconds=<s>         run length (default 4)\n"
-               "  --file-mb=<mb>        transfer size instead of duration\n"
+               "  --seconds=<s>         run length in seconds (default 4)\n"
+               "  --stagger-ms=<ms>     per-station flow start stagger in "
+               "ms (default 250)\n"
+               "  --file-mb=<mb>        transfer size in MB instead of "
+               "duration\n"
                "  --seed=<n>            RNG seed (default 1)\n"
                "  --upload              reverse the transfer direction\n"
                "  --sora                apply SoRa LL-ACK quirks (37us)\n"
-               "  --loss=<p>            per-MPDU data loss at each client\n"
-               "  --snr-distance=<m>    use the SNR model at this distance\n"
-               "  --queue=<pkts>        AP queue per client (default 126)\n"
-               "  --txop-ms=<ms>        TXOP limit (default 4)\n"
-               "  --rts-threshold=<B>   RTS/CTS above this PSDU size (0=off)\n"
+               "  --loss=<p>            per-MPDU data loss probability [0,1]\n"
+               "  --snr-distance=<m>    use the SNR model at this distance "
+               "in meters\n"
+               "  --queue=<pkts>        AP queue per client in packets "
+               "(default 126)\n"
+               "  --txop-ms=<ms>        TXOP limit in ms (default 4)\n"
+               "  --rts-threshold=<B>   RTS/CTS above this PSDU size in "
+               "bytes (0=off)\n"
                "  --rate-adapt          per-station ARF rate adaptation\n"
+               "  --edca                802.11e EDCA: four per-AC queues +\n"
+               "                        contention engines at every MAC\n"
+               "  --traffic-mix=<mix>   station→model mix for UDP, e.g.\n"
+               "                        'voice:0.1,web:0.9' (models: voice,\n"
+               "                        video, web, iot; fractions of the\n"
+               "                        station count, assigned by index)\n"
+               "  --traffic-rate-scale=<x>\n"
+               "                        multiply each mixed flow's mean rate "
+               "by x\n"
                "  --topology=ring|disk|hidden\n"
                "                        ring: legacy broadcast medium;\n"
                "                        disk/hidden: geometric channel with\n"
@@ -101,6 +123,8 @@ bool Parse(int argc, char** argv, Flags* flags) {
       flags->proto = value;
     } else if (ParseFlag(argv[i], "seconds", &value)) {
       flags->seconds = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "stagger-ms", &value)) {
+      flags->stagger_ms = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "file-mb", &value)) {
       flags->file_mb = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "seed", &value)) {
@@ -123,6 +147,12 @@ bool Parse(int argc, char** argv, Flags* flags) {
       flags->watchdog_ms = std::atoi(value.c_str());
     } else if (std::strcmp(argv[i], "--watchdog-no-abort") == 0) {
       flags->watchdog_no_abort = true;
+    } else if (ParseFlag(argv[i], "traffic-mix", &value)) {
+      flags->traffic_mix = value;
+    } else if (ParseFlag(argv[i], "traffic-rate-scale", &value)) {
+      flags->traffic_rate_scale = std::atof(value.c_str());
+    } else if (std::strcmp(argv[i], "--edca") == 0) {
+      flags->edca = true;
     } else if (std::strcmp(argv[i], "--rate-adapt") == 0) {
       flags->rate_adapt = true;
     } else if (std::strcmp(argv[i], "--upload") == 0) {
@@ -140,6 +170,32 @@ bool Parse(int argc, char** argv, Flags* flags) {
     }
   }
   return true;
+}
+
+// Parses "voice:0.1,web:0.9" into mix rows; false on malformed input.
+bool ParseTrafficMix(const std::string& text,
+                     std::vector<TrafficMixEntry>* mix) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t comma = text.find(',', pos);
+    std::string entry = text.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      return false;
+    }
+    auto model = ParseTrafficModel(entry.substr(0, colon));
+    if (!model.has_value()) {
+      return false;
+    }
+    double fraction = std::atof(entry.c_str() + colon + 1);
+    if (fraction <= 0.0 || fraction > 1.0) {
+      return false;
+    }
+    mix->push_back({*model, fraction});
+    pos = comma == std::string::npos ? text.size() : comma + 1;
+  }
+  return !mix->empty();
 }
 
 HackVariant VariantFromName(const std::string& name) {
@@ -180,6 +236,7 @@ int main(int argc, char** argv) {
   config.proto =
       flags.proto == "udp" ? TransportProto::kUdp : TransportProto::kTcp;
   config.duration = SimTime::FromSecondsF(flags.seconds);
+  config.start_stagger = SimTime::FromSecondsF(flags.stagger_ms / 1000.0);
   config.file_bytes = flags.file_mb * 1'000'000;
   config.seed = flags.seed;
   config.upload = flags.upload;
@@ -187,6 +244,19 @@ int main(int argc, char** argv) {
   config.txop_limit = SimTime::Millis(flags.txop_ms);
   config.rts_threshold = flags.rts_threshold;
   config.rate_adaptation = flags.rate_adapt;
+  config.edca_enabled = flags.edca;
+  config.traffic_rate_scale = flags.traffic_rate_scale;
+  if (!flags.traffic_mix.empty()) {
+    if (config.proto != TransportProto::kUdp) {
+      std::fprintf(stderr, "--traffic-mix requires --proto=udp\n");
+      return 2;
+    }
+    if (!ParseTrafficMix(flags.traffic_mix, &config.traffic_mix)) {
+      std::fprintf(stderr, "malformed --traffic-mix: %s\n",
+                   flags.traffic_mix.c_str());
+      return 2;
+    }
+  }
   if (flags.topology == "disk") {
     config.topology = Topology::kUniformDisk;
     config.propagation = LogDistancePropagation::Params{};
@@ -256,6 +326,24 @@ int main(int argc, char** argv) {
     std::printf("fault_ap_restarts=%llu\n", u(r.fault.ap_restarts));
     std::printf("fault_bursts=%llu\n", u(r.fault.bursts));
     std::printf("post_fault_goodput_mbps=%.2f\n", r.post_fault_goodput_mbps);
+  }
+  if (flags.edca || !config.traffic_mix.empty()) {
+    uint64_t virtual_collisions = r.ap_mac.virtual_collisions;
+    for (const ClientResult& cr : r.clients) {
+      virtual_collisions += cr.mac.virtual_collisions;
+    }
+    std::printf("virtual_collisions=%llu\n", u(virtual_collisions));
+    static const char* kAcKeys[kNumAcs] = {"vo", "vi", "be", "bk"};
+    for (uint8_t ac = 0; ac < kNumAcs; ++ac) {
+      const LatencySummary& s = r.ac_latency[ac];
+      if (s.count == 0) {
+        continue;
+      }
+      std::printf("lat_%s_count=%llu\n", kAcKeys[ac], u(s.count));
+      std::printf("lat_%s_p50_ms=%.3f\n", kAcKeys[ac], s.p50_ms);
+      std::printf("lat_%s_p99_ms=%.3f\n", kAcKeys[ac], s.p99_ms);
+      std::printf("lat_%s_jitter_ms=%.3f\n", kAcKeys[ac], s.jitter_ms);
+    }
   }
   if (!config.watchdog_interval.IsZero()) {
     std::printf("watchdog_checks=%llu\n", u(r.watchdog.checks));
