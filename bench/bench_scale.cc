@@ -32,8 +32,12 @@
 //                legacy columns byte-identically; repeats > 1 add
 //                goodput_mean_mbps / goodput_ci95_mbps (and a post-fault
 //                mean on fault rows) across the replicates.
-// Honours HACKSIM_QUICK=1 (CI): 10/100 stations only, shorter runs.
+// Honours HACKSIM_QUICK=1 (CI): 10/100 stations only, shorter runs, and
+// only the quick pair (w0/w1ms) of the ACK-aggregation ablation rows — the
+// full window sweep plus the EDCA-interaction pair run in the weekly
+// full-matrix job.
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -84,6 +88,24 @@ struct Workload {
   // 802.11e EDCA on every MAC (four per-AC engines + queues). The VO-p99
   // gate compares the mixed row pair with this off vs on.
   bool edca = false;
+  // --- ACK-aggregation ablation ---------------------------------------------
+  // HackAckPolicy flush window in microseconds (0 = policy structurally
+  // absent). The w0 ablation row must stay byte-identical to the plain
+  // tcp/moredata row — check_bench_gates.py enforces it.
+  int64_t ack_window_us = 0;
+  // DSCP stamped on the TCP flows (0xC0 → VO under EDCA; 0 = legacy BE).
+  uint8_t tcp_tos = 0;
+  // Emit the HACK-detail JSON columns (compression ratio vs paper Table 2,
+  // batch counters) for this row.
+  bool hack_detail = false;
+  // Skip this row in HACKSIM_QUICK mode: the full ablation sweep rides the
+  // weekly full-matrix job; push CI runs only the quick w0/w1ms pair.
+  bool full_only = false;
+  // Replicate-seed alias: seeds derive from (stations, seed_group) instead
+  // of this row's own index, so paired rows (w0 vs tcp/moredata, the EDCA
+  // ablation pair) see identical RNG streams and compare run-for-run.
+  // SIZE_MAX = use the row's own workload index.
+  size_t seed_group = SIZE_MAX;
 };
 
 struct ScaleRow {
@@ -117,6 +139,14 @@ struct ScaleRow {
   // to JSON per AC with samples, so legacy rows stay byte-identical.
   bool has_latency = false;
   LatencySummary ac_latency[kNumAcs];
+  // HACK-detail rows only (the ACK-aggregation ablation): cell-wide
+  // compression ratio (vs paper Table 2's 52-byte vanilla ACK) and batch
+  // counters. Emitted to JSON only when has_hack_detail, so legacy rows
+  // stay byte-identical.
+  bool has_hack_detail = false;
+  double hack_compression_ratio = 0.0;
+  uint64_t hack_ack_batches = 0;
+  double hack_acks_per_flush = 0.0;
   // Validated on the main thread after the parallel fan-out (a worker must
   // not std::exit while its siblings run).
   uint64_t crc_failures = 0;
@@ -156,6 +186,10 @@ ScaleRow RunOne(int stations, const Workload& w, uint64_t seed) {
     c.propagation = LogDistancePropagation::Params{};
   }
   c.edca_enabled = w.edca;
+  if (w.ack_window_us > 0) {
+    c.hack_config.ack_policy.flush_window = SimTime::Micros(w.ack_window_us);
+  }
+  c.tcp.tos = w.tcp_tos;
   if (w.mixed_traffic) {
     // A voice tithe sharing the cell with heavy-tailed web bulk. The scale
     // keeps the aggregate web load at ~128 Mbps (saturating a 150 Mbps
@@ -239,6 +273,31 @@ ScaleRow RunOne(int stations, const Workload& w, uint64_t seed) {
     for (uint8_t ac = 0; ac < kNumAcs; ++ac) {
       row.ac_latency[ac] = r.ac_latency[ac];
     }
+  }
+
+  if (w.hack_detail) {
+    row.has_hack_detail = true;
+    uint64_t batches = r.ap_hack.ack_batches;
+    uint64_t batched = r.ap_hack.batched_acks;
+    uint64_t unique_acks = r.ap_hack.unique_compressed_acks;
+    uint64_t unique_bytes = r.ap_hack.unique_compressed_bytes;
+    for (const ClientResult& cr : r.clients) {
+      batches += cr.hack.ack_batches;
+      batched += cr.hack.batched_acks;
+      unique_acks += cr.hack.unique_compressed_acks;
+      unique_bytes += cr.hack.unique_compressed_bytes;
+    }
+    row.hack_ack_batches = batches;
+    row.hack_acks_per_flush =
+        batches > 0 ? static_cast<double>(batched) /
+                          static_cast<double>(batches)
+                    : 0.0;
+    // Cell-wide analogue of HackStats::CompressionRatio (52 B vanilla ACK
+    // per Table 2 / unique compressed bytes).
+    row.hack_compression_ratio =
+        unique_bytes > 0 ? static_cast<double>(unique_acks * 52) /
+                               static_cast<double>(unique_bytes)
+                         : 1.0;
   }
 
   row.crc_failures = r.crc_failures;
@@ -340,6 +399,17 @@ void WriteJson(const std::string& path, const std::vector<ScaleRow>& rows) {
                      kAcKeys[ac], s.jitter_ms);
       }
     }
+    if (r.has_hack_detail) {
+      // ACK-aggregation ablation columns (legacy rows stay byte-identical;
+      // gate 8 strips these before the w0-vs-tcp/moredata comparison).
+      std::fprintf(f,
+                   "\"hack_compression_ratio\": %.2f, "
+                   "\"hack_ack_batches\": %llu, "
+                   "\"hack_acks_per_flush\": %.2f, ",
+                   r.hack_compression_ratio,
+                   static_cast<unsigned long long>(r.hack_ack_batches),
+                   r.hack_acks_per_flush);
+    }
     std::fprintf(f, "\"wall_ms\": %.1f, \"sim_seconds\": %.3f}%s\n",
                  r.wall_ms, r.sim_seconds, i + 1 < rows.size() ? "," : "");
   }
@@ -422,6 +492,38 @@ int main(int argc, char** argv) {
        /*upload=*/false, /*rts_threshold=*/0, /*rate_adapt=*/false,
        /*udp_rate_bps=*/0.0, Topology::kRing, /*allow_zero_bytes=*/false,
        /*fault=*/nullptr, /*mixed_traffic=*/true, /*edca=*/true},
+      // --- ACK-aggregation ablation (HackAckPolicy) --------------------------
+      // tcp+hack-w<N> sweeps the flush window over the tcp/moredata cell.
+      // All window rows alias seed_group=2 (the tcp/moredata index): the w0
+      // row must come out byte-identical to that row (gate 8), and the
+      // window>0 rows compare goodput run-for-run against it (gate 9).
+      // Quick mode (push CI) runs only the w0/w1ms pair; the full sweep —
+      // with the EDCA-interaction pair at the end, VO-tagged TCP over the
+      // saturated voice+web zoo without/with a 1 ms window — rides the
+      // weekly full-matrix job.
+      {.label = "tcp+hack-w0", .proto = TransportProto::kTcp,
+       .hack = HackVariant::kMoreData, .ack_window_us = 0,
+       .hack_detail = true, .seed_group = 2},
+      {.label = "tcp+hack-w1ms", .proto = TransportProto::kTcp,
+       .hack = HackVariant::kMoreData, .ack_window_us = 1000,
+       .hack_detail = true, .seed_group = 2},
+      {.label = "tcp+hack-w64us", .proto = TransportProto::kTcp,
+       .hack = HackVariant::kMoreData, .ack_window_us = 64,
+       .hack_detail = true, .full_only = true, .seed_group = 2},
+      {.label = "tcp+hack-w256us", .proto = TransportProto::kTcp,
+       .hack = HackVariant::kMoreData, .ack_window_us = 256,
+       .hack_detail = true, .full_only = true, .seed_group = 2},
+      {.label = "tcp+hack-w4ms", .proto = TransportProto::kTcp,
+       .hack = HackVariant::kMoreData, .ack_window_us = 4000,
+       .hack_detail = true, .full_only = true, .seed_group = 2},
+      {.label = "tcp+hack-mix-edca", .proto = TransportProto::kTcp,
+       .hack = HackVariant::kMoreData, .mixed_traffic = true, .edca = true,
+       .ack_window_us = 0, .tcp_tos = 0xC0, .hack_detail = true,
+       .full_only = true, .seed_group = 17},
+      {.label = "tcp+hack-mix-edca-w1ms", .proto = TransportProto::kTcp,
+       .hack = HackVariant::kMoreData, .mixed_traffic = true, .edca = true,
+       .ack_window_us = 1000, .tcp_tos = 0xC0, .hack_detail = true,
+       .full_only = true, .seed_group = 17},
   };
 
   // Flatten the matrix: each (stations, workload) cell expands to `reps`
@@ -439,22 +541,34 @@ int main(int argc, char** argv) {
   };
   constexpr size_t kNumWorkloads = std::size(workloads);
   std::vector<RunSpec> specs;
+  // cell → workload index; quick mode skips full_only workloads, so the
+  // mapping is no longer `cell % kNumWorkloads`.
+  std::vector<size_t> cell_workload;
   size_t n_cells = 0;
   for (int n : station_counts) {
     for (size_t wi = 0; wi < kNumWorkloads; ++wi) {
+      if (QuickMode() && workloads[wi].full_only) {
+        continue;  // full ablation sweep rides the weekly full-matrix job
+      }
       // Every row replicates, 1000-station cells included: since the
       // parallel campaign engine fans replicates across cores, the dense
       // rows' replicates ride along at roughly the wall cost of the
       // slowest single run, and the mean/CI gates cover the rows that
       // actually move in perf PRs.
       int reps = repeats;
+      // Paired rows alias another workload's seed stream (seed_group) so
+      // their replicates compare run-for-run.
+      uint64_t sg = workloads[wi].seed_group == SIZE_MAX
+                        ? static_cast<uint64_t>(wi)
+                        : static_cast<uint64_t>(workloads[wi].seed_group);
       for (int r = 0; r < reps; ++r) {
         uint64_t seed =
             r == 0 ? 1
-                   : DeriveRunSeed(static_cast<uint64_t>(n) * 64 + wi,
+                   : DeriveRunSeed(static_cast<uint64_t>(n) * 64 + sg,
                                    static_cast<uint64_t>(r));
         specs.push_back(RunSpec{n, wi, r, seed, n_cells});
       }
+      cell_workload.push_back(wi);
       ++n_cells;
     }
   }
@@ -512,7 +626,7 @@ int main(int argc, char** argv) {
     if (r.has_fault) {
       std::printf("          ^ %s plan (%llu events): post-fault goodput "
                   "%.1f Mbps\n",
-                  workloads[cell % kNumWorkloads].fault,
+                  workloads[cell_workload[cell]].fault,
                   static_cast<unsigned long long>(r.fault_events),
                   r.post_fault_goodput_mbps);
     }
@@ -522,6 +636,13 @@ int main(int argc, char** argv) {
                   r.ac_latency[kAcVo].p50_ms, r.ac_latency[kAcVo].p99_ms,
                   r.ac_latency[kAcVo].jitter_ms, r.ac_latency[kAcBe].p50_ms,
                   r.ac_latency[kAcBe].p99_ms, r.ac_latency[kAcBe].jitter_ms);
+    }
+    if (r.has_hack_detail) {
+      std::printf("          ~ hack: compression %.1fx, %llu batches, "
+                  "%.1f acks/flush\n",
+                  r.hack_compression_ratio,
+                  static_cast<unsigned long long>(r.hack_ack_batches),
+                  r.hack_acks_per_flush);
     }
   }
   if (!json_path.empty()) {

@@ -76,6 +76,9 @@ bool HackAgent::OfferOutgoingPacket(Packet&& packet, MacAddress dest) {
   std::optional<TcpTimestamps> timestamps = packet.tcp().timestamps;
   staged.original = std::move(packet);
   ps.staged.push_back(std::move(staged));
+  if (config_.ack_policy.enabled()) {
+    HoldStagedAck(dest, ps);
+  }
   if (config_.variant == HackVariant::kExplicitTimer ||
       config_.variant == HackVariant::kTimestampEcho) {
     ArmFlushTimer(dest, ps);
@@ -85,6 +88,57 @@ bool HackAgent::OfferOutgoingPacket(Packet&& packet, MacAddress dest) {
     ps.echo_outstanding = true;
   }
   return true;
+}
+
+void HackAgent::HoldStagedAck(MacAddress dest, PeerState& ps) {
+  ps.staged.back().held = true;
+  ++ps.held_count;
+  if (config_.ack_policy.flush_count > 0 &&
+      ps.held_count >= config_.ack_policy.flush_count) {
+    ReleaseHeld(ps, &stats_.batch_flush_count);
+    return;
+  }
+  if (ps.batch_timer == kInvalidEventId) {
+    // One coalesced deadline for the whole batch, armed by its first entry
+    // (the PR 8 idiom): later holds ride the pending timer, and any release
+    // cancels it, so a batch costs at most one scheduler event.
+    ps.batch_timer = scheduler_->ScheduleIn(
+        config_.ack_policy.flush_window,
+        [this, dest]() {
+          PeerState& state = peers_[dest];
+          state.batch_timer = kInvalidEventId;
+          ReleaseHeld(state, &stats_.batch_flush_window);
+        },
+        EventClass::kTransportTimer);
+  }
+}
+
+void HackAgent::ReleaseHeld(PeerState& ps, uint64_t* cause) {
+  if (ps.batch_timer != kInvalidEventId) {
+    scheduler_->Cancel(ps.batch_timer);
+    ps.batch_timer = kInvalidEventId;
+  }
+  if (ps.held_count == 0) {
+    return;
+  }
+  for (StagedAck& s : ps.staged) {
+    s.held = false;
+  }
+  stats_.batched_acks += ps.held_count;
+  ++stats_.ack_batches;
+  ++*cause;
+  ps.held_count = 0;
+}
+
+void HackAgent::NoteHeldEvicted(PeerState& ps, size_t evicted) {
+  if (evicted == 0 || ps.held_count == 0) {
+    return;
+  }
+  ps.held_count -= std::min(ps.held_count, evicted);
+  if (ps.held_count == 0 && ps.batch_timer != kInvalidEventId) {
+    scheduler_->Cancel(ps.batch_timer);
+    ps.batch_timer = kInvalidEventId;
+  }
 }
 
 void HackAgent::SendVanilla(Packet&& packet, MacAddress dest) {
@@ -118,14 +172,19 @@ void HackAgent::FlushFlowState(PeerState& ps, const FiveTuple& flow,
   // MPDUs — in order, ahead of the triggering ACK — because dupacks among
   // them carry the count that drives the sender's fast retransmit (§6).
   std::vector<StagedAck> demote;
+  size_t held_evicted = 0;
   for (auto it = ps.staged.begin(); it != ps.staged.end();) {
     if (it->flow == flow) {
+      if (it->held) {
+        ++held_evicted;
+      }
       demote.push_back(std::move(*it));
       it = ps.staged.erase(it);
     } else {
       ++it;
     }
   }
+  NoteHeldEvicted(ps, held_evicted);
   for (StagedAck& s : demote) {
     ++stats_.vanilla_acks_sent;
     stats_.vanilla_ack_bytes += s.original.SizeBytes();
@@ -139,6 +198,8 @@ void HackAgent::FlushFlowState(PeerState& ps, const FiveTuple& flow,
 }
 
 void HackAgent::FlushAllToVanilla(MacAddress dest, PeerState& ps) {
+  // Everything staged leaves, held or not; the batch state resets wholesale.
+  NoteHeldEvicted(ps, ps.held_count);
   // Demote staged (never-sent) compressed ACKs to vanilla MPDUs. Only the
   // newest cumulative ACK per flow plus any dupacks are worth sending;
   // older cumulative ACKs are superseded.
@@ -244,6 +305,15 @@ void HackAgent::OnDataPpdu(MacAddress from, bool aggregated,
   PeerState& ps = peers_[from];
   ps.more_data_latched = more_data;
 
+  if (!more_data && config_.ack_policy.enabled() &&
+      config_.ack_policy.flush_on_more_data_edge) {
+    // End of the peer's burst: no further reverse frame is coming to ride,
+    // so the batch releases now — OnDataPpdu runs before the SIFS-delayed
+    // BuildAckPayload, which means the released set boards the *final*
+    // LL ACK of the burst instead of stranding until the window expires.
+    ReleaseHeld(ps, &stats_.batch_flush_edge);
+  }
+
   if (!more_data) {
     // Last expected batch: whatever the upcoming LL ACK cannot carry
     // (payload cap, ready race) has no further ride and must fall back to
@@ -304,6 +374,12 @@ std::vector<uint8_t> HackAgent::BuildAckPayload(MacAddress to) {
   // Then staged ACKs whose DMA latency has elapsed (the Fig 3/4 ready gate).
   size_t promoted = 0;
   for (const StagedAck& s : ps.staged) {
+    if (s.held) {
+      // Held-back suffix: the aggregation policy has not released these, so
+      // they are not eligible for this LL ACK (and do not count as a ready
+      // race — nothing about the NIC made them miss the ride).
+      break;
+    }
     if (s.ready_at > now) {
       anything_not_ready = true;
       break;  // staging is FIFO; later entries are not ready either
@@ -357,7 +433,7 @@ void HackAgent::OnAckPayload(MacAddress from,
       ++stats_.crc_failures_at_ap;
       continue;
     }
-    RohcDecompressor::Result result = decompressor_.Decompress(*record);
+    RohcDecompressor::Result result = decompressors_[from].Decompress(*record);
     switch (result.status) {
       case RohcDecompressor::Status::kOk:
         ++stats_.acks_recovered_at_ap;
@@ -382,8 +458,8 @@ void HackAgent::OnAckPayload(MacAddress from,
 
 // --- AP role ----------------------------------------------------------------------
 
-void HackAgent::NoteReceivedVanillaAck(const Packet& packet) {
-  decompressor_.NoteVanillaAck(packet);
+void HackAgent::NoteReceivedVanillaAck(const Packet& packet, MacAddress from) {
+  decompressors_[from].NoteVanillaAck(packet);
 }
 
 void HackAgent::NoteReceivedDataSegment(const Packet& packet) {

@@ -17,6 +17,16 @@
 // discards duplicates by MSN, decompresses records, and forwards the
 // reconstituted TCP ACKs upstream. It also snoops vanilla TCP ACKs to
 // bootstrap decompressor contexts (no ROHC IR packets, §3.3.2).
+//
+// Decompressor contexts are scoped per sending peer (one RohcDecompressor
+// per client MAC), mirroring ROHC's rule that CIDs are only unique within a
+// channel: each client derives CIDs from its own flows' 5-tuple hashes, so
+// two clients can legitimately pick the same CID. A single AP-wide CID
+// space would let one client's records apply deltas to another client's
+// context — the compressor-side collision guard cannot see across clients,
+// and compressed records carry no flow identity to check against. Same-peer
+// collisions are still resolved by the compressor guard (younger flow stays
+// vanilla-only).
 #ifndef SRC_HACK_HACK_AGENT_H_
 #define SRC_HACK_HACK_AGENT_H_
 
@@ -40,6 +50,27 @@ enum class HackVariant {
   kTimestampEcho,  // §5 future work: TCP timestamp echo as implicit ACK-of-ACK
 };
 
+// ACK-aggregation policy: instead of releasing every staged compressed ACK
+// onto the next LL ACK individually, hold them in a pending (held) set and
+// release the whole set — one hierarchical ACK batch riding one LL ACK /
+// Block ACK — when the first of three triggers fires:
+//   * the flush window expires (one coalesced timer per peer, armed when the
+//     first ACK of a batch is held and cancelled on release — the PR 8
+//     coalesced-deadline idiom, never a per-ACK timer),
+//   * the held count reaches flush_count (0 = no count trigger), or
+//   * the peer's MORE DATA bit falls (flush_on_more_data_edge): its burst is
+//     over, so the upcoming final LL ACK is the last free ride.
+// flush_window == 0 (the default) disables the policy entirely: no held
+// flags, no timers, no counters — bit-identical to the pre-policy agent,
+// pinned the same way edca_enabled=false is (docs/hack.md).
+struct HackAckPolicy {
+  SimTime flush_window;
+  size_t flush_count = 0;
+  bool flush_on_more_data_edge = true;
+
+  bool enabled() const { return !flush_window.IsZero(); }
+};
+
 struct HackAgentConfig {
   HackVariant variant = HackVariant::kMoreData;
   // Driver -> NIC staging (DMA + descriptor) latency; the window for the
@@ -54,6 +85,8 @@ struct HackAgentConfig {
   // Flush timeout for kExplicitTimer, and the safety timer for
   // kTimestampEcho.
   SimTime explicit_timer = SimTime::Millis(10);
+  // Batched/paced release of staged compressed ACKs; off by default.
+  HackAckPolicy ack_policy;
 };
 
 class HackAgent final : public HackHooks {
@@ -78,7 +111,8 @@ class HackAgent final : public HackHooks {
   // Reconstituted TCP ACKs ready to forward upstream.
   std::function<void(Packet, MacAddress from)> forward_decompressed;
   // Wire to the receive path: every pure TCP ACK received over the WLAN.
-  void NoteReceivedVanillaAck(const Packet& packet);
+  // `from` scopes the bootstrap to that peer's decompressor.
+  void NoteReceivedVanillaAck(const Packet& packet, MacAddress from);
   // Wire to the receive path for kTimestampEcho: data segments' TSecr.
   void NoteReceivedDataSegment(const Packet& packet);
 
@@ -90,7 +124,12 @@ class HackAgent final : public HackHooks {
 
   HackStats& stats() { return stats_; }
   const HackStats& stats() const { return stats_; }
-  const RohcDecompressor& decompressor() const { return decompressor_; }
+  // Peer-scoped decompressor lookup (tests/diagnostics); null if the peer
+  // has never anchored a context or sent a HACK payload.
+  const RohcDecompressor* decompressor(MacAddress from) const {
+    auto it = decompressors_.find(from);
+    return it == decompressors_.end() ? nullptr : &it->second;
+  }
 
  private:
   struct StagedAck {
@@ -99,6 +138,11 @@ class HackAgent final : public HackHooks {
     std::vector<uint8_t> compressed;
     SimTime ready_at;
     uint64_t vanilla_uid = 0;  // opportunistic: uid of the queued vanilla copy
+    // Held back by the ACK-aggregation policy: not yet eligible to ride an
+    // LL ACK. Held entries are always a contiguous suffix of `staged` —
+    // marking is append-only and release clears every flag at once — which
+    // is what lets BuildAckPayload stop at the first held entry.
+    bool held = false;
   };
 
   struct PeerState {
@@ -106,6 +150,11 @@ class HackAgent final : public HackHooks {
     std::deque<StagedAck> staged;    // compressed, not yet sent on any LL ACK
     std::deque<StagedAck> retained;  // sent, awaiting implicit confirmation
     EventId flush_timer = kInvalidEventId;
+    // ACK-aggregation policy: number of staged entries currently held, and
+    // the one coalesced release timer (armed when the first entry of a batch
+    // is held, cancelled when the batch releases for any reason).
+    size_t held_count = 0;
+    EventId batch_timer = kInvalidEventId;
     // kTimestampEcho: newest TSval we released and whether it was echoed.
     uint32_t last_released_tsval = 0;
     bool echo_outstanding = false;
@@ -124,13 +173,26 @@ class HackAgent final : public HackHooks {
   void FlushAllToVanilla(MacAddress dest, PeerState& ps);
   void ArmFlushTimer(MacAddress dest, PeerState& ps);
   bool ShouldHoldAcks(const PeerState& ps) const;
+  // ACK-aggregation policy: mark the just-staged entry held and arm/trip the
+  // batch triggers (count threshold, coalesced window timer).
+  void HoldStagedAck(MacAddress dest, PeerState& ps);
+  // Release every held entry (they ride the next LL ACK as one batch) and
+  // cancel the window timer. `cause` is the per-trigger counter to bump;
+  // releasing an empty held set only cancels the timer and counts nothing.
+  void ReleaseHeld(PeerState& ps, uint64_t* cause);
+  // Un-hold bookkeeping for eviction paths (FlushFlowState / opportunistic
+  // withdrawal): held entries leaving `staged` decrement the count; when it
+  // hits zero the pending window timer is cancelled.
+  void NoteHeldEvicted(PeerState& ps, size_t evicted);
 
   Scheduler* scheduler_;
   WifiMac* mac_;
   HackAgentConfig config_;
 
   RohcCompressor compressor_;
-  RohcDecompressor decompressor_;
+  // One decompressor (= one 256-CID context space) per sending peer; see
+  // the header comment on CID scoping.
+  std::map<MacAddress, RohcDecompressor> decompressors_;
   std::map<MacAddress, PeerState> peers_;
   std::unordered_set<FiveTuple, FiveTupleHash> established_flows_;
 

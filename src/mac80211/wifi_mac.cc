@@ -1424,6 +1424,8 @@ void WifiMac::ScheduleResponse(WifiFrame response,
                             FrameDuration(resp_mode, base_bytes);
             ++stats_.hack_payloads_sent;
             stats_.hack_payload_bytes_sent += response.hack_payload.size();
+            // First payload byte is the record-count envelope.
+            stats_.hack_payload_records += response.hack_payload[0];
             stats_.rohc_payload_airtime_ns += extra.ns();
             if (extra <= timings_.difs) {
               ++stats_.hack_payloads_fit_in_aifs;

@@ -40,7 +40,7 @@ void WifiNetDevice::Send(Packet packet, MacAddress next_hop) {
 void WifiNetDevice::HandleMacReceive(Packet packet, MacAddress from) {
   if (hack_ != nullptr) {
     if (packet.IsPureTcpAck()) {
-      hack_->NoteReceivedVanillaAck(packet);
+      hack_->NoteReceivedVanillaAck(packet, from);
     } else if (packet.has_tcp()) {
       hack_->NoteReceivedDataSegment(packet);
     }

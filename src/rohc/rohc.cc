@@ -13,6 +13,7 @@ void LoadFromPacket(RohcContextState* state, const Packet& packet) {
   state->seq = tcp.seq;
   state->ack = tcp.ack;
   state->window = tcp.window;
+  state->tos = packet.ip().tos;
   state->has_timestamps = tcp.timestamps.has_value();
   if (tcp.timestamps.has_value()) {
     state->tsval = tcp.timestamps->tsval;
@@ -202,7 +203,9 @@ Packet RohcDecompressor::Reconstruct(const DecompressorContext& ctx) const {
   if (st.has_timestamps) {
     tcp.timestamps = TcpTimestamps{st.tsval, st.tsecr};
   }
-  return Packet::MakeTcp(st.flow.src_ip, st.flow.dst_ip, tcp, 0);
+  Packet p = Packet::MakeTcp(st.flow.src_ip, st.flow.dst_ip, tcp, 0);
+  p.mutable_ip().tos = st.tos;
+  return p;
 }
 
 RohcDecompressor::Result RohcDecompressor::Decompress(

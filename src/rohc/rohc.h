@@ -7,7 +7,10 @@
 //     link-layer-acknowledged.
 //  2. CIDs are computed independently on both sides: low byte of MD5 over
 //     the flow 5-tuple. A CID collision simply disables compression for the
-//     younger flow (it stays on vanilla ACKs).
+//     younger flow (it stays on vanilla ACKs). That guard only sees one
+//     compressor's flows, so CIDs are unique per *channel*, never globally:
+//     the AP keys decompressors per sending peer MAC (hack_agent.h) so two
+//     clients picking the same CID cannot cross-apply deltas.
 //  3. No ROHC feedback: reliability is HACK's retention protocol; the MSN
 //     dedup window (half the 8-bit space) discards retransmitted records.
 //
@@ -38,6 +41,11 @@ struct RohcContextState {
   uint16_t window = 0;
   uint32_t stride = 0;  // learned ack increment
   bool has_timestamps = false;
+  // IP ToS of the flow's ACKs, restored on reconstruction so the forwarded
+  // copy keeps its DSCP marking under EDCA. Static per flow and outside the
+  // CRC-3 coverage (seq/ack/tsval/tsecr/window/msn), so this is pure
+  // reconstruction fidelity — it cannot introduce crc_failures.
+  uint8_t tos = 0;
 };
 
 class RohcCompressor {

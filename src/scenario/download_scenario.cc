@@ -22,6 +22,10 @@ struct ClientEndpoint {
   std::unique_ptr<UdpSink> udp_sink;
   GoodputTracker tracker;
   SimTime completion;
+  // Jitter chain for the TCP data path (mirrors UdpSink's: consecutive
+  // same-endpoint delay deltas).
+  SimTime tcp_last_delay;
+  bool tcp_has_delay = false;
 };
 
 std::span<const WifiMode> ModeTable(WifiStandard standard) {
@@ -161,6 +165,25 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   // DSCP-derived AC. Pure recording (no events, no RNG), so wiring it
   // unconditionally cannot perturb legacy runs.
   LatencyRecorder latency;
+  // TCP data segments get the same treatment at the receiving handler
+  // (UdpSink's convention: per-packet delay keyed by the DSCP-derived AC,
+  // jitter from consecutive same-endpoint deltas). Recording-only as well.
+  auto record_tcp_latency = [&scheduler, &latency](ClientEndpoint& ep,
+                                                   const Packet& p) {
+    if (p.payload_bytes() == 0) {
+      return;
+    }
+    uint8_t ac = p.has_ip() ? AcForTos(p.ip().tos) : kAcBe;
+    SimTime delay = scheduler.Now() - p.created_at();
+    latency.Record(ac, delay);
+    if (ep.tcp_has_delay) {
+      SimTime delta = delay > ep.tcp_last_delay ? delay - ep.tcp_last_delay
+                                                : ep.tcp_last_delay - delay;
+      latency.RecordJitter(ac, delta);
+    }
+    ep.tcp_last_delay = delay;
+    ep.tcp_has_delay = true;
+  };
 
   // Only the disk layout draws placement randomness; forking lazily keeps
   // every legacy configuration's RNG streams untouched.
@@ -378,6 +401,45 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
       continue;
     }
 
+    if (!config.traffic_mix.empty() && !config.upload) {
+      // TCP + traffic mix: the TCP download keeps running, and each station
+      // additionally sinks one modelled background flow from the AP side —
+      // the HACK-vs-EDCA interaction workload (compressed-ACK batches
+      // contending with tagged voice/video). Background flows live in their
+      // own port range (7000+i) and DeriveRunSeed namespace (2^33 + i), so
+      // neither the TCP ports nor the UDP-mix seed streams can collide.
+      TrafficSource::Config src_cfg;
+      src_cfg.model = ModelForStation(config.traffic_mix,
+                                      static_cast<size_t>(i),
+                                      static_cast<size_t>(config.n_clients));
+      src_cfg.start = specs[i].start_offset;
+      src_cfg.stop = config.duration;
+      src_cfg.seed = DeriveRunSeed(config.seed,
+                                   (uint64_t{1} << 33) +
+                                       static_cast<uint64_t>(i));
+      src_cfg.rate_scale = config.traffic_rate_scale;
+      uint16_t bg_port = static_cast<uint16_t>(7000 + i);
+      FiveTuple bg_flow{server_ip, client_ip(i), bg_port, bg_port,
+                        kIpProtoUdp};
+      auto source = std::make_unique<TrafficSource>(
+          &scheduler, src_cfg, bg_flow,
+          [node = server_node.get()](Packet p) { node->Send(std::move(p)); });
+      ep.udp_sink = std::make_unique<UdpSink>(&scheduler);
+      ep.udp_sink->set_latency_recorder(&latency);
+      ep.node->RegisterHandler(bg_port,
+                               [sink = ep.udp_sink.get()](const Packet& p) {
+                                 sink->OnPacket(p);
+                               });
+      client_traffic_src[static_cast<size_t>(i)] = source.get();
+      if (present[static_cast<size_t>(i)]) {
+        source->Start();
+      }
+      traffic_sources.push_back(std::move(source));
+      // Fall through: the TCP flow below is still the measured foreground.
+      // (flow_started tracks the TCP sender; background sources ride the
+      // fault engine's Stop/Resume independently.)
+    }
+
     // TCP flow; direction depends on upload/download.
     if (!config.upload) {
       FiveTuple flow{server_ip, client_ip(i), server_port, client_port,
@@ -392,10 +454,12 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
       ep.tcp_rx->on_data = [&ep, &scheduler](uint64_t bytes) {
         ep.tracker.OnBytesDelivered(scheduler.Now(), bytes);
       };
-      ep.node->RegisterHandler(client_port,
-                               [rx = ep.tcp_rx.get()](const Packet& p) {
-                                 rx->OnPacket(p);
-                               });
+      ep.node->RegisterHandler(
+          client_port,
+          [rx = ep.tcp_rx.get(), &ep, &record_tcp_latency](const Packet& p) {
+            record_tcp_latency(ep, p);
+            rx->OnPacket(p);
+          });
       server_node->RegisterHandler(server_port,
                                    [tx = sender.get()](const Packet& p) {
                                      tx->OnPacket(p);
@@ -424,10 +488,12 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
       receiver->on_data = [&ep, &scheduler](uint64_t bytes) {
         ep.tracker.OnBytesDelivered(scheduler.Now(), bytes);
       };
-      server_node->RegisterHandler(server_port,
-                                   [rx = receiver.get()](const Packet& p) {
-                                     rx->OnPacket(p);
-                                   });
+      server_node->RegisterHandler(
+          server_port,
+          [rx = receiver.get(), &ep, &record_tcp_latency](const Packet& p) {
+            record_tcp_latency(ep, p);
+            rx->OnPacket(p);
+          });
       ep.node->RegisterHandler(client_port,
                                [tx = ep.tcp_tx.get()](const Packet& p) {
                                  tx->OnPacket(p);
@@ -505,16 +571,20 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
           // the AP still holds from the station's previous life.
           ap_device->mac().Associate(client_mac_addr(ev.station));
           clients[s].device->mac().Associate(ap_mac_addr);
+          // Independent ifs, not an else-chain: a TCP+mix station owns both
+          // a background TrafficSource (resumed) and a TCP sender (started
+          // once). For legacy configs the source kinds are mutually
+          // exclusive, so this is the same sequence of calls as before.
           if (client_udp_src[s] != nullptr) {
             client_udp_src[s]->Resume(scheduler.Now(), config.duration);
-            flow_started[s] = 1;
-          } else if (client_traffic_src[s] != nullptr) {
+          }
+          if (client_traffic_src[s] != nullptr) {
             client_traffic_src[s]->Resume(scheduler.Now(), config.duration);
-            flow_started[s] = 1;
-          } else if (client_tcp_src[s] != nullptr && !flow_started[s]) {
-            flow_started[s] = 1;
+          }
+          if (client_tcp_src[s] != nullptr && !flow_started[s]) {
             client_tcp_src[s]->Start();
           }
+          flow_started[s] = 1;
           break;
         }
         case FaultType::kRadioReset: {

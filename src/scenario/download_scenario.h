@@ -110,10 +110,13 @@ struct ScenarioConfig {
   // (docs/qos.md). False (default) keeps the single-DCF legacy MAC
   // bit-identical.
   bool edca_enabled = false;
-  // Mixed-workload traffic zoo (UDP scenarios only). Empty (default) keeps
-  // the classic uniform CBR sources; non-empty replaces every client's CBR
-  // source with a TrafficSource whose model comes from ModelForStation over
-  // these fractions. Each flow owns a DeriveRunSeed-derived RNG stream.
+  // Mixed-workload traffic zoo. Empty (default) keeps the classic setup.
+  // UDP scenarios: non-empty replaces every client's CBR source with a
+  // TrafficSource whose model comes from ModelForStation over these
+  // fractions. TCP download scenarios: non-empty keeps the TCP flows AND
+  // adds one background TrafficSource per station (AP -> client, its own
+  // port/seed namespace) — the HACK-vs-EDCA interaction workload. Each flow
+  // owns a DeriveRunSeed-derived RNG stream.
   std::vector<TrafficMixEntry> traffic_mix;
   // Scales every traffic-model flow's offered load (TrafficSource::Config::
   // rate_scale); 1.0 = the models' natural rates.

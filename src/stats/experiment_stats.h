@@ -92,8 +92,24 @@ struct HackStats {
   uint64_t stale_context_drops = 0;
   uint64_t ready_race_fallbacks = 0;     // Fig 3-4 NIC-not-ready events
 
+  // --- ACK-aggregation policy (HackAckPolicy; all-zero when the policy is
+  // off, which keeps the window=0 equality pins exact) ----------------------
+  uint64_t ack_batches = 0;         // release events (one batch per release)
+  uint64_t batched_acks = 0;        // ACKs that passed through the held set
+  uint64_t batch_flush_window = 0;  // releases: coalesced window timer fired
+  uint64_t batch_flush_count = 0;   // releases: count threshold reached
+  uint64_t batch_flush_edge = 0;    // releases: peer's MORE DATA bit fell
+
   // Exact comparison backs the batched-delivery equivalence tests.
   friend bool operator==(const HackStats&, const HackStats&) = default;
+
+  double AcksPerFlush() const {
+    if (ack_batches == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(batched_acks) /
+           static_cast<double>(ack_batches);
+  }
 
   double CompressionRatio() const {
     if (unique_compressed_acks == 0 || unique_compressed_bytes == 0) {

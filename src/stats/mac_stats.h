@@ -106,6 +106,10 @@ struct MacStats {
   // --- HACK payload accounting ----------------------------------------------
   uint64_t hack_payloads_sent = 0;
   uint64_t hack_payload_bytes_sent = 0;
+  // Compressed-ACK records across all payloads (the envelope count byte,
+  // summed). payloads_sent vs records is the batching ratio the ACK-
+  // aggregation policy moves: more records per payload, fewer payloads.
+  uint64_t hack_payload_records = 0;
   int64_t rohc_payload_airtime_ns = 0;
   uint64_t hack_payloads_fit_in_aifs = 0;
 

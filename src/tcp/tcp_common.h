@@ -53,6 +53,12 @@ struct TcpConfig {
 
   // Timestamp clock granularity (Linux: 1 ms).
   SimTime ts_granularity = SimTime::Millis(1);
+
+  // DSCP/ToS stamped on every segment and ACK of the flow (both directions
+  // use the same config). Under EDCA the MAC classifies it via AcForTos —
+  // 0xC0 puts the flow in VO, the HACK-vs-EDCA interaction workload. The
+  // default 0 (BE) keeps every legacy scenario byte-identical.
+  uint8_t tos = 0;
 };
 
 // Millisecond timestamp-option clock.

@@ -65,6 +65,7 @@ void TcpReceiver::SendSynAck() {
     tcp.timestamps = TcpTimestamps{TsClock(scheduler_->Now()), ts_recent_};
   }
   Packet p = Packet::MakeTcp(back.src_ip, back.dst_ip, tcp, 0);
+  p.mutable_ip().tos = config_.tos;
   p.set_created_at(scheduler_->Now());
   send_(std::move(p));
 }
@@ -207,6 +208,7 @@ void TcpReceiver::SendAck() {
   }
   tcp.sack_blocks = BuildSackBlocks();
   Packet p = Packet::MakeTcp(back.src_ip, back.dst_ip, tcp, 0);
+  p.mutable_ip().tos = config_.tos;
   p.set_created_at(scheduler_->Now());
   ++stats_.acks_sent;
   if (!ooo_.empty()) {

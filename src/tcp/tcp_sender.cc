@@ -37,6 +37,7 @@ void TcpSender::SendSyn() {
     tcp.timestamps = TcpTimestamps{TsClock(scheduler_->Now()), 0};
   }
   Packet p = Packet::MakeTcp(flow_.src_ip, flow_.dst_ip, tcp, 0);
+  p.mutable_ip().tos = config_.tos;
   p.set_created_at(scheduler_->Now());
   send_(std::move(p));
   RestartRtoTimer();
@@ -91,6 +92,7 @@ void TcpSender::SendSegment(uint32_t seq, uint32_t len,
     tcp.timestamps = TcpTimestamps{TsClock(scheduler_->Now()), ts_recent_};
   }
   Packet p = Packet::MakeTcp(flow_.src_ip, flow_.dst_ip, tcp, len);
+  p.mutable_ip().tos = config_.tos;
   p.set_created_at(scheduler_->Now());
   ++stats_.segments_sent;
   if (is_retransmission) {

@@ -1,0 +1,287 @@
+// ACK-aggregation policy tests (HackAckPolicy): the window / count /
+// MORE-DATA-edge flush triggers, the coalesced batch timer's cancellation
+// paths, the held-suffix gate in BuildAckPayload, and the whole-scenario
+// pins — window=0 is structurally absent (bit-identical to the legacy
+// agent, same event count) and the policy survives churn fault plans
+// without stranding timers or tripping the watchdog.
+#include <gtest/gtest.h>
+
+#include "src/node/wifi_net_device.h"
+#include "src/scenario/download_scenario.h"
+#include "src/scenario/fault_plan.h"
+
+namespace hacksim {
+namespace {
+
+// AP-and-client harness at the device level, mirroring hack_test.cc's
+// fixture but parameterized by the aggregation policy under test.
+struct BatchFixture {
+  explicit BatchFixture(HackAckPolicy policy) : channel(&sched) {
+    WifiMacConfig cfg;
+    cfg.standard = WifiStandard::k80211n;
+    cfg.data_mode = ModeForRate(Modes80211n(), 150);
+    cfg.max_hack_payload_bytes = 400;
+    ap = std::make_unique<WifiNetDevice>(&sched, &channel,
+                                         MacAddress::ForStation(0), cfg,
+                                         Random(21));
+    client = std::make_unique<WifiNetDevice>(&sched, &channel,
+                                             MacAddress::ForStation(1), cfg,
+                                             Random(22));
+    ap->phy().set_position({0, 0});
+    client->phy().set_position({5, 0});
+    HackAgentConfig hc;
+    hc.variant = HackVariant::kMoreData;
+    hc.ack_policy = policy;
+    ap->EnableHack(hc);
+    client->EnableHack(hc);
+    ap->on_receive = [this](Packet p, MacAddress) {
+      if (p.IsPureTcpAck()) {
+        acks_at_ap.push_back(std::move(p));
+      }
+    };
+    client->on_receive = [this](Packet p, MacAddress) {
+      data_at_client.push_back(std::move(p));
+    };
+  }
+
+  Packet MakeData(uint32_t seq) {
+    TcpHeader tcp;
+    tcp.src_port = 5000;
+    tcp.dst_port = 6000;
+    tcp.seq = seq;
+    tcp.flag_ack = true;
+    tcp.window = 1000;
+    tcp.timestamps = TcpTimestamps{10, 20};
+    return Packet::MakeTcp(Ipv4Address::FromOctets(10, 0, 0, 1),
+                           Ipv4Address::FromOctets(10, 0, 2, 1), tcp, 1460);
+  }
+
+  Packet MakeAck(uint32_t ack) {
+    TcpHeader tcp;
+    tcp.src_port = 6000;
+    tcp.dst_port = 5000;
+    tcp.seq = 1;
+    tcp.ack = ack;
+    tcp.flag_ack = true;
+    tcp.window = 32768;
+    tcp.timestamps = TcpTimestamps{100, 200};
+    return Packet::MakeTcp(Ipv4Address::FromOctets(10, 0, 2, 1),
+                           Ipv4Address::FromOctets(10, 0, 0, 1), tcp, 0);
+  }
+
+  void SendBatch(int n_data, uint32_t first_seq = 1) {
+    for (int i = 0; i < n_data; ++i) {
+      ap->Send(MakeData(first_seq + i * 1460), MacAddress::ForStation(1));
+    }
+  }
+
+  void EstablishContext() {
+    client->Send(MakeAck(1000), MacAddress::ForStation(0));
+    sched.RunUntil(sched.Now() + SimTime::Millis(5));
+    ASSERT_EQ(acks_at_ap.size(), 1u);
+    acks_at_ap.clear();
+  }
+
+  void RunFor(SimTime d) { sched.RunUntil(sched.Now() + d); }
+
+  int AcksWithNumber(uint32_t ack) const {
+    int count = 0;
+    for (const Packet& p : acks_at_ap) {
+      if (p.tcp().ack == ack) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  Scheduler sched;
+  WirelessChannel channel;
+  std::unique_ptr<WifiNetDevice> ap, client;
+  std::vector<Packet> acks_at_ap;
+  std::vector<Packet> data_at_client;
+};
+
+HackAckPolicy WindowOnly(SimTime window) {
+  HackAckPolicy p;
+  p.flush_window = window;
+  p.flush_on_more_data_edge = false;
+  return p;
+}
+
+TEST(HackBatchTest, WindowTimerReleasesTheBatch) {
+  // Short window: the coalesced timer fires before the next Block ACK, so
+  // the released batch still rides it — the window trigger, in isolation.
+  BatchFixture f(WindowOnly(SimTime::Micros(500)));
+  f.EstablishContext();
+  f.SendBatch(126);  // three batches of 42; MORE DATA through batch 2
+  f.RunFor(SimTime::Millis(4));  // batch 1 delivered, latch on
+  f.client->Send(f.MakeAck(2000), MacAddress::ForStation(0));
+  f.RunFor(SimTime::Millis(20));
+  EXPECT_EQ(f.AcksWithNumber(2000), 1);
+  const HackStats& s = f.client->hack()->stats();
+  EXPECT_EQ(s.ack_batches, 1u);
+  EXPECT_EQ(s.batched_acks, 1u);
+  EXPECT_EQ(s.batch_flush_window, 1u);
+  EXPECT_EQ(s.batch_flush_count, 0u);
+  EXPECT_EQ(s.batch_flush_edge, 0u);
+  EXPECT_EQ(f.ap->hack()->stats().crc_failures_at_ap, 0u);
+}
+
+TEST(HackBatchTest, HeldSuffixBlocksTheBlockAckUntilReleased) {
+  // Long window: the held ACK must NOT ride batch 2's Block ACK — the held
+  // suffix is invisible to BuildAckPayload. When MORE DATA falls (edge
+  // trigger disabled here) the latch-clear safety flush demotes it to
+  // vanilla, which evicts the held entry and cancels the pending window
+  // timer; running far past the would-be deadline proves the cancellation.
+  BatchFixture f(WindowOnly(SimTime::Millis(30)));
+  f.EstablishContext();
+  f.SendBatch(126);
+  f.RunFor(SimTime::Millis(4));
+  f.client->Send(f.MakeAck(2000), MacAddress::ForStation(0));
+  f.RunFor(SimTime::Millis(5));  // past batch 2's Block ACK
+  EXPECT_TRUE(f.acks_at_ap.empty()) << "held ACK rode a Block ACK early";
+  f.RunFor(SimTime::Millis(15));  // batch 3, latch clear, safety flush
+  EXPECT_EQ(f.AcksWithNumber(2000), 1);
+  const HackStats& s = f.client->hack()->stats();
+  EXPECT_EQ(s.ack_batches, 0u);  // evicted, never released as a batch
+  EXPECT_EQ(s.batch_flush_window, 0u);
+  EXPECT_GT(s.flushed_to_vanilla, 0u);
+  f.RunFor(SimTime::Millis(30));  // past the cancelled timer's deadline
+  EXPECT_EQ(s.batch_flush_window, 0u);
+  EXPECT_EQ(f.acks_at_ap.size(), 1u);
+}
+
+TEST(HackBatchTest, CountThresholdReleasesAndCancelsTimer) {
+  // Three dupacks hit flush_count=3: the batch releases immediately (count
+  // trigger), the window timer is cancelled, and all three records ride
+  // ONE Block ACK as one hierarchical payload.
+  HackAckPolicy policy = WindowOnly(SimTime::Millis(50));
+  policy.flush_count = 3;
+  BatchFixture f(policy);
+  f.EstablishContext();
+  f.SendBatch(126);
+  f.RunFor(SimTime::Millis(4));
+  for (int i = 0; i < 3; ++i) {
+    f.client->Send(f.MakeAck(2000), MacAddress::ForStation(0));
+  }
+  f.RunFor(SimTime::Millis(20));
+  EXPECT_EQ(f.AcksWithNumber(2000), 3);  // dupack count survives batching
+  const HackStats& s = f.client->hack()->stats();
+  EXPECT_EQ(s.ack_batches, 1u);
+  EXPECT_EQ(s.batched_acks, 3u);
+  EXPECT_EQ(s.batch_flush_count, 1u);
+  EXPECT_EQ(s.batch_flush_window, 0u);
+  EXPECT_DOUBLE_EQ(s.AcksPerFlush(), 3.0);
+  // The whole batch rode a single LL ACK payload.
+  const MacStats& mac = f.client->mac().stats();
+  EXPECT_EQ(mac.hack_payloads_sent, 1u);
+  EXPECT_EQ(mac.hack_payload_records, 3u);
+  EXPECT_EQ(f.ap->hack()->stats().crc_failures_at_ap, 0u);
+  // Far past the 50 ms window: the cancelled timer must never fire.
+  f.RunFor(SimTime::Millis(60));
+  EXPECT_EQ(s.batch_flush_window, 0u);
+  EXPECT_EQ(f.acks_at_ap.size(), 3u);
+}
+
+TEST(HackBatchTest, MoreDataEdgeReleasesOntoTheFinalRide) {
+  // Default edge trigger: when the peer's MORE DATA bit falls, the batch
+  // releases before the SIFS-delayed BuildAckPayload — so it boards the
+  // burst's FINAL Block ACK compressed instead of stranding until the
+  // window expires or demoting to vanilla.
+  HackAckPolicy policy;
+  policy.flush_window = SimTime::Millis(30);  // would fire long after
+  BatchFixture f(policy);
+  f.EstablishContext();
+  f.SendBatch(50);  // 42 + 8: MORE DATA on batch 1 only
+  f.RunFor(SimTime::Millis(4));  // batch 1 delivered, latch on
+  f.client->Send(f.MakeAck(2000), MacAddress::ForStation(0));
+  f.RunFor(SimTime::Millis(20));
+  EXPECT_EQ(f.AcksWithNumber(2000), 1);
+  const HackStats& s = f.client->hack()->stats();
+  EXPECT_EQ(s.batch_flush_edge, 1u);
+  EXPECT_EQ(s.batch_flush_window, 0u);
+  EXPECT_EQ(s.batch_flush_count, 0u);
+  EXPECT_EQ(s.ack_batches, 1u);
+  // It went compressed on the final Block ACK, not vanilla.
+  EXPECT_EQ(s.unique_compressed_acks, 1u);
+  EXPECT_EQ(f.ap->hack()->stats().acks_recovered_at_ap, 1u);
+  EXPECT_EQ(f.ap->hack()->stats().crc_failures_at_ap, 0u);
+}
+
+// --- whole-scenario pins ----------------------------------------------------
+
+ScenarioConfig BaseConfig(int n_clients) {
+  ScenarioConfig c;
+  c.standard = WifiStandard::k80211n;
+  c.data_rate_mbps = 150.0;
+  c.n_clients = n_clients;
+  c.proto = TransportProto::kTcp;
+  c.hack = HackVariant::kMoreData;
+  c.duration = SimTime::Millis(600);
+  c.start_stagger = SimTime::Millis(5);
+  c.seed = 7;
+  return c;
+}
+
+TEST(HackBatchScenarioTest, Window0IsStructurallyAbsent) {
+  // flush_window=0 must disable the policy wholesale even with the other
+  // knobs set: no held flags, no timers, no counters — the run is
+  // bit-identical to the legacy agent INCLUDING the executed event count
+  // (a cancelled-but-scheduled timer would already break that).
+  ScenarioConfig c = BaseConfig(3);
+  ScenarioResult legacy = RunScenario(c);
+  c.hack_config.ack_policy.flush_count = 5;
+  c.hack_config.ack_policy.flush_on_more_data_edge = false;
+  ScenarioResult off = RunScenario(c);
+  EXPECT_TRUE(off.BehaviourEquals(legacy))
+      << "window=0 changed behaviour: goodput "
+      << off.aggregate_goodput_mbps << " vs "
+      << legacy.aggregate_goodput_mbps;
+  EXPECT_EQ(off.events_executed, legacy.events_executed);
+  EXPECT_EQ(off.ap_hack.ack_batches, 0u);
+  for (const ClientResult& cr : off.clients) {
+    EXPECT_EQ(cr.hack.ack_batches, 0u);
+    EXPECT_EQ(cr.hack.batched_acks, 0u);
+  }
+}
+
+TEST(HackBatchScenarioTest, WindowedPolicyBatchesWithoutCostingGoodput) {
+  ScenarioConfig c = BaseConfig(3);
+  ScenarioResult legacy = RunScenario(c);
+  c.hack_config.ack_policy.flush_window = SimTime::Millis(1);
+  ScenarioResult batched = RunScenario(c);
+  EXPECT_EQ(batched.crc_failures, 0u);
+  uint64_t batches = 0;
+  uint64_t acks = 0;
+  for (const ClientResult& cr : batched.clients) {
+    batches += cr.hack.ack_batches;
+    acks += cr.hack.batched_acks;
+  }
+  EXPECT_GT(batches, 0u);
+  EXPECT_GE(acks, batches);  // every release carries at least one ACK
+  // Batches flush well inside the data sender's RTT, so aggregation must
+  // not dent goodput materially (the bench gate pins >= at the paired-seed
+  // level; this is the in-tree smoke version).
+  EXPECT_GE(batched.aggregate_goodput_mbps,
+            0.9 * legacy.aggregate_goodput_mbps);
+}
+
+TEST(HackBatchScenarioTest, PolicySurvivesChurnWithoutStrandingTimers) {
+  // Station churn Stops and Resumes clients mid-batch: pending coalesced
+  // timers belonging to a crashed station must neither fire into freed
+  // state (ASan job) nor strand forever (watchdog arena audit, abort mode).
+  ScenarioConfig c = BaseConfig(8);
+  c.duration = SimTime::Millis(400);
+  c.hack_config.ack_policy.flush_window = SimTime::Millis(1);
+  c.fault_plan = FaultPlan::Churn(c.n_clients, c.duration);
+  c.watchdog_interval = SimTime::Millis(10);
+  ScenarioResult r = RunScenario(c);
+  EXPECT_GT(r.fault.crashes, 0u);
+  EXPECT_EQ(r.fault.joins, r.fault.crashes);
+  EXPECT_EQ(r.watchdog.trips, 0u);
+  EXPECT_EQ(r.crc_failures, 0u);
+  EXPECT_GT(r.aggregate_goodput_mbps, 0.0);
+}
+
+}  // namespace
+}  // namespace hacksim

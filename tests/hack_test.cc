@@ -449,5 +449,89 @@ TEST(HackAgentTest, PayloadByteCapSplitsAcrossLlAcks) {
   }
 }
 
+TEST(HackAgentTest, CrossPeerCidCollisionKeepsContextsSeparate) {
+  // Two *different* clients each derive CIDs from their own flows' 5-tuple
+  // hashes, so they can legitimately pick the same CID — the client-side
+  // compressor guard cannot see across clients. The AP must scope
+  // decompressor contexts per sending peer (ROHC: CIDs are unique per
+  // channel), or one client's deltas apply to the other's context: at best
+  // CRC failures, at worst silently forwarding ACKs with the wrong flow's
+  // addressing. This drives the AP agent directly with two peers whose
+  // flows collide.
+  HackFixture f;
+  HackAgent* ap = f.ap->hack();
+
+  auto make_ack = [](uint8_t host, uint16_t port, uint32_t ack) {
+    TcpHeader tcp;
+    tcp.src_port = port;
+    tcp.dst_port = 5000;
+    tcp.seq = 1;
+    tcp.ack = ack;
+    tcp.flag_ack = true;
+    tcp.window = 32768;
+    tcp.timestamps = TcpTimestamps{100, 200};
+    return Packet::MakeTcp(Ipv4Address::FromOctets(10, 0, 2, host),
+                           Ipv4Address::FromOctets(10, 0, 0, 1), tcp, 0);
+  };
+
+  // Find a port for client B whose flow hashes to client A's CID.
+  uint16_t port_a = 6000;
+  uint8_t cid_a = make_ack(1, port_a, 1000).Flow().RohcCid();
+  uint16_t port_b = 0;
+  for (uint16_t p = 6001; p != 0; ++p) {
+    if (make_ack(2, p, 1000).Flow().RohcCid() == cid_a) {
+      port_b = p;
+      break;
+    }
+  }
+  ASSERT_NE(port_b, 0u);
+
+  MacAddress mac_a = MacAddress::ForStation(1);
+  MacAddress mac_b = MacAddress::ForStation(2);
+  std::vector<Packet> forwarded;
+  ap->forward_decompressed = [&](Packet p, MacAddress) {
+    forwarded.push_back(std::move(p));
+  };
+
+  // Both peers anchor their contexts with a vanilla ACK, then stream
+  // interleaved compressed records with divergent ACK trajectories.
+  ap->NoteReceivedVanillaAck(make_ack(1, port_a, 1000), mac_a);
+  ap->NoteReceivedVanillaAck(make_ack(2, port_b, 5), mac_b);
+  RohcCompressor comp_a;
+  RohcCompressor comp_b;
+  for (uint32_t i = 1; i <= 8; ++i) {
+    auto rec_a = comp_a.Compress(make_ack(1, port_a, 1000 + i * 1460));
+    ASSERT_FALSE(rec_a.bytes.empty());
+    std::vector<std::vector<uint8_t>> recs_a = {rec_a.bytes};
+    ap->OnAckPayload(mac_a, BuildHackPayload(recs_a));
+    auto rec_b = comp_b.Compress(make_ack(2, port_b, 5 + i * 2920));
+    ASSERT_FALSE(rec_b.bytes.empty());
+    std::vector<std::vector<uint8_t>> recs_b = {rec_b.bytes};
+    ap->OnAckPayload(mac_b, BuildHackPayload(recs_b));
+  }
+
+  EXPECT_EQ(ap->stats().crc_failures_at_ap, 0u);
+  EXPECT_EQ(ap->stats().duplicates_discarded_at_ap, 0u);
+  EXPECT_EQ(ap->stats().stale_context_drops, 0u);
+  ASSERT_EQ(ap->stats().acks_recovered_at_ap, 16u);
+  ASSERT_EQ(forwarded.size(), 16u);
+  // Every reconstructed ACK carries its own flow's addressing and its own
+  // stream's cumulative ACK trajectory.
+  uint32_t next_a = 1;
+  uint32_t next_b = 1;
+  for (const Packet& p : forwarded) {
+    if (p.tcp().src_port == port_a) {
+      EXPECT_EQ(p.tcp().ack, 1000 + next_a * 1460);
+      ++next_a;
+    } else {
+      ASSERT_EQ(p.tcp().src_port, port_b);
+      EXPECT_EQ(p.tcp().ack, 5 + next_b * 2920);
+      ++next_b;
+    }
+  }
+  EXPECT_EQ(next_a, 9u);
+  EXPECT_EQ(next_b, 9u);
+}
+
 }  // namespace
 }  // namespace hacksim

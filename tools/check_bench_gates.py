@@ -74,17 +74,45 @@ Three gates, all keyed to the committed Release references in the repo root:
    churn or the AP dies and restarts, the cell must climb back to at
    least half its fault-free rate. Committed artifact must carry the
    rows; fresh is checked whenever it does (quick mode included).
+8. ACK-aggregation window=0 identity: at every station count carrying the
+   pair, the "tcp+hack-w0" ablation row (HackAckPolicy configured with
+   flush_window=0) must be byte-identical to the plain "tcp"/moredata row
+   once the row-identity keys (proto, wall_ms) and the ablation-only
+   detail columns are stripped — the off switch is structurally absent,
+   like edca_enabled=false. The w0 row must also report
+   hack_ack_batches == 0. The simulator is deterministic and the ablation
+   rows alias the tcp/moredata replicate seeds (Workload::seed_group), so
+   "identical" really means identical, replicate statistics included.
+   Committed artifact must carry the pair; fresh is checked whenever it
+   does (quick mode included, so every push exercises it).
+9. ACK-aggregation goodput: at every station count carrying the pair, the
+   best-window row "tcp+hack-w1ms" must deliver goodput >= the w0
+   baseline's (same replicate seeds, so this is a paired comparison —
+   batching ACKs must never cost goodput). Deterministic and machine-
+   independent; same committed/fresh policy as gate 8.
 
 Usage:
   check_bench_gates.py --committed-micro BENCH_micro.json \
                        --fresh-micro /tmp/out/BENCH_micro.json \
                        --committed-scale BENCH_scale.json \
                        [--fresh-scale /tmp/out/BENCH_scale.json]
+
+  check_bench_gates.py --self-test
+    Exercises every gate's pass AND fail branch on synthetic artifacts
+    (no bench binaries needed); exits 0 iff all branches behave.
 """
 
 import argparse
 import json
 import sys
+
+# Keys stripped before the gate-8 dict comparison: row identity (proto),
+# host-dependent timing (wall_ms) and the ablation-only detail columns the
+# w0 row carries but the plain tcp/moredata row does not.
+ABLATION_IDENTITY_STRIP = frozenset({
+    "proto", "wall_ms", "hack_compression_ratio", "hack_ack_batches",
+    "hack_acks_per_flush",
+})
 
 # Rows allowed to deliver zero bytes because collapse is the measured
 # physics, not a bug. Explicit allow-list: renaming a row leaves a stale
@@ -136,11 +164,11 @@ def post_fault_goodput(row):
                          row["post_fault_goodput_mbps"]))
 
 
-def main():
+def build_parser():
     ap = argparse.ArgumentParser()
-    ap.add_argument("--committed-micro", required=True)
-    ap.add_argument("--fresh-micro", required=True)
-    ap.add_argument("--committed-scale", required=True)
+    ap.add_argument("--committed-micro")
+    ap.add_argument("--fresh-micro")
+    ap.add_argument("--committed-scale")
     ap.add_argument("--fresh-scale")
     ap.add_argument("--max-regress", type=float, default=0.25)
     ap.add_argument("--ev-ppdu-ceiling", type=float, default=100.0)
@@ -151,8 +179,13 @@ def main():
     ap.add_argument("--hidden-min-mbps", type=float, default=10.0)
     ap.add_argument("--post-fault-ratio", type=float, default=0.5)
     ap.add_argument("--vo-p99-ratio", type=float, default=2.0)
-    args = ap.parse_args()
+    ap.add_argument("--self-test", action="store_true",
+                    help="exercise every gate's pass/fail branch on "
+                         "synthetic artifacts and exit")
+    return ap
 
+
+def run_gates(args):
     failed = False
 
     ref = cancel_heavy_ns(args.committed_micro)
@@ -292,6 +325,66 @@ def main():
                   f"{args.vo_p99_ratio:.1f})")
             failed |= not ok
 
+        # ACK-aggregation ablation gates (8, 9). Keyed by (proto, hack)
+        # since the "tcp" proto appears with hack off AND moredata.
+        ablation = {}
+        for r in all_rows:
+            if r["proto"] == "tcp" and r["hack"] == "moredata":
+                ablation.setdefault(r["stations"], {})["base"] = r
+            elif r["proto"] == "tcp+hack-w0":
+                ablation.setdefault(r["stations"], {})["w0"] = r
+            elif r["proto"] == "tcp+hack-w1ms":
+                ablation.setdefault(r["stations"], {})["w1ms"] = r
+        id_pairs = {n: d for n, d in ablation.items()
+                    if "base" in d and "w0" in d}
+        if not id_pairs:
+            if label == "committed":
+                print(f"[FAIL] {path}: no tcp+hack-w0 / tcp(moredata) row "
+                      "pairs — the window=0 identity gate has nothing to "
+                      "check")
+                failed = True
+            else:
+                print(f"[SKIP] {path}: no ACK-ablation w0 row pairs")
+        for n in sorted(id_pairs):
+            base_row = id_pairs[n]["base"]
+            w0_row = id_pairs[n]["w0"]
+            base = {k: v for k, v in base_row.items()
+                    if k not in ABLATION_IDENTITY_STRIP}
+            w0 = {k: v for k, v in w0_row.items()
+                  if k not in ABLATION_IDENTITY_STRIP}
+            diff = sorted(k for k in (base.keys() | w0.keys())
+                          if base.get(k) != w0.get(k))
+            batches = int(w0_row.get("hack_ack_batches", -1))
+            ok = not diff and batches == 0
+            verdict = "OK" if ok else "FAIL"
+            print(f"[{verdict}] {label} {n}-station window=0 identity: "
+                  f"tcp+hack-w0 vs tcp/moredata"
+                  + (f" differs on {diff}" if diff else " byte-identical"))
+            if batches != 0:
+                print(f"[FAIL] {label} {n}-station tcp+hack-w0 recorded "
+                      f"{batches} ack batches (the window=0 policy must be "
+                      "structurally absent)")
+            failed |= not ok
+        gp_pairs = {n: d for n, d in ablation.items()
+                    if "w0" in d and "w1ms" in d}
+        if not gp_pairs:
+            if label == "committed":
+                print(f"[FAIL] {path}: no tcp+hack-w0 / tcp+hack-w1ms row "
+                      "pairs — the ablation goodput gate has nothing to "
+                      "check")
+                failed = True
+            else:
+                print(f"[SKIP] {path}: no ACK-ablation goodput row pairs")
+        for n in sorted(gp_pairs):
+            base = goodput(gp_pairs[n]["w0"])
+            got = goodput(gp_pairs[n]["w1ms"])
+            ok = got >= base
+            verdict = "OK" if ok else "FAIL"
+            print(f"[{verdict}] {label} {n}-station ablation goodput: "
+                  f"tcp+hack-w1ms {got:.1f} Mbps vs tcp+hack-w0 "
+                  f"{base:.1f} Mbps (floor = w0; paired seeds)")
+            failed |= not ok
+
         # Storm-row gates at the largest station count the artifact
         # carries. The 1000-station per-class gates below never run on a
         # quick (10/100-station) push artifact, so without this the two
@@ -391,6 +484,149 @@ def main():
         return 1
     print("bench gates passed")
     return 0
+
+
+def self_test():
+    """Exercises every gate's pass AND fail branch on synthetic artifacts.
+
+    Builds a minimal artifact pair that satisfies all nine gates (must exit
+    0 with no FAIL line), then a poisoned pair that trips every gate (must
+    exit 1 with a FAIL line per gate). No bench binaries are needed, so CI
+    runs this before spending a minute generating real artifacts.
+    """
+    import contextlib
+    import io
+    import os
+    import tempfile
+
+    def micro(ns):
+        return {"benchmarks": [
+            {"name": "BM_SchedulerCancelHeavy/1024_mean", "real_time": ns}]}
+
+    def row(proto, hack="off", **kw):
+        d = {"stations": 1000, "proto": proto, "hack": hack,
+             "goodput_mbps": 10.0, "bytes": 12345, "events": 1000,
+             "ppdus": 100, "events_per_ppdu": 10.0, "per_ppdu_other": 0.0,
+             "per_ppdu_channel": 4.0, "per_ppdu_dcf": 2.0,
+             "per_ppdu_nav": 0.5, "per_ppdu_transport": 3.0,
+             "collisions": 0, "rts": 0, "cts_timeouts": 0, "captures": 0,
+             "overlap_losses": 0, "out_of_range": 0, "wall_ms": 10.0,
+             "sim_seconds": 0.5}
+        d.update(kw)
+        return d
+
+    def good_rows():
+        tcp_hack = row("tcp", "moredata", goodput_mbps=20.0)
+        w0 = dict(tcp_hack, proto="tcp+hack-w0", wall_ms=11.0,
+                  hack_compression_ratio=11.0, hack_ack_batches=0,
+                  hack_acks_per_flush=0.0)
+        w1ms = dict(w0, proto="tcp+hack-w1ms", goodput_mbps=21.0,
+                    hack_ack_batches=50, hack_acks_per_flush=5.0)
+        return [
+            row("udp"),
+            row("tcp"),
+            tcp_hack,
+            row("udp-up"),
+            row("udp-rts", goodput_mbps=40.0),
+            row("udp-hidden", goodput_mbps=0.0, bytes=0),
+            row("udp-hidden-rts", goodput_mbps=12.0),
+            row("udp-churn", post_fault_goodput_mbps=8.0),
+            row("udp-apout", post_fault_goodput_mbps=8.0),
+            row("udp-mix", lat_vo_p99_ms=10.0, lat_vo_count=100,
+                lat_be_count=100),
+            row("udp-mix-edca", lat_vo_p99_ms=4.0, lat_vo_count=100,
+                lat_be_count=100),
+            w0,
+            w1ms,
+        ]
+
+    def poison(rows):
+        bad = [dict(r) for r in rows]
+        by = {}
+        for r in bad:
+            by.setdefault(r["proto"], r)
+        by["udp"]["bytes"] = 0                       # gate 5: zero bytes
+        by["udp-churn"]["post_fault_goodput_mbps"] = 1.0   # gate 7
+        by["udp-hidden-rts"]["goodput_mbps"] = 5.0   # gate 4: under floor
+        by["udp-hidden-rts"]["per_ppdu_nav"] = 50.0  # gate 2: NAV storm
+        by["udp-rts"]["goodput_mbps"] = 15.0         # gate 3: < 2x baseline
+        by["udp-rts"]["per_ppdu_transport"] = 100.0  # gate 2: pacing storm
+        by["udp-mix-edca"]["lat_vo_p99_ms"] = 9.0    # gate 6: tail too fat
+        by["tcp"]["events_per_ppdu"] = 500.0         # gate 2: ev/ppdu
+        by["tcp+hack-w0"]["goodput_mbps"] = 19.0     # gate 8: not identical
+        by["tcp+hack-w0"]["hack_ack_batches"] = 3    # gate 8: policy leaked
+        by["tcp+hack-w1ms"]["goodput_mbps"] = 18.0   # gate 9: under w0
+        return bad
+
+    def run(tmp, tag, fresh_micro_ns, rows):
+        paths = {}
+        for name, payload in (
+                ("committed_micro", micro(100.0)),
+                ("fresh_micro", micro(fresh_micro_ns)),
+                ("scale", {"benchmark": "bench_scale", "rows": rows})):
+            p = os.path.join(tmp, f"{tag}_{name}.json")
+            with open(p, "w") as f:
+                json.dump(payload, f)
+            paths[name] = p
+        args = build_parser().parse_args([
+            "--committed-micro", paths["committed_micro"],
+            "--fresh-micro", paths["fresh_micro"],
+            "--committed-scale", paths["scale"],
+            "--fresh-scale", paths["scale"],
+        ])
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            rc = run_gates(args)
+        return rc, out.getvalue()
+
+    ok = True
+    with tempfile.TemporaryDirectory() as tmp:
+        rc, out = run(tmp, "good", 100.0, good_rows())
+        if rc != 0 or "[FAIL]" in out:
+            print("self-test FAIL: clean artifacts did not pass:")
+            print(out)
+            ok = False
+
+        rc, out = run(tmp, "bad", 1000.0, poison(good_rows()))
+        if rc != 1:
+            print(f"self-test FAIL: poisoned artifacts returned rc={rc}")
+            print(out)
+            ok = False
+        fail_lines = [l for l in out.splitlines() if l.startswith("[FAIL]")]
+        expected = [
+            "BM_SchedulerCancelHeavy",       # gate 1
+            "ev/PPDU",                       # gate 2 (total)
+            "NAV-reset probes",              # gate 2 (per-class)
+            "transport pacing",              # gate 2 (per-class)
+            "collapse baseline",             # gate 3
+            "hidden-terminal",               # gate 4
+            "zero bytes delivered",          # gate 5
+            "QoS voice tail",                # gate 6
+            "post-fault goodput",            # gate 7
+            "window=0 identity",             # gate 8 (dict diff)
+            "structurally absent",           # gate 8 (batch counter)
+            "ablation goodput",              # gate 9
+        ]
+        for marker in expected:
+            if not any(marker in l for l in fail_lines):
+                print(f"self-test FAIL: poisoned run did not trip a [FAIL] "
+                      f"line containing {marker!r}")
+                ok = False
+
+    print("check_bench_gates self-test " + ("passed" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+def main():
+    ap = build_parser()
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    for name in ("committed_micro", "fresh_micro", "committed_scale"):
+        if getattr(args, name) is None:
+            ap.error(f"--{name.replace('_', '-')} is required "
+                     "(unless --self-test)")
+    return run_gates(args)
 
 
 if __name__ == "__main__":

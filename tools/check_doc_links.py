@@ -10,6 +10,10 @@ docs/) unbroken as files move.
 Usage: python3 tools/check_doc_links.py [repo_root]
 Exit 0 if every relative link resolves, 1 otherwise (one line per dead
 link: file, line, target).
+
+python3 tools/check_doc_links.py --self-test exercises both branches on
+synthetic doc trees (a clean tree must pass, a tree with a dead link must
+fail) and exits 0 iff both behave.
 """
 
 import pathlib
@@ -31,8 +35,7 @@ def doc_files(root: pathlib.Path):
     yield from sorted((root / "docs").glob("*.md"))
 
 
-def main() -> int:
-    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+def check(root: pathlib.Path) -> int:
     dead = []
     checked = 0
     for doc in doc_files(root):
@@ -58,6 +61,39 @@ def main() -> int:
         + (" — FAILED" if dead else "")
     )
     return 1 if dead else 0
+
+
+def self_test() -> int:
+    """Both branches on synthetic trees: clean → 0, dead link → 1."""
+    import tempfile
+
+    ok = True
+    with tempfile.TemporaryDirectory() as tmp:
+        root = pathlib.Path(tmp)
+        (root / "docs").mkdir()
+        (root / "docs" / "guide.md").write_text(
+            "See [the readme](../README.md).\n", encoding="utf-8")
+        (root / "README.md").write_text(
+            "See [the guide](docs/guide.md).\n", encoding="utf-8")
+        rc = check(root)
+        if rc != 0:
+            print("self-test FAIL: clean doc tree did not pass")
+            ok = False
+        (root / "docs" / "guide.md").write_text(
+            "See [gone](missing.md).\n", encoding="utf-8")
+        rc = check(root)
+        if rc != 1:
+            print("self-test FAIL: dead link did not fail the check")
+            ok = False
+    print("check_doc_links self-test " + ("passed" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+def main() -> int:
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    return check(root)
 
 
 if __name__ == "__main__":

@@ -23,6 +23,11 @@ struct Flags {
   double rate = 150.0;
   int clients = 1;
   std::string hack = "more-data";
+  // ACK-aggregation policy (HackAckPolicy): hold compressed ACKs and flush
+  // them as one hierarchical ACK frame per window/count/MORE-DATA edge.
+  // window=0 (default) keeps the policy structurally absent.
+  int64_t hack_ack_window_us = 0;
+  uint64_t hack_ack_count = 0;
   std::string proto = "tcp";
   double seconds = 4.0;
   double stagger_ms = 250.0;
@@ -68,6 +73,14 @@ void Usage() {
                "  --rate=<mbps>         data rate (default 150; 802.11a: 54)\n"
                "  --clients=<n>         number of stations (default 1)\n"
                "  --hack=off|more-data|opportunistic|timer|ts-echo\n"
+               "  --hack-ack-window=<us>\n"
+               "                        batch compressed ACKs for up to this\n"
+               "                        window before flushing them as one\n"
+               "                        hierarchical ACK (0=off; requires a\n"
+               "                        HACK variant)\n"
+               "  --hack-ack-count=<n>  flush a held batch early once it\n"
+               "                        reaches n ACKs (requires\n"
+               "                        --hack-ack-window)\n"
                "  --proto=tcp|udp       workload (default tcp)\n"
                "  --seconds=<s>         run length in seconds (default 4)\n"
                "  --stagger-ms=<ms>     per-station flow start stagger in "
@@ -88,10 +101,13 @@ void Usage() {
                "  --rate-adapt          per-station ARF rate adaptation\n"
                "  --edca                802.11e EDCA: four per-AC queues +\n"
                "                        contention engines at every MAC\n"
-               "  --traffic-mix=<mix>   station→model mix for UDP, e.g.\n"
+               "  --traffic-mix=<mix>   station→model mix, e.g.\n"
                "                        'voice:0.1,web:0.9' (models: voice,\n"
                "                        video, web, iot; fractions of the\n"
-               "                        station count, assigned by index)\n"
+               "                        station count, assigned by index).\n"
+               "                        UDP: replaces the CBR sources; TCP\n"
+               "                        download: adds background flows\n"
+               "                        alongside the TCP transfers\n"
                "  --traffic-rate-scale=<x>\n"
                "                        multiply each mixed flow's mean rate "
                "by x\n"
@@ -119,6 +135,10 @@ bool Parse(int argc, char** argv, Flags* flags) {
       flags->clients = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "hack", &value)) {
       flags->hack = value;
+    } else if (ParseFlag(argv[i], "hack-ack-window", &value)) {
+      flags->hack_ack_window_us = std::strtoll(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "hack-ack-count", &value)) {
+      flags->hack_ack_count = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "proto", &value)) {
       flags->proto = value;
     } else if (ParseFlag(argv[i], "seconds", &value)) {
@@ -233,6 +253,27 @@ int main(int argc, char** argv) {
   config.data_rate_mbps = flags.rate;
   config.n_clients = flags.clients;
   config.hack = VariantFromName(flags.hack);
+  if (flags.hack_ack_window_us < 0) {
+    std::fprintf(stderr, "--hack-ack-window must be >= 0\n");
+    return 2;
+  }
+  if (config.hack == HackVariant::kOff &&
+      (flags.hack_ack_window_us > 0 || flags.hack_ack_count > 0)) {
+    std::fprintf(stderr,
+                 "--hack-ack-window/--hack-ack-count require a HACK variant "
+                 "(--hack != off)\n");
+    return 2;
+  }
+  if (flags.hack_ack_count > 0 && flags.hack_ack_window_us == 0) {
+    std::fprintf(stderr,
+                 "--hack-ack-count without --hack-ack-window would be "
+                 "inert; set a window\n");
+    return 2;
+  }
+  config.hack_config.ack_policy.flush_window =
+      SimTime::Micros(flags.hack_ack_window_us);
+  config.hack_config.ack_policy.flush_count =
+      static_cast<size_t>(flags.hack_ack_count);
   config.proto =
       flags.proto == "udp" ? TransportProto::kUdp : TransportProto::kTcp;
   config.duration = SimTime::FromSecondsF(flags.seconds);
@@ -247,8 +288,10 @@ int main(int argc, char** argv) {
   config.edca_enabled = flags.edca;
   config.traffic_rate_scale = flags.traffic_rate_scale;
   if (!flags.traffic_mix.empty()) {
-    if (config.proto != TransportProto::kUdp) {
-      std::fprintf(stderr, "--traffic-mix requires --proto=udp\n");
+    if (config.proto == TransportProto::kTcp && flags.upload) {
+      std::fprintf(stderr,
+                   "--traffic-mix supports --proto=udp or TCP download "
+                   "(not TCP --upload)\n");
       return 2;
     }
     if (!ParseTrafficMix(flags.traffic_mix, &config.traffic_mix)) {
@@ -305,6 +348,22 @@ int main(int argc, char** argv) {
               r.steady_aggregate_goodput_mbps);
   std::printf("tcp_timeouts=%llu\n", u(r.tcp_timeouts));
   std::printf("crc_failures=%llu\n", u(r.crc_failures));
+  if (config.hack != HackVariant::kOff) {
+    // ACK-aggregation counters, summed over every HackAgent in the cell
+    // (all-zero unless --hack-ack-window engaged the policy).
+    uint64_t ack_batches = r.ap_hack.ack_batches;
+    uint64_t batched_acks = r.ap_hack.batched_acks;
+    for (const ClientResult& cr : r.clients) {
+      ack_batches += cr.hack.ack_batches;
+      batched_acks += cr.hack.batched_acks;
+    }
+    std::printf("ack_batches=%llu\n", u(ack_batches));
+    std::printf("acks_per_flush=%.2f\n",
+                ack_batches == 0
+                    ? 0.0
+                    : static_cast<double>(batched_acks) /
+                          static_cast<double>(ack_batches));
+  }
   std::printf("ap_first_try_fraction=%.4f\n", r.ap_mac.FirstTryFraction());
   std::printf("airtime_data_ms=%.2f\n", r.airtime.data_ns / 1e6);
   std::printf("airtime_ack_ms=%.2f\n", r.airtime.ack_ns / 1e6);
